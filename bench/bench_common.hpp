@@ -1,0 +1,36 @@
+#pragma once
+// Shared helpers for the table-reproduction benches.
+
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace dpr::bench {
+
+/// Campaign options used by the table benches: long enough windows for
+/// stable datasets, GP sized to finish the 18-car sweep on a laptop.
+inline core::CampaignOptions table_options() {
+  core::CampaignOptions options;
+  options.live_window = 16 * util::kSecond;
+  options.video_fps = 10.0;
+  options.gp.population = 192;
+  options.gp.max_generations = 30;  // the paper's cap
+  return options;
+}
+
+inline void print_rule(int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline std::string percent(std::size_t num, std::size_t den) {
+  if (den == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%",
+                100.0 * static_cast<double>(num) /
+                    static_cast<double>(den));
+  return buf;
+}
+
+}  // namespace dpr::bench

@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark): protocol-stack and inference
+// kernel throughput. Not a paper table — engineering numbers for the
+// library itself.
+
+#include <benchmark/benchmark.h>
+
+#include "can/bus.hpp"
+#include "gp/engine.hpp"
+#include "isotp/isotp.hpp"
+#include "obd/pid.hpp"
+#include "uds/server.hpp"
+#include "util/rng.hpp"
+#include "vwtp/vwtp.hpp"
+
+namespace {
+
+using namespace dpr;
+
+void BM_IsoTpSegmentReassemble(benchmark::State& state) {
+  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0xAB);
+  const can::CanId id{0x7E0, false};
+  for (auto _ : state) {
+    isotp::Reassembler reassembler;
+    std::optional<util::Bytes> out;
+    for (const auto& frame : isotp::segment_message(id, payload)) {
+      out = reassembler.feed(frame);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IsoTpSegmentReassemble)->Arg(7)->Arg(62)->Arg(512)->Arg(4095);
+
+void BM_VwtpSegmentReassemble(benchmark::State& state) {
+  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x61);
+  const can::CanId id{0x300, false};
+  for (auto _ : state) {
+    vwtp::Reassembler reassembler;
+    std::optional<util::Bytes> out;
+    for (const auto& frame : vwtp::segment_message(id, payload)) {
+      out = reassembler.feed(frame);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VwtpSegmentReassemble)->Arg(7)->Arg(62)->Arg(512);
+
+void BM_UdsServerReadRequest(benchmark::State& state) {
+  uds::Server server;
+  for (uds::Did did = 0xF400; did < 0xF420; ++did) {
+    server.add_did(did, 2, [] { return util::Bytes{0x12, 0x34}; });
+  }
+  std::vector<uds::Did> dids;
+  for (int i = 0; i < state.range(0); ++i) {
+    dids.push_back(static_cast<uds::Did>(0xF400 + i));
+  }
+  const auto request = uds::encode_read_data_by_identifier(dids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle(request));
+  }
+}
+BENCHMARK(BM_UdsServerReadRequest)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ObdDecode(benchmark::State& state) {
+  const auto payload = util::from_hex("41 0C 1A F8");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obd::decode_value(payload));
+  }
+}
+BENCHMARK(BM_ObdDecode);
+
+void BM_GpExprEval(benchmark::State& state) {
+  // The paper's KWP RPM shape, evaluated over a 60-point dataset.
+  auto expr = gp::Expr::binary(
+      gp::Op::kDiv,
+      gp::Expr::binary(gp::Op::kMul, gp::Expr::variable(0),
+                       gp::Expr::variable(1)),
+      gp::Expr::constant(5.0));
+  util::Rng rng(1);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.uniform(0, 255), rng.uniform(0, 255)});
+  }
+  for (auto _ : state) {
+    double total = 0;
+    for (const auto& point : points) total += expr.eval(point);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_GpExprEval);
+
+void BM_GpInferAffine(benchmark::State& state) {
+  correlate::Dataset dataset;
+  dataset.n_vars = 1;
+  util::Rng rng(2);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform(0, 255);
+    dataset.points.push_back(correlate::DataPoint{{x}, 0.75 * x - 48.0});
+  }
+  gp::GpConfig config;
+  config.population = 128;
+  config.max_generations = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp::infer_formula(dataset, config));
+  }
+}
+BENCHMARK(BM_GpInferAffine)->Unit(benchmark::kMillisecond);
+
+void BM_BusDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    util::SimClock clock;
+    can::CanBus bus(clock);
+    std::size_t seen = 0;
+    bus.attach([&seen](const can::CanFrame&, util::SimTime) { ++seen; });
+    for (int i = 0; i < 100; ++i) {
+      bus.send(can::CanFrame(0x100 + (i % 32), {0x01, 0x02}));
+    }
+    bus.deliver_pending();
+    benchmark::DoNotOptimize(seen);
+  }
+}
+BENCHMARK(BM_BusDelivery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// §3.1 planner claim — "compared with random selection, the nearest
+// neighbor algorithm saves 7.3% time of moving" when clicking 14 ESVs
+// (80.45 s random vs 74.6 s NN in the paper's rig).
+//
+// We reproduce the comparison with the modeled stylus kinematics, and
+// extend it with exact brute force (small n) and 2-opt refinement.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cps/clicker.hpp"
+#include "cps/planner.hpp"
+
+namespace {
+
+using namespace dpr;
+
+/// Total selection time for a click order: pen travel plus the fixed
+/// per-click wait the script generator inserts so the tool can react
+/// (§3.1). The paper's 80.45 s / 74.6 s for 14 ESVs imply ~5 s per
+/// selection, dominated by that wait — which is why the NN saving is a
+/// single-digit percentage of *total* time.
+constexpr double kToolReactionS = 4.5;
+
+double tour_seconds(const std::vector<cps::Point>& points,
+                    const std::vector<std::size_t>& order) {
+  util::SimClock clock;
+  cps::RoboticClicker clicker(clock);
+  for (std::size_t i : order) {
+    clicker.move_and_click(points[i].x, points[i].y);
+    clock.advance(static_cast<util::SimTime>(kToolReactionS *
+                                             util::kSecond));
+  }
+  return static_cast<double>(clock.now()) /
+         static_cast<double>(util::kSecond);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Planner benchmark: click 14 ESVs on screen (paper: NN saves "
+              "~7.3%% vs random)\n\n");
+  util::Rng rng(0x7A117);
+  double nn_time = 0.0, random_time = 0.0, two_opt_time = 0.0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    // 14 ESV rows laid out like a data-stream screen, with some x jitter
+    // (two-column layouts etc.).
+    std::vector<cps::Point> points;
+    for (int i = 0; i < 14; ++i) {
+      points.push_back(cps::Point{
+          static_cast<int>(rng.uniform_int(60, 1100)),
+          60 + 48 * static_cast<int>(rng.uniform_int(0, 13))});
+    }
+    const cps::Point start{0, 0};
+    nn_time += tour_seconds(points, cps::plan_nearest_neighbor(start, points));
+    random_time += tour_seconds(points, cps::plan_random(points, rng));
+    two_opt_time += tour_seconds(
+        points, cps::refine_two_opt(start, points,
+                                    cps::plan_nearest_neighbor(start,
+                                                               points)));
+  }
+  nn_time /= trials;
+  random_time /= trials;
+  two_opt_time /= trials;
+
+  std::printf("%-24s %-14s\n", "Strategy", "avg time (s)");
+  dpr::bench::print_rule(40);
+  std::printf("%-24s %-14.2f\n", "random order", random_time);
+  std::printf("%-24s %-14.2f\n", "nearest neighbor", nn_time);
+  std::printf("%-24s %-14.2f\n", "NN + 2-opt", two_opt_time);
+  dpr::bench::print_rule(40);
+  const double saving = (random_time - nn_time) / random_time * 100.0;
+  std::printf("NN saves %.1f%% vs random   [paper: 7.3%%]\n", saving);
+
+  // Exact optimality gap on small instances.
+  double nn_total = 0, opt_total = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<cps::Point> points;
+    for (int i = 0; i < 8; ++i) {
+      points.push_back(cps::Point{static_cast<int>(rng.uniform_int(0, 1100)),
+                                  static_cast<int>(rng.uniform_int(0, 700))});
+    }
+    const cps::Point start{0, 0};
+    nn_total += static_cast<double>(cps::tour_length(
+        start, points, cps::plan_nearest_neighbor(start, points)));
+    opt_total += static_cast<double>(cps::tour_length(
+        start, points, cps::plan_brute_force(start, points)));
+  }
+  std::printf("NN optimality gap on 8-point instances: +%.1f%% over exact\n",
+              (nn_total - opt_total) / opt_total * 100.0);
+  return saving > 0.0 ? 0 : 1;
+}

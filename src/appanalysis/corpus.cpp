@@ -1,0 +1,279 @@
+#include "appanalysis/corpus.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace dpr::appanalysis {
+
+namespace {
+
+struct Emitter {
+  App app;
+  Reg next_reg = 0;
+  int next_label = 0;
+
+  Reg fresh() { return next_reg++; }
+
+  Reg read_api() {
+    const Reg r = fresh();
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kReadApi, r, -1, -1, 0, '+', "", 0, -1});
+    return r;
+  }
+
+  Reg constant(double v) {
+    const Reg r = fresh();
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kConst, r, -1, -1, v, '+', "", 0, -1});
+    return r;
+  }
+
+  Reg starts_with(Reg src, const std::string& prefix) {
+    const Reg r = fresh();
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kStartsWith, r, src, -1, 0, '+', prefix, 0, -1});
+    return r;
+  }
+
+  int begin_if(Reg cond) {
+    const int label = next_label++;
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kIf, -1, cond, -1, 0, '+', "", 0, label});
+    return label;
+  }
+
+  void end_if(int label) {
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kLabel, -1, -1, -1, 0, '+', "", 0, label});
+  }
+
+  Reg substr(Reg src, int index) {
+    const Reg r = fresh();
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kSubstr, r, src, -1, 0, '+', "", index, -1});
+    return r;
+  }
+
+  Reg parse_int(Reg src) {
+    const Reg r = fresh();
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kParseInt, r, src, -1, 0, '+', "", 0, -1});
+    return r;
+  }
+
+  Reg binop(Reg a, char op, Reg b) {
+    const Reg r = fresh();
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kBinOp, r, a, b, 0, op, "", 0, -1});
+    return r;
+  }
+
+  Reg opaque(Reg a) {
+    const Reg r = fresh();
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kOpaqueCall, r, a, -1, 0, '+', "", 0, -1});
+    return r;
+  }
+
+  void display(Reg a) {
+    app.statements.push_back(
+        Stmt{Stmt::Kind::kDisplay, -1, a, -1, 0, '+', "", 0, -1});
+  }
+};
+
+std::string hex_byte(unsigned v) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%02X", v & 0xFF);
+  return buf;
+}
+
+/// Emit one prefix-guarded formula block: parse 1-2 fields, combine with
+/// an affine/product expression, display.
+void emit_formula(Emitter& e, Reg response, const std::string& prefix,
+                  util::Rng& rng, bool opaque_break) {
+  const Reg cond = e.starts_with(response, prefix);
+  const int label = e.begin_if(cond);
+  const Reg field0 = e.substr(response, 0);
+  const Reg v0 = e.parse_int(field0);
+  Reg result;
+  if (opaque_break) {
+    // The value is processed inside another method — taint dies (§4.6:
+    // "request sent by subclass, response parsed by the parent class").
+    result = e.opaque(v0);
+  } else {
+    const int shape = static_cast<int>(rng.uniform_int(0, 3));
+    switch (shape) {
+      case 0: {  // a*v0 + b
+        const Reg a = e.constant(rng.uniform(0.01, 4.0));
+        const Reg prod = e.binop(v0, '*', a);
+        const Reg b = e.constant(rng.uniform(-64.0, 64.0));
+        result = e.binop(prod, '+', b);
+        break;
+      }
+      case 1: {  // v0 / a
+        const Reg a = e.constant(rng.uniform(2.0, 10.0));
+        result = e.binop(v0, '/', a);
+        break;
+      }
+      case 2: {  // two-variable: a*v0 + b*v1 (Fig. 9 shape)
+        const Reg field1 = e.substr(response, 1);
+        const Reg v1 = e.parse_int(field1);
+        const Reg a = e.constant(rng.uniform(16.0, 64.0));
+        const Reg pa = e.binop(v0, '*', a);
+        const Reg b = e.constant(rng.uniform(0.1, 1.0));
+        const Reg pb = e.binop(v1, '*', b);
+        result = e.binop(pa, '+', pb);
+        break;
+      }
+      default: {  // product: v0 * v1 / c
+        const Reg field1 = e.substr(response, 1);
+        const Reg v1 = e.parse_int(field1);
+        const Reg prod = e.binop(v0, '*', v1);
+        const Reg c = e.constant(rng.uniform(2.0, 8.0));
+        result = e.binop(prod, '/', c);
+        break;
+      }
+    }
+  }
+  e.display(result);
+  e.end_if(label);
+}
+
+App make_app(const std::string& name, std::size_t uds, std::size_t kwp,
+             std::size_t obd, bool resistant, util::Rng& rng) {
+  Emitter e;
+  e.app.name = name;
+  const Reg response = e.read_api();
+  // UDS formulas: responses start with 0x62 + a DID.
+  for (std::size_t i = 0; i < uds; ++i) {
+    const std::string prefix =
+        "62 " + hex_byte(0xF4 + (i / 256)) + " " + hex_byte(i);
+    emit_formula(e, response, prefix, rng, resistant);
+  }
+  // KWP formulas: responses start with 0x61 + local id.
+  for (std::size_t i = 0; i < kwp; ++i) {
+    const std::string prefix = "61 " + hex_byte(1 + i);
+    emit_formula(e, response, prefix, rng, resistant);
+  }
+  // OBD-II formulas: responses start with 0x41 + PID.
+  for (std::size_t i = 0; i < obd; ++i) {
+    const std::string prefix = "41 " + hex_byte(0x04 + i);
+    emit_formula(e, response, prefix, rng, resistant);
+  }
+  return std::move(e.app);
+}
+
+/// A DTC-style app: reads the response but only compares it, no math.
+App make_dtc_app(const std::string& name) {
+  Emitter e;
+  e.app.name = name;
+  const Reg response = e.read_api();
+  const Reg cond = e.starts_with(response, "59 02");  // readDTCInformation
+  const int label = e.begin_if(cond);
+  const Reg field = e.substr(response, 0);
+  e.display(field);  // shows the raw code, no formula
+  e.end_if(label);
+  return std::move(e.app);
+}
+
+}  // namespace
+
+App fig9_example() {
+  // Fig. 9: engine-RPM processing of an OBD app.
+  //   if response.startsWith("41 0C"):
+  //     v0 = parseInt(fields[0]); v1 = parseInt(fields[1])
+  //     display(64*v0 + v1*0.25)
+  Emitter e;
+  e.app.name = "fig9";
+  const Reg response = e.read_api();
+  const Reg cond = e.starts_with(response, "41 0C");
+  const int label = e.begin_if(cond);
+  const Reg f0 = e.substr(response, 0);
+  const Reg v0 = e.parse_int(f0);
+  const Reg f1 = e.substr(response, 1);
+  const Reg v1 = e.parse_int(f1);
+  const Reg c64 = e.constant(64.0);
+  const Reg d0 = e.binop(c64, '*', v0);
+  const Reg c025 = e.constant(0.25);
+  const Reg d1 = e.binop(v1, '*', c025);
+  const Reg sum = e.binop(d1, '+', d0);
+  e.display(sum);
+  e.end_if(label);
+  return std::move(e.app);
+}
+
+std::vector<CorpusEntry> build_corpus() {
+  std::vector<CorpusEntry> corpus;
+  util::Rng rng(0xAB5EED);
+
+  auto add = [&corpus, &rng](const std::string& name, std::size_t uds,
+                             std::size_t kwp, std::size_t obd,
+                             bool resistant) {
+    CorpusEntry entry;
+    entry.app = make_app(name, uds, kwp, obd, resistant, rng);
+    entry.uds_formulas = uds;
+    entry.kwp_formulas = kwp;
+    entry.obd_formulas = obd;
+    entry.extraction_resistant = resistant;
+    corpus.push_back(std::move(entry));
+  };
+
+  // The three UDS/KWP-formula apps (Table 12 top).
+  add("Carly for VAG", 90, 137, 0, false);
+  add("Carly for Mercedes", 1624, 468, 0, false);
+  add("Carly for Toyota", 0, 7, 0, false);
+
+  // OBD-II-formula apps, counts as listed in Table 12.
+  static const std::array<std::pair<const char*, std::size_t>, 25>
+      obd_apps = {{
+          {"inCarDoc", 82},
+          {"Car Computer - Olivia Drive", 74},
+          {"CarSys Scan", 64},
+          {"Easy OBD", 55},
+          {"inCarDoc Pro", 49},
+          {"OBD Boy(OBD2-ELM327)", 45},
+          {"FordSys Scan Free", 42},
+          {"ChevroSys Scan Free", 40},
+          {"ToyoSys Scan Free", 40},
+          {"Obd Mary", 34},
+          {"OBD2 Boost", 34},
+          {"Obd Harry Scan", 28},
+          {"Obd Arny", 27},
+          {"MOSX", 24},
+          {"Dr Prius Dr Hybrid", 22},
+          {"Dacar Pro OBD2", 21},
+          {"OBD2 Scanner Fault Codes Desc", 16},
+          {"Dacar Pro OBD2 (2)", 14},
+          {"Engie Easy Car Repair", 8},
+          {"PHEV Watchdog", 8},
+          {"Torque Lite(OBD2&Car)", 5},
+          {"Kiwi OBD", 3},
+          {"OBDclick", 2},
+          {"Dr Prius Dr Hybrid (2)", 1},
+          {"Fuel Economy for Torque Pro", 1},
+      }};
+  for (const auto& [name, count] : obd_apps) {
+    add(name, 0, 0, count, false);
+  }
+
+  // 13 apps whose formulas resist extraction (§4.6: subclass/parent
+  // splits etc. — modeled as opaque calls breaking the taint chain).
+  for (int i = 0; i < 13; ++i) {
+    add("ObfuscatedScanner " + std::to_string(i + 1), 0, 0,
+        6 + static_cast<std::size_t>(i % 5), true);
+  }
+
+  // Remaining apps: DTC readers / freeze-frame viewers with no response
+  // formulas at all (160 total apps in the study).
+  while (corpus.size() < 160) {
+    CorpusEntry entry;
+    entry.app =
+        make_dtc_app("DTC Reader " + std::to_string(corpus.size() + 1));
+    corpus.push_back(std::move(entry));
+  }
+  return corpus;
+}
+
+}  // namespace dpr::appanalysis

@@ -1,0 +1,29 @@
+#pragma once
+// The 160-app corpus of §4.6 / Table 12: three Carly apps embedding
+// UDS/KWP 2000 formulas, the OBD-II-formula apps of Table 12, apps whose
+// formulas resist extraction (taint breaks), and the remainder that only
+// read/clear DTCs or send plain OBD-II requests with no response math.
+
+#include <vector>
+
+#include "appanalysis/ir.hpp"
+
+namespace dpr::appanalysis {
+
+struct CorpusEntry {
+  App app;
+  // Ground truth for scoring the analyzer.
+  std::size_t uds_formulas = 0;
+  std::size_t kwp_formulas = 0;
+  std::size_t obd_formulas = 0;
+  bool extraction_resistant = false;  // formulas hidden behind opaque calls
+};
+
+/// Build the full 160-app corpus (deterministic).
+std::vector<CorpusEntry> build_corpus();
+
+/// The exact Fig. 9 example program (engine-RPM formula of an OBD app):
+/// response "41 0C" -> v1 * 0.25 + 64 * v0.
+App fig9_example();
+
+}  // namespace dpr::appanalysis

@@ -1,0 +1,43 @@
+#pragma once
+// Alg. 1 of the paper: formula extraction from a telematics app.
+//   1. Taint the buffers returned by framework response-read APIs.
+//   2. Forward-propagate taint through string/arithmetic statements.
+//   3. For each tainted math statement that is a *root* of the data-flow
+//      DAG (its result feeds a sink, not further math), reconstruct the
+//      formula from its data-dependency closure.
+//   4. Recover the usage condition from the control-dependent branch
+//      (startsWith on a message prefix, Fig. 9).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "appanalysis/ir.hpp"
+
+namespace dpr::appanalysis {
+
+enum class ProtocolClass { kObd2, kUds, kKwp2000, kUnknown };
+
+struct ExtractedFormula {
+  std::string expression;      // e.g. "v1 * 0.25 + 64 * v0"
+  std::string condition;       // e.g. "response startsWith \"41 0C\""
+  std::string prefix;          // the raw matched prefix, e.g. "41 0C"
+  ProtocolClass protocol = ProtocolClass::kUnknown;
+  std::size_t variables = 0;   // distinct response-derived operands
+};
+
+/// Classify a response prefix by its service byte: "41" -> OBD-II,
+/// "62" -> UDS, "61" -> KWP 2000.
+ProtocolClass classify_prefix(const std::string& prefix);
+
+struct AnalysisReport {
+  std::string app_name;
+  std::vector<ExtractedFormula> formulas;
+  std::size_t tainted_statements = 0;
+  std::size_t taint_breaks = 0;  // opaque calls that killed propagation
+};
+
+/// Run Alg. 1 over one app.
+AnalysisReport analyze_app(const App& app);
+
+}  // namespace dpr::appanalysis

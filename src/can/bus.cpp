@@ -1,0 +1,59 @@
+#include "can/bus.hpp"
+
+#include <algorithm>
+
+namespace dpr::can {
+
+CanBus::CanBus(util::SimClock& clock, std::uint32_t bitrate_bps)
+    : clock_(clock), bitrate_bps_(bitrate_bps) {}
+
+std::size_t CanBus::attach(FrameListener listener) {
+  listeners_.push_back(std::move(listener));
+  return listeners_.size() - 1;
+}
+
+void CanBus::send(const CanFrame& frame) {
+  queue_.emplace_back(next_seq_++, frame);
+}
+
+util::SimTime CanBus::frame_time(const CanFrame& frame) const {
+  // 47 overhead bits for a standard frame (SOF, arbitration, control, CRC,
+  // ACK, EOF, IFS) + ~19% stuff-bit allowance, 8 bits per data byte.
+  const double bits = (47.0 + 8.0 * frame.dlc()) * 1.19;
+  const double seconds = bits / static_cast<double>(bitrate_bps_);
+  return static_cast<util::SimTime>(seconds * 1e6);
+}
+
+std::size_t CanBus::deliver_some(std::size_t max_frames) {
+  std::size_t delivered = 0;
+  while (delivered < max_frames && !queue_.empty()) {
+    // Arbitration: lowest identifier wins; FIFO among equal identifiers.
+    auto winner = std::min_element(
+        queue_.begin(), queue_.end(), [](const auto& a, const auto& b) {
+          if (a.second.id().value != b.second.id().value) {
+            return a.second.id().value < b.second.id().value;
+          }
+          return a.first < b.first;
+        });
+    const CanFrame frame = winner->second;
+    queue_.erase(winner);
+
+    clock_.advance(frame_time(frame));
+    const util::SimTime ts = clock_.now();
+    for (const auto& listener : listeners_) listener(frame, ts);
+    ++delivered;
+    ++frames_delivered_;
+  }
+  return delivered;
+}
+
+std::size_t CanBus::deliver_pending() {
+  std::size_t total = 0;
+  // Listeners may enqueue responses while we deliver; keep draining.
+  while (!queue_.empty()) {
+    total += deliver_some(queue_.size());
+  }
+  return total;
+}
+
+}  // namespace dpr::can

@@ -1,0 +1,61 @@
+#pragma once
+// In-process simulated CAN bus with priority arbitration.
+//
+// The bus is single-threaded and deterministic: nodes enqueue frames with
+// send(); deliver_pending() performs arbitration (lowest identifier first,
+// FIFO among equal ids), advances the shared SimClock by each frame's wire
+// time, and fans the frame out to every attached listener (ECUs, the
+// diagnostic tool, and the sniffer all observe the same broadcast medium).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "can/frame.hpp"
+#include "util/clock.hpp"
+
+namespace dpr::can {
+
+/// Receives every frame that completes arbitration on the bus.
+using FrameListener =
+    std::function<void(const CanFrame&, util::SimTime timestamp)>;
+
+class CanBus {
+ public:
+  /// `bitrate_bps` controls the simulated wire time per frame.
+  explicit CanBus(util::SimClock& clock, std::uint32_t bitrate_bps = 500'000);
+
+  /// Attach a listener; returns its registration index.
+  std::size_t attach(FrameListener listener);
+
+  /// Queue a frame for transmission. Delivery happens on deliver_pending().
+  void send(const CanFrame& frame);
+
+  /// Arbitrate and deliver every queued frame (including frames queued by
+  /// listeners while delivering — e.g. an ECU answering a request).
+  /// Returns the number of frames delivered.
+  std::size_t deliver_pending();
+
+  /// Deliver at most `max_frames` frames.
+  std::size_t deliver_some(std::size_t max_frames);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t frames_delivered() const { return frames_delivered_; }
+  util::SimClock& clock() { return clock_; }
+
+  /// Wire time for one frame: worst-case stuffed classical CAN frame
+  /// overhead plus data bits, at the configured bitrate.
+  util::SimTime frame_time(const CanFrame& frame) const;
+
+ private:
+  util::SimClock& clock_;
+  std::uint32_t bitrate_bps_;
+  std::vector<FrameListener> listeners_;
+  // (enqueue sequence, frame): sequence breaks ties among equal ids.
+  std::deque<std::pair<std::uint64_t, CanFrame>> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t frames_delivered_ = 0;
+};
+
+}  // namespace dpr::can

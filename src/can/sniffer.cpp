@@ -1,0 +1,14 @@
+#include "can/sniffer.hpp"
+
+namespace dpr::can {
+
+Sniffer::Sniffer(CanBus& bus, util::DeviceClock device_clock)
+    : device_clock_(device_clock) {
+  bus.attach([this](const CanFrame& frame, util::SimTime ts) {
+    if (!recording_) return;
+    capture_.push_back(
+        TimestampedFrame{device_clock_.local_time(ts), frame});
+  });
+}
+
+}  // namespace dpr::can

@@ -1,0 +1,61 @@
+#include "can/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dpr::can {
+
+void write_trace(std::ostream& out,
+                 const std::vector<TimestampedFrame>& capture) {
+  for (const auto& rec : capture) {
+    out << rec.timestamp << ' ' << std::hex << std::uppercase
+        << rec.frame.id().value << std::dec << ' '
+        << static_cast<int>(rec.frame.dlc());
+    for (std::uint8_t b : rec.frame.data()) {
+      out << ' ' << std::hex << std::uppercase << std::setw(2)
+          << std::setfill('0') << static_cast<int>(b) << std::dec
+          << std::setfill(' ');
+    }
+    out << '\n';
+  }
+}
+
+std::vector<TimestampedFrame> read_trace(std::istream& in) {
+  std::vector<TimestampedFrame> capture;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    util::SimTime ts = 0;
+    std::uint32_t id = 0;
+    int dlc = 0;
+    fields >> ts >> std::hex >> id >> std::dec >> dlc;
+    if (!fields || dlc < 0 || dlc > 8) {
+      throw std::runtime_error("malformed trace line: " + line);
+    }
+    util::Bytes data;
+    for (int i = 0; i < dlc; ++i) {
+      int byte = 0;
+      fields >> std::hex >> byte >> std::dec;
+      if (!fields) throw std::runtime_error("truncated trace line: " + line);
+      data.push_back(static_cast<std::uint8_t>(byte));
+    }
+    capture.push_back(TimestampedFrame{
+        ts, CanFrame(CanId{id, id > kMaxStandardId}, data)});
+  }
+  return capture;
+}
+
+std::string trace_to_string(const std::vector<TimestampedFrame>& capture) {
+  std::ostringstream out;
+  write_trace(out, capture);
+  return out.str();
+}
+
+std::vector<TimestampedFrame> trace_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_trace(in);
+}
+
+}  // namespace dpr::can

@@ -1,0 +1,24 @@
+#pragma once
+// Text trace format for captured CAN traffic (candump-like):
+//   <timestamp_us> <id_hex> <dlc> <byte0> <byte1> ...
+// Used to persist captures for offline analysis and to feed the frames
+// module with recorded sessions.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "can/frame.hpp"
+
+namespace dpr::can {
+
+void write_trace(std::ostream& out,
+                 const std::vector<TimestampedFrame>& capture);
+
+std::vector<TimestampedFrame> read_trace(std::istream& in);
+
+std::string trace_to_string(const std::vector<TimestampedFrame>& capture);
+
+std::vector<TimestampedFrame> trace_from_string(const std::string& text);
+
+}  // namespace dpr::can

@@ -1,0 +1,561 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "kwp/formulas.hpp"
+#include "screenshot/filter.hpp"
+#include "util/log.hpp"
+
+namespace dpr::core {
+
+namespace {
+
+frames::TransportHint hint_for(vehicle::TransportKind kind) {
+  switch (kind) {
+    case vehicle::TransportKind::kIsoTp:
+      return frames::TransportHint::kIsoTp;
+    case vehicle::TransportKind::kVwTp20:
+      return frames::TransportHint::kVwTp20;
+    case vehicle::TransportKind::kBmwFraming:
+      return frames::TransportHint::kBmwFraming;
+  }
+  return frames::TransportHint::kIsoTp;
+}
+
+std::string majority_vote(const std::vector<std::string>& names) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& name : names) ++counts[name];
+  std::string best;
+  std::size_t best_count = 0;
+  for (const auto& [name, count] : counts) {
+    if (count > best_count) {
+      best = name;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t CampaignReport::formula_signals() const {
+  return static_cast<std::size_t>(
+      std::count_if(signals.begin(), signals.end(),
+                    [](const SignalFinding& s) { return !s.is_enum; }));
+}
+
+std::size_t CampaignReport::enum_signals() const {
+  return signals.size() - formula_signals();
+}
+
+std::size_t CampaignReport::gp_correct() const {
+  return static_cast<std::size_t>(
+      std::count_if(signals.begin(), signals.end(), [](const SignalFinding& s) {
+        return !s.is_enum && s.gp_correct;
+      }));
+}
+
+std::size_t CampaignReport::linear_correct() const {
+  return static_cast<std::size_t>(
+      std::count_if(signals.begin(), signals.end(), [](const SignalFinding& s) {
+        return !s.is_enum && s.linear_correct;
+      }));
+}
+
+std::size_t CampaignReport::polynomial_correct() const {
+  return static_cast<std::size_t>(
+      std::count_if(signals.begin(), signals.end(), [](const SignalFinding& s) {
+        return !s.is_enum && s.polynomial_correct;
+      }));
+}
+
+Campaign::Campaign(vehicle::CarId car, CampaignOptions options)
+    : options_(options) {
+  bus_ = std::make_unique<can::CanBus>(clock_);
+  vehicle_ = std::make_unique<vehicle::Vehicle>(car, *bus_, clock_,
+                                                options_.seed);
+  tool_ = std::make_unique<diagtool::DiagnosticTool>(
+      diagtool::profile_by_name(vehicle_->spec().tool), *vehicle_, *bus_,
+      clock_);
+  sniffer_ = std::make_unique<can::Sniffer>(
+      *bus_,
+      util::DeviceClock(options_.sniffer_clock_offset, /*drift_ppm=*/0.0));
+
+  util::Rng rng(options_.seed ^ 0xCB5);
+  ocr_ = std::make_unique<cps::OcrEngine>(rng.fork(), options_.ocr_noise,
+                                          options_.ocr_rate_scale);
+  analyzer_ = std::make_unique<cps::UiAnalyzer>(*ocr_, rng.fork());
+  clicker_ = std::make_unique<cps::RoboticClicker>(clock_);
+
+  const util::DeviceClock camera_clock(options_.camera_clock_offset,
+                                       options_.camera_clock_drift_ppm);
+  camera_a_ = std::make_unique<cps::Camera>(*tool_, util::DeviceClock{},
+                                            tool_->profile().value_font_px);
+  camera_b_ = std::make_unique<cps::Camera>(*tool_, camera_clock,
+                                            tool_->profile().value_font_px);
+
+  report_.car = car;
+  report_.car_label = vehicle_->spec().label;
+}
+
+Campaign::~Campaign() = default;
+
+const std::vector<can::TimestampedFrame>& Campaign::capture() const {
+  return sniffer_->capture();
+}
+
+bool Campaign::click_button(const std::string& keyword,
+                            const std::vector<std::string>& exclude) {
+  // Retry a few times: a fresh screenshot re-rolls the OCR noise.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const auto shot = camera_a_->capture(clock_.now());
+    if (const auto point = analyzer_->find_button(shot, keyword, exclude)) {
+      clicker_->move_and_click(point->x, point->y);
+      tool_->click(point->x, point->y);
+      return true;
+    }
+  }
+  util::LogLine(util::LogLevel::kWarning, "campaign")
+      << "button not found: " << keyword;
+  return false;
+}
+
+bool Campaign::click_back() {
+  const auto shot = camera_a_->capture(clock_.now());
+  if (const auto point = analyzer_->find_icon(shot, "back_arrow")) {
+    clicker_->move_and_click(point->x, point->y);
+    tool_->click(point->x, point->y);
+    return true;
+  }
+  return false;
+}
+
+void Campaign::record_live(util::SimTime duration) {
+  const auto frame_period = static_cast<util::SimTime>(
+      static_cast<double>(util::kSecond) / options_.video_fps);
+  const util::SimTime deadline = clock_.now() + duration;
+  const util::SimTime flip_at = clock_.now() + duration / 2;
+  bool flipped = false;
+  while (clock_.now() < deadline) {
+    tool_->run_for(frame_period);
+    video_.frames.push_back(camera_b_->capture(clock_.now()));
+    if (!flipped && clock_.now() >= flip_at) {
+      // Visit the second page (a no-op on single-page streams).
+      click_button("Next Page");
+      flipped = true;
+    }
+  }
+}
+
+void Campaign::collect_obd_phase() {
+  if (vehicle_->spec().transport != vehicle::TransportKind::kIsoTp) return;
+  if (!click_button("OBD")) return;
+  const auto frame_period = static_cast<util::SimTime>(
+      static_cast<double>(util::kSecond) / options_.video_fps);
+  const util::SimTime deadline = clock_.now() + 8 * util::kSecond;
+  while (clock_.now() < deadline) {
+    tool_->run_for(frame_period);
+    obd_video_.frames.push_back(camera_b_->capture(clock_.now()));
+  }
+  click_back();
+  obd_phase_end_ = clock_.now();
+}
+
+void Campaign::collect_ecu(std::size_t index) {
+  EcuSession session;
+  session.ecu_index = index;
+
+  // --- Read Data Stream ---------------------------------------------------
+  if (!click_button("Data Stream", {"Trouble", "Clear"})) return;
+
+  // Select every ESV row, page by page, clicking in nearest-neighbor
+  // order (the §3.1 planner).
+  for (int page = 0; page < 8; ++page) {
+    const auto shot = camera_a_->capture(clock_.now());
+    auto rows = analyzer_->find_selectable_rows(shot);
+    // Keep only unselected rows (checkbox still empty).
+    std::vector<cps::Point> targets;
+    for (const auto& widget : analyzer_->recognize(shot)) {
+      if (!widget.clickable) continue;
+      if (widget.text.size() >= 3 && widget.text[0] == '[' &&
+          widget.text[1] != 'x' &&
+          widget.text.find(']') != std::string::npos) {
+        targets.push_back(widget.center);
+      }
+    }
+    if (targets.empty()) break;  // page exhausted (or last page repeated)
+    const cps::Point start{clicker_->x(), clicker_->y()};
+    const auto order = cps::plan_nearest_neighbor(start, targets);
+    for (std::size_t i : order) {
+      clicker_->move_and_click(targets[i].x, targets[i].y);
+      tool_->click(targets[i].x, targets[i].y);
+    }
+    if (!click_button("Next Page")) break;
+  }
+  // Return to the first page before starting the live view.
+  for (int page = 0; page < 8; ++page) {
+    if (!click_button("Prev Page")) break;
+  }
+
+  if (!click_button("Start")) return;
+  session.live_begin = clock_.now();
+  record_live(options_.live_window);
+  session.live_end = clock_.now();
+  click_button("Stop");
+  click_back();  // back to the ECU menu
+
+  // --- Active Test ----------------------------------------------------------
+  if (options_.run_active_tests &&
+      !vehicle_->spec().ecus.at(index).actuators.empty()) {
+    if (click_button("Active Test")) {
+      session.active_begin = clock_.now();
+      const auto shot = camera_a_->capture(clock_.now());
+      // Every text button on the active-test screen is a component.
+      for (const auto& widget : analyzer_->recognize(shot)) {
+        if (!widget.clickable) continue;
+        session.actuator_names.push_back(widget.text);
+        clicker_->move_and_click(widget.center.x, widget.center.y);
+        tool_->click(widget.center.x, widget.center.y);
+        tool_->run_for(500 * util::kMillisecond);
+      }
+      session.active_end = clock_.now();
+      click_back();
+    }
+  }
+  click_back();  // back to the ECU list
+  sessions_.push_back(std::move(session));
+}
+
+void Campaign::collect() {
+  if (options_.obd_alignment) collect_obd_phase();
+
+  if (!click_button("Diagnos")) return;
+  const std::size_t n_ecus = vehicle_->spec().ecus.size();
+  for (std::size_t i = 0; i < n_ecus; ++i) {
+    // The ECU list shows one button per control unit, top to bottom.
+    const auto shot = camera_a_->capture(clock_.now());
+    std::vector<cps::RecognizedWidget> buttons;
+    for (const auto& widget : analyzer_->recognize(shot)) {
+      if (widget.clickable) buttons.push_back(widget);
+    }
+    std::sort(buttons.begin(), buttons.end(),
+              [](const cps::RecognizedWidget& a,
+                 const cps::RecognizedWidget& b) {
+                return a.center.y < b.center.y;
+              });
+    if (i >= buttons.size()) break;
+    clicker_->move_and_click(buttons[i].center.x, buttons[i].center.y);
+    tool_->click(buttons[i].center.x, buttons[i].center.y);
+    collect_ecu(i);
+  }
+  collected_ = true;
+}
+
+void Campaign::analyze() {
+  const auto hint = hint_for(vehicle_->spec().transport);
+  const auto& capture = sniffer_->capture();
+
+  report_.census = frames::census(capture, hint);
+  auto messages = frames::assemble(capture, hint);
+  report_.messages_assembled = messages.size();
+
+  // --- Clock alignment (§9.4) -----------------------------------------------
+  util::SimTime offset = 0;
+  bool aligned = false;
+  if (options_.obd_alignment && obd_phase_end_ > 0) {
+    const util::SimTime obd_cutoff =
+        obd_phase_end_ + 100 * util::kMillisecond;
+    std::vector<frames::DiagMessage> obd_messages;
+    for (const auto& msg : messages) {
+      if (msg.timestamp <= obd_cutoff) obd_messages.push_back(msg);
+    }
+    auto obd_samples = screenshot::extract_samples(obd_video_, *ocr_);
+    if (const auto alignment =
+            correlate::align_with_obd(obd_messages, obd_samples)) {
+      offset = alignment->offset;
+      report_.alignment_anchors = alignment->matched;
+      aligned = alignment->matched >= 8;
+    }
+  }
+  report_.alignment_offset = offset;
+
+  // --- Screenshot analysis ----------------------------------------------------
+  auto samples = screenshot::extract_samples(video_, *ocr_);
+  if (options_.two_stage_filter) {
+    samples = screenshot::filter_samples(std::move(samples));
+  }
+
+  if (!aligned) {
+    // NTP-only vehicles (§9.4 method 1): estimate the end-to-end
+    // request->display latency from value changes in the diagnostic
+    // traffic itself, then treat it as the pairing offset.
+    const auto series = build_alignment_series(messages, samples);
+    if (const auto estimate = correlate::estimate_offset_by_changes(series)) {
+      report_.alignment_offset = estimate->offset;
+      report_.alignment_anchors = estimate->matched;
+    }
+  }
+
+  analyze_signals(messages, samples);
+  analyze_ecrs(messages);
+  score_findings();
+  report_.ocr_stats = ocr_->stats();
+}
+
+std::vector<Campaign::Association> Campaign::build_associations(
+    const std::vector<frames::DiagMessage>& messages,
+    const std::vector<screenshot::UiSample>& samples) const {
+  std::vector<Association> associations;
+  const auto extraction = frames::extract_fields(messages);
+  const util::SimTime margin = 1 * util::kSecond;
+
+  for (const auto& session : sessions_) {
+    const util::SimTime begin = session.live_begin - margin;
+    const util::SimTime end = session.live_end + margin;
+
+    // X observations of this session, keyed per signal in first-seen
+    // (i.e. poll/row) order.
+    struct Key {
+      bool is_kwp;
+      std::uint16_t did;
+      std::uint8_t local_id;
+      std::size_t esv_index;
+      bool operator<(const Key& o) const {
+        return std::tie(is_kwp, did, local_id, esv_index) <
+               std::tie(o.is_kwp, o.did, o.local_id, o.esv_index);
+      }
+    };
+    std::vector<Key> key_order;
+    std::map<Key, std::vector<correlate::XSample>> xs_by_key;
+    for (const auto& esv : extraction.esvs) {
+      if (esv.timestamp < begin || esv.timestamp > end) continue;
+      Key key{esv.is_kwp, esv.did, esv.local_id, esv.esv_index};
+      auto it = xs_by_key.find(key);
+      if (it == xs_by_key.end()) {
+        key_order.push_back(key);
+        it = xs_by_key.emplace(key, std::vector<correlate::XSample>{}).first;
+      }
+      correlate::XSample x;
+      x.timestamp = esv.timestamp;
+      if (esv.is_kwp) {
+        x.xs = {static_cast<double>(esv.x0), static_cast<double>(esv.x1)};
+      } else {
+        for (std::size_t i = 0; i < esv.data.size() && i < 2; ++i) {
+          x.xs.push_back(static_cast<double>(esv.data[i]));
+        }
+      }
+      it->second.push_back(std::move(x));
+    }
+
+    // Y observations, grouped by layout row.
+    std::map<int, std::vector<const screenshot::UiSample*>> by_row;
+    for (const auto& sample : samples) {
+      if (sample.timestamp < begin || sample.timestamp > end) continue;
+      by_row[sample.row].push_back(&sample);
+    }
+
+    // The r-th populated row corresponds to the r-th signal key in the
+    // session's traffic order (§3.4 association via the UI layout).
+    std::size_t key_index = 0;
+    for (const auto& [row, row_samples] : by_row) {
+      if (key_index >= key_order.size()) break;
+      const Key& key = key_order[key_index++];
+
+      Association assoc;
+      assoc.is_kwp = key.is_kwp;
+      assoc.did = key.did;
+      assoc.local_id = key.local_id;
+      assoc.esv_index = key.esv_index;
+      assoc.xs = xs_by_key[key];
+      for (const auto* sample : row_samples) {
+        assoc.names.push_back(sample->name);
+        if (sample->value) {
+          assoc.ys.push_back(
+              correlate::YSample{sample->timestamp, *sample->value});
+        } else {
+          ++assoc.non_numeric;
+        }
+      }
+      associations.push_back(std::move(assoc));
+    }
+  }
+  return associations;
+}
+
+std::vector<std::pair<std::vector<correlate::XSample>,
+                      std::vector<correlate::YSample>>>
+Campaign::build_alignment_series(
+    const std::vector<frames::DiagMessage>& messages,
+    const std::vector<screenshot::UiSample>& samples) const {
+  std::vector<std::pair<std::vector<correlate::XSample>,
+                        std::vector<correlate::YSample>>>
+      series;
+  for (auto& assoc : build_associations(messages, samples)) {
+    if (assoc.ys.size() >= 6) {
+      series.emplace_back(std::move(assoc.xs), std::move(assoc.ys));
+    }
+  }
+  return series;
+}
+
+void Campaign::analyze_signals(
+    const std::vector<frames::DiagMessage>& messages,
+    const std::vector<screenshot::UiSample>& samples) {
+  for (auto& assoc : build_associations(messages, samples)) {
+    SignalFinding finding;
+    finding.is_kwp = assoc.is_kwp;
+    finding.did = assoc.did;
+    finding.local_id = assoc.local_id;
+    finding.esv_index = assoc.esv_index;
+    finding.semantic_name = majority_vote(assoc.names);
+    {
+      char request[16];
+      if (assoc.is_kwp) {
+        std::snprintf(request, sizeof request, "21 %02X", assoc.local_id);
+      } else {
+        std::snprintf(request, sizeof request, "22 %02X %02X",
+                      assoc.did >> 8, assoc.did & 0xFF);
+      }
+      finding.request_message = request;
+    }
+
+    const std::size_t total_samples = assoc.ys.size() + assoc.non_numeric;
+    if (assoc.ys.size() < 6 || assoc.non_numeric > total_samples / 2) {
+      // Mostly non-numeric: a status/enum signal, no formula (§4.3
+      // "#ESV (Enum)").
+      finding.is_enum = true;
+      report_.signals.push_back(std::move(finding));
+      continue;
+    }
+
+    finding.dataset = correlate::build_dataset(assoc.xs, assoc.ys,
+                                               report_.alignment_offset);
+    if (options_.run_inference) {
+      gp::GpConfig config = options_.gp;
+      config.seed ^= (static_cast<std::uint64_t>(assoc.did) << 16) ^
+                     assoc.local_id ^ (assoc.esv_index << 8);
+      finding.gp = gp::infer_formula(finding.dataset, config);
+      if (options_.run_baselines) {
+        finding.linear = regress::fit_linear(finding.dataset);
+        finding.polynomial = regress::fit_polynomial(finding.dataset);
+      }
+    }
+    report_.signals.push_back(std::move(finding));
+  }
+}
+
+void Campaign::analyze_ecrs(
+    const std::vector<frames::DiagMessage>& messages) {
+  const auto extraction = frames::extract_fields(messages);
+  const util::SimTime margin = 1 * util::kSecond;
+
+  for (const auto& session : sessions_) {
+    if (session.actuator_names.empty()) continue;
+    std::vector<frames::EcrObservation> window;
+    for (const auto& ecr : extraction.ecrs) {
+      if (ecr.timestamp >= session.active_begin - margin &&
+          ecr.timestamp <= session.active_end + margin) {
+        window.push_back(ecr);
+      }
+    }
+    const auto procedures = frames::extract_procedures(window);
+    for (std::size_t i = 0; i < procedures.size(); ++i) {
+      EcrFinding finding;
+      finding.is_uds = procedures[i].is_uds;
+      finding.id = procedures[i].id;
+      finding.param_sequence = procedures[i].param_sequence;
+      finding.adjustment_state = procedures[i].adjustment_state;
+      finding.three_message_pattern =
+          procedures[i].matches_three_message_pattern();
+      if (i < session.actuator_names.size()) {
+        finding.semantic_name = session.actuator_names[i];
+      }
+      report_.ecrs.push_back(std::move(finding));
+    }
+  }
+}
+
+void Campaign::score_findings() {
+  const auto& spec = vehicle_->spec();
+
+  for (auto& finding : report_.signals) {
+    // Locate the ground truth in the catalog.
+    std::function<double(std::span<const double>)> truth;
+    if (!finding.is_kwp) {
+      for (const auto& ecu : spec.ecus) {
+        for (const auto& sig : ecu.uds_signals) {
+          if (sig.did != finding.did) continue;
+          finding.truth_is_enum = sig.formula.is_enum();
+          finding.truth_formula = sig.formula.repr();
+          const vehicle::PropFormula formula = sig.formula;
+          truth = [formula](std::span<const double> xs) {
+            std::vector<std::uint8_t> bytes;
+            bytes.reserve(xs.size());
+            for (double x : xs) bytes.push_back(static_cast<std::uint8_t>(x));
+            return formula.eval(bytes);
+          };
+        }
+      }
+    } else {
+      for (const auto& ecu : spec.ecus) {
+        for (const auto& block : ecu.kwp_local_ids) {
+          if (block.local_id != finding.local_id) continue;
+          if (finding.esv_index >= block.esvs.size()) continue;
+          const auto& esv = block.esvs[finding.esv_index];
+          finding.truth_is_enum = esv.is_enum;
+          const auto kwp_spec = kwp::find_formula(esv.formula_type);
+          finding.truth_formula = kwp_spec ? kwp_spec->expression : "?";
+          const std::uint8_t type = esv.formula_type;
+          truth = [type](std::span<const double> xs) {
+            if (xs.size() < 2) return 0.0;
+            const auto value = kwp::decode_esv(
+                type, static_cast<std::uint8_t>(xs[0]),
+                static_cast<std::uint8_t>(xs[1]));
+            return value.value_or(0.0);
+          };
+        }
+      }
+    }
+
+    if (finding.is_enum || !truth) continue;
+    // A formula counts as recovered when its outputs match the ground
+    // truth uniformly over the observed operand domain: close in the
+    // mean AND with no gross pointwise deviation (a wrong structure
+    // fitted locally fails the latter).
+    if (finding.gp) {
+      finding.gp_correct =
+          gp::mean_relative_error(*finding.gp, finding.dataset, truth) <
+              kEquivalenceTolerance &&
+          gp::max_relative_error(*finding.gp, finding.dataset, truth) <
+              kMaxPointTolerance;
+    }
+    if (finding.linear) {
+      finding.linear_correct =
+          regress::mean_relative_error(*finding.linear, finding.dataset,
+                                       truth) < kEquivalenceTolerance &&
+          regress::max_relative_error(*finding.linear, finding.dataset,
+                                      truth) < kMaxPointTolerance;
+    }
+    if (finding.polynomial) {
+      finding.polynomial_correct =
+          regress::mean_relative_error(*finding.polynomial, finding.dataset,
+                                       truth) < kEquivalenceTolerance &&
+          regress::max_relative_error(*finding.polynomial, finding.dataset,
+                                      truth) < kMaxPointTolerance;
+    }
+  }
+
+  for (auto& finding : report_.ecrs) {
+    for (const auto& ecu : spec.ecus) {
+      for (const auto& act : ecu.actuators) {
+        if (act.id == finding.id) finding.matches_truth = true;
+      }
+    }
+  }
+}
+
+}  // namespace dpr::core

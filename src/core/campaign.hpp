@@ -1,0 +1,189 @@
+#pragma once
+// DP-Reverser end-to-end campaign on one vehicle: the full Fig. 6
+// pipeline. The CPS rig (cameras + robotic clicker + sniffer) drives the
+// diagnostic tool through every ECU's data stream and active tests; the
+// analysis half assembles the captured frames, extracts fields, OCRs the
+// video, aligns the clocks, correlates (X, Y) pairs and infers formulas
+// with GP (plus the §4.4 baselines).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/sniffer.hpp"
+#include "correlate/correlate.hpp"
+#include "cps/analyzer.hpp"
+#include "cps/camera.hpp"
+#include "cps/clicker.hpp"
+#include "cps/ocr.hpp"
+#include "diagtool/tool.hpp"
+#include "frames/analysis.hpp"
+#include "frames/fields.hpp"
+#include "gp/engine.hpp"
+#include "regress/regress.hpp"
+#include "screenshot/extract.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace dpr::core {
+
+struct CampaignOptions {
+  std::uint64_t seed = 0x5EED;
+  util::SimTime live_window = 20 * util::kSecond;  // per-ECU capture
+  double video_fps = 8.0;
+  bool ocr_noise = true;           // disable for clean-room ablations
+  double ocr_rate_scale = 1.0;     // stress multiplier on the error rate
+  bool two_stage_filter = true;    // §3.3 filtering ablation switch
+  bool run_baselines = true;       // linear regression + polynomial
+  bool run_inference = true;       // GP; off for traffic-only experiments
+  bool run_active_tests = true;
+  bool obd_alignment = true;       // §9.4 method 2 (when OBD available)
+  util::SimTime camera_clock_offset = 180 * util::kMillisecond;
+  double camera_clock_drift_ppm = 40.0;
+  util::SimTime sniffer_clock_offset = -25 * util::kMillisecond;
+  gp::GpConfig gp;
+};
+
+/// Reverse-engineering outcome for one readable signal.
+struct SignalFinding {
+  bool is_kwp = false;
+  std::uint16_t did = 0;          // UDS
+  std::uint8_t local_id = 0;      // KWP
+  std::size_t esv_index = 0;
+  std::string semantic_name;      // recovered from UI text (§3.4)
+  std::string request_message;    // hex of the request that reads it
+  bool is_enum = false;           // no formula (status value)
+  correlate::Dataset dataset;
+  std::optional<gp::GpResult> gp;
+  std::optional<regress::FitResult> linear;
+  std::optional<regress::FitResult> polynomial;
+
+  // Scoring against the simulator's ground truth.
+  std::string truth_formula;
+  bool truth_is_enum = false;
+  bool gp_correct = false;
+  bool linear_correct = false;
+  bool polynomial_correct = false;
+};
+
+/// Reverse-engineering outcome for one controllable component.
+struct EcrFinding {
+  bool is_uds = false;            // 0x2F vs 0x30
+  std::uint16_t id = 0;           // DID or local identifier
+  std::string semantic_name;      // from the active-test button text
+  std::vector<std::uint8_t> param_sequence;
+  util::Bytes adjustment_state;
+  bool three_message_pattern = false;
+  bool matches_truth = false;     // id + name pair exists in the catalog
+};
+
+struct CampaignReport {
+  vehicle::CarId car = vehicle::CarId::kA;
+  std::string car_label;
+  frames::FrameCensus census;
+  std::size_t messages_assembled = 0;
+  util::SimTime alignment_offset = 0;
+  std::size_t alignment_anchors = 0;
+  std::vector<SignalFinding> signals;
+  std::vector<EcrFinding> ecrs;
+  cps::OcrStats ocr_stats;
+
+  std::size_t formula_signals() const;
+  std::size_t enum_signals() const;
+  std::size_t gp_correct() const;
+  std::size_t linear_correct() const;
+  std::size_t polynomial_correct() const;
+};
+
+class Campaign {
+ public:
+  Campaign(vehicle::CarId car, CampaignOptions options = {});
+  ~Campaign();
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  /// Phase 1 (Fig. 6 b): drive the tool, record CAN traffic and UI video.
+  void collect();
+
+  /// Phase 2: frames analysis + screenshot analysis + correlation +
+  /// formula inference + scoring. Requires collect() first.
+  void analyze();
+
+  const CampaignReport& report() const { return report_; }
+
+  /// Raw artifacts (for tests and ablations).
+  const std::vector<can::TimestampedFrame>& capture() const;
+  const cps::VideoRecording& video() const { return video_; }
+  vehicle::Vehicle& vehicle() { return *vehicle_; }
+
+  /// Acceptance tolerances (§4.2's "almost the same" criterion): the
+  /// inferred formula's outputs must match the ground truth both in the
+  /// mean and pointwise over the observed operand domain.
+  static constexpr double kEquivalenceTolerance = 0.03;
+  static constexpr double kMaxPointTolerance = 0.08;
+
+ private:
+  struct EcuSession {
+    std::size_t ecu_index = 0;
+    util::SimTime live_begin = 0;   // global time
+    util::SimTime live_end = 0;
+    std::vector<std::string> actuator_names;  // click order (OCR'd)
+    util::SimTime active_begin = 0;
+    util::SimTime active_end = 0;
+  };
+
+  void collect_obd_phase();
+  void collect_ecu(std::size_t index);
+  void record_live(util::SimTime duration);
+  bool click_button(const std::string& keyword,
+                    const std::vector<std::string>& exclude = {});
+  bool click_back();
+
+  /// One associated signal: the traffic-side key paired with the UI-side
+  /// layout row (§3.4 association).
+  struct Association {
+    bool is_kwp = false;
+    std::uint16_t did = 0;
+    std::uint8_t local_id = 0;
+    std::size_t esv_index = 0;
+    std::vector<correlate::XSample> xs;
+    std::vector<correlate::YSample> ys;
+    std::vector<std::string> names;   // OCR'd label per sample
+    std::size_t non_numeric = 0;
+  };
+  std::vector<Association> build_associations(
+      const std::vector<frames::DiagMessage>& messages,
+      const std::vector<screenshot::UiSample>& samples) const;
+  std::vector<std::pair<std::vector<correlate::XSample>,
+                        std::vector<correlate::YSample>>>
+  build_alignment_series(const std::vector<frames::DiagMessage>& messages,
+                         const std::vector<screenshot::UiSample>& samples)
+      const;
+  void analyze_signals(const std::vector<frames::DiagMessage>& messages,
+                       const std::vector<screenshot::UiSample>& samples);
+  void analyze_ecrs(const std::vector<frames::DiagMessage>& messages);
+  void score_findings();
+
+  CampaignOptions options_;
+  util::SimClock clock_;
+  std::unique_ptr<can::CanBus> bus_;
+  std::unique_ptr<vehicle::Vehicle> vehicle_;
+  std::unique_ptr<diagtool::DiagnosticTool> tool_;
+  std::unique_ptr<can::Sniffer> sniffer_;
+  std::unique_ptr<cps::Camera> camera_a_;
+  std::unique_ptr<cps::Camera> camera_b_;
+  std::unique_ptr<cps::OcrEngine> ocr_;
+  std::unique_ptr<cps::UiAnalyzer> analyzer_;
+  std::unique_ptr<cps::RoboticClicker> clicker_;
+
+  cps::VideoRecording video_;
+  cps::VideoRecording obd_video_;
+  util::SimTime obd_phase_end_ = 0;
+  std::vector<EcuSession> sessions_;
+  CampaignReport report_;
+  bool collected_ = false;
+};
+
+}  // namespace dpr::core

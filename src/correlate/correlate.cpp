@@ -1,0 +1,144 @@
+#include "correlate/correlate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obd/pid.hpp"
+#include "util/stats.hpp"
+
+namespace dpr::correlate {
+
+Dataset build_dataset(const std::vector<XSample>& xs,
+                      const std::vector<YSample>& ys, util::SimTime offset,
+                      util::SimTime max_gap) {
+  Dataset dataset;
+  if (xs.empty() || ys.empty()) return dataset;
+  dataset.n_vars = xs.front().xs.size();
+
+  // Y samples are produced in time order; binary-search the nearest.
+  std::vector<YSample> sorted = ys;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const YSample& a, const YSample& b) {
+              return a.timestamp < b.timestamp;
+            });
+
+  for (const auto& x : xs) {
+    const util::SimTime target = x.timestamp + offset;
+    const auto it = std::lower_bound(
+        sorted.begin(), sorted.end(), target,
+        [](const YSample& s, util::SimTime t) { return s.timestamp < t; });
+    const YSample* best = nullptr;
+    if (it != sorted.end()) best = &*it;
+    if (it != sorted.begin()) {
+      const YSample* prev = &*(it - 1);
+      if (best == nullptr ||
+          std::llabs(prev->timestamp - target) <
+              std::llabs(best->timestamp - target)) {
+        best = prev;
+      }
+    }
+    if (best == nullptr) continue;
+    if (std::llabs(best->timestamp - target) > max_gap) continue;
+    dataset.points.push_back(
+        DataPoint{x.xs, best->y, x.timestamp, best->timestamp});
+  }
+  return dataset;
+}
+
+std::optional<AlignmentResult> align_with_obd(
+    const std::vector<frames::DiagMessage>& messages,
+    const std::vector<screenshot::UiSample>& samples,
+    double value_tolerance) {
+  std::vector<double> offsets;
+  // Previous decoded value per PID: only value *changes* anchor the
+  // alignment — a stale frame can display an unchanged value, but only a
+  // post-repaint frame can display a new one.
+  std::map<std::uint8_t, double> previous;
+
+  for (const auto& msg : messages) {
+    // Only positive mode-01 responses anchor the alignment.
+    if (msg.payload.size() < 3 || msg.payload[0] != 0x41) continue;
+    const auto spec = obd::find_pid(msg.payload[1]);
+    if (!spec || msg.payload.size() < 2 + spec->data_bytes) continue;
+    const double real_value = spec->decode(std::span<const std::uint8_t>(
+        msg.payload.data() + 2, spec->data_bytes));
+
+    const double scale = std::max(1.0, std::abs(real_value));
+    const auto prev = previous.find(msg.payload[1]);
+    const bool had_prev = prev != previous.end();
+    const double prev_value = had_prev ? prev->second : 0.0;
+    // Anchor only on *large* changes so a stale frame showing the old
+    // value cannot be mistaken for the new one.
+    const bool changed =
+        had_prev &&
+        std::abs(prev_value - real_value) > 6.0 * value_tolerance * scale;
+    previous[msg.payload[1]] = real_value;
+    if (!changed) continue;
+
+    // First frame at/after the message that shows the *new* value.
+    const screenshot::UiSample* best = nullptr;
+    for (const auto& sample : samples) {
+      if (!sample.value) continue;
+      if (sample.name != spec->name) continue;
+      if (sample.timestamp < msg.timestamp) continue;
+      if (std::abs(*sample.value - real_value) > value_tolerance * scale) {
+        continue;
+      }
+      if (best == nullptr || sample.timestamp < best->timestamp) {
+        best = &sample;
+      }
+    }
+    if (best == nullptr) continue;
+    offsets.push_back(
+        static_cast<double>(best->timestamp - msg.timestamp));
+  }
+
+  if (offsets.empty()) return std::nullopt;
+  AlignmentResult result;
+  result.offset = static_cast<util::SimTime>(util::median(offsets));
+  result.matched = offsets.size();
+  return result;
+}
+
+std::optional<AlignmentResult> estimate_offset_by_changes(
+    const std::vector<std::pair<std::vector<XSample>,
+                                std::vector<YSample>>>& series,
+    util::SimTime max_latency) {
+  std::vector<double> deltas;
+
+  for (const auto& [xs, ys] : series) {
+    if (xs.size() < 3 || ys.size() < 3) continue;
+    // X change instants.
+    std::vector<util::SimTime> x_changes;
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      if (xs[i].xs != xs[i - 1].xs) x_changes.push_back(xs[i].timestamp);
+    }
+    if (x_changes.empty()) continue;
+    // Y change instants.
+    std::vector<YSample> sorted = ys;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const YSample& a, const YSample& b) {
+                return a.timestamp < b.timestamp;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i].y == sorted[i - 1].y) continue;
+      const util::SimTime y_time = sorted[i].timestamp;
+      // Latest X change at/before this repaint.
+      const auto it = std::upper_bound(x_changes.begin(), x_changes.end(),
+                                       y_time);
+      if (it == x_changes.begin()) continue;
+      const util::SimTime delta = y_time - *(it - 1);
+      if (delta >= 0 && delta <= max_latency) {
+        deltas.push_back(static_cast<double>(delta));
+      }
+    }
+  }
+
+  if (deltas.size() < 5) return std::nullopt;
+  AlignmentResult result;
+  result.offset = static_cast<util::SimTime>(util::median(deltas));
+  result.matched = deltas.size();
+  return result;
+}
+
+}  // namespace dpr::correlate

@@ -1,0 +1,48 @@
+#include "cps/script.hpp"
+
+namespace dpr::cps {
+
+Script make_click_script(const std::vector<Point>& targets,
+                         util::SimTime wait_between,
+                         util::SimTime final_wait,
+                         const std::string& note) {
+  Script script;
+  for (const auto& target : targets) {
+    script.push_back(ScriptStatement{ScriptStatement::Kind::kClick, target,
+                                     0, note});
+    script.push_back(ScriptStatement{ScriptStatement::Kind::kWait, {},
+                                     wait_between, ""});
+  }
+  if (final_wait > 0) {
+    script.push_back(ScriptStatement{ScriptStatement::Kind::kWait, {},
+                                     final_wait, "capture window"});
+  }
+  return script;
+}
+
+ScriptExecutor::ScriptExecutor(RoboticClicker& clicker,
+                               diagtool::DiagnosticTool& tool)
+    : clicker_(clicker), tool_(tool) {}
+
+void ScriptExecutor::run(const Script& script) {
+  for (const auto& statement : script) {
+    switch (statement.kind) {
+      case ScriptStatement::Kind::kClick: {
+        const auto event =
+            clicker_.move_and_click(statement.target.x, statement.target.y);
+        tool_.click(statement.target.x, statement.target.y);
+        log_.push_back(ScriptLogEntry{event.timestamp, statement.kind,
+                                      statement.target, statement.note});
+        break;
+      }
+      case ScriptStatement::Kind::kWait: {
+        tool_.run_for(statement.duration);
+        log_.push_back(ScriptLogEntry{0, statement.kind, statement.target,
+                                      statement.note});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace dpr::cps

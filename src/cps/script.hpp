@@ -1,0 +1,57 @@
+#pragma once
+// Script generator / executor / logger (§3.1): the planner's click order
+// is turned into a script of click and wait statements; the executor
+// drives the robotic clicker against the tool and logs each click's
+// timestamp (used later to split the CAN capture and the video).
+
+#include <string>
+#include <vector>
+
+#include "cps/clicker.hpp"
+#include "cps/planner.hpp"
+#include "diagtool/tool.hpp"
+#include "util/clock.hpp"
+
+namespace dpr::cps {
+
+struct ScriptStatement {
+  enum class Kind { kClick, kWait };
+  Kind kind = Kind::kClick;
+  Point target{};             // for kClick
+  util::SimTime duration = 0; // for kWait
+  std::string note;
+};
+
+using Script = std::vector<ScriptStatement>;
+
+/// Build a script that clicks `targets` in order, inserting a fixed wait
+/// after each click so the tool has time to react (§3.1), and a long
+/// final wait for live data capture when `final_wait > 0`.
+Script make_click_script(const std::vector<Point>& targets,
+                         util::SimTime wait_between,
+                         util::SimTime final_wait = 0,
+                         const std::string& note = "");
+
+struct ScriptLogEntry {
+  util::SimTime timestamp = 0;  // when the click/wait completed
+  ScriptStatement::Kind kind = ScriptStatement::Kind::kClick;
+  Point target{};
+  std::string note;
+};
+
+class ScriptExecutor {
+ public:
+  ScriptExecutor(RoboticClicker& clicker, diagtool::DiagnosticTool& tool);
+
+  /// Run every statement; waits let the tool do its periodic work.
+  void run(const Script& script);
+
+  const std::vector<ScriptLogEntry>& log() const { return log_; }
+
+ private:
+  RoboticClicker& clicker_;
+  diagtool::DiagnosticTool& tool_;
+  std::vector<ScriptLogEntry> log_;
+};
+
+}  // namespace dpr::cps

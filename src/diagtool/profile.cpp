@@ -1,0 +1,44 @@
+#include "diagtool/profile.hpp"
+
+namespace dpr::diagtool {
+
+ToolProfile profile_for(ToolKind kind) {
+  ToolProfile p;
+  p.kind = kind;
+  switch (kind) {
+    case ToolKind::kAutel919:
+      p.name = "AUTEL 919";
+      p.screen_width = 1920;
+      p.screen_height = 1200;
+      p.value_font_px = 34;
+      break;
+    case ToolKind::kLaunchX431:
+      p.name = "LAUNCH X431";
+      p.screen_width = 1024;
+      p.screen_height = 600;
+      p.value_font_px = 18;
+      break;
+    case ToolKind::kVcds:
+      p.name = "VCDS";
+      p.screen_width = 1366;
+      p.screen_height = 768;
+      p.value_font_px = 24;
+      break;
+    case ToolKind::kTechstream:
+      p.name = "Techstream";
+      p.screen_width = 1366;
+      p.screen_height = 768;
+      p.value_font_px = 24;
+      break;
+  }
+  return p;
+}
+
+ToolProfile profile_by_name(const std::string& name) {
+  if (name == "AUTEL 919") return profile_for(ToolKind::kAutel919);
+  if (name == "LAUNCH X431") return profile_for(ToolKind::kLaunchX431);
+  if (name == "VCDS") return profile_for(ToolKind::kVcds);
+  return profile_for(ToolKind::kTechstream);
+}
+
+}  // namespace dpr::diagtool

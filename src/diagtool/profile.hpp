@@ -1,0 +1,28 @@
+#pragma once
+// Profiles of the four diagnostic tools used in the paper (Table 3).
+// Screen geometry drives the OCR noise model: the AUTEL 919's larger,
+// higher-resolution screen yields better OCR than the LAUNCH X431
+// (Table 4: 97.6% vs 85.0%).
+
+#include <string>
+
+namespace dpr::diagtool {
+
+enum class ToolKind { kAutel919, kLaunchX431, kVcds, kTechstream };
+
+struct ToolProfile {
+  ToolKind kind = ToolKind::kAutel919;
+  std::string name;
+  int screen_width = 1280;
+  int screen_height = 800;
+  int value_font_px = 28;       // glyph height of live values
+  double poll_period_s = 0.5;   // data-stream request cadence
+  double ui_lag_s = 0.15;       // delay between response and UI repaint
+};
+
+ToolProfile profile_for(ToolKind kind);
+
+/// The profile the paper pairs with each tool name (Table 3).
+ToolProfile profile_by_name(const std::string& name);
+
+}  // namespace dpr::diagtool

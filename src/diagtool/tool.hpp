@@ -1,0 +1,138 @@
+#pragma once
+// Simulated professional diagnostic tool (AUTEL 919 / LAUNCH X431 / VCDS /
+// Techstream). The tool embeds the manufacturer's proprietary knowledge
+// (DID tables, formulas, actuator procedures — taken from the vehicle
+// catalog, exactly as a real tool ships with the manufacturer's database)
+// and exposes only two surfaces to the outside world:
+//   * its UI (a Screen of widgets) — observed by the CPS cameras, and
+//   * its CAN traffic — observed by the OBD-port sniffer.
+// DP-Reverser reverse engineers the protocol from those two surfaces only.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "diagtool/profile.hpp"
+#include "diagtool/ui.hpp"
+#include "isotp/endpoint.hpp"
+#include "kwp/client.hpp"
+#include "oemtp/link.hpp"
+#include "uds/client.hpp"
+#include "util/clock.hpp"
+#include "vehicle/vehicle.hpp"
+#include "vwtp/channel.hpp"
+
+namespace dpr::diagtool {
+
+class DiagnosticTool {
+ public:
+  DiagnosticTool(ToolProfile profile, vehicle::Vehicle& vehicle,
+                 can::CanBus& bus, util::SimClock& clock);
+
+  DiagnosticTool(const DiagnosticTool&) = delete;
+  DiagnosticTool& operator=(const DiagnosticTool&) = delete;
+
+  const ToolProfile& profile() const { return profile_; }
+
+  /// The currently displayed screen (camera a / camera b view).
+  const Screen& screen() const { return screen_; }
+
+  /// Robotic-clicker entry point: click at pixel coordinates.
+  /// Returns true if a widget was hit.
+  bool click(int x, int y);
+
+  /// Let simulated time pass while the tool performs its periodic work
+  /// (polling ESVs in a live data-stream view).
+  void run_for(util::SimTime duration);
+
+  /// Names of the modes, for tests/examples.
+  enum class Mode {
+    kMainMenu,
+    kEcuList,
+    kEcuMenu,
+    kDataSelect,
+    kDataLive,
+    kActiveTest,
+    kDtcList,
+    kObdLive,
+  };
+  Mode mode() const { return mode_; }
+
+  /// Number of data-stream rows currently selected for live view.
+  std::size_t selected_rows() const;
+
+ private:
+  /// One displayed signal.
+  struct Row {
+    std::string name;
+    std::string unit;
+    bool is_enum = false;
+    bool is_kwp = false;
+    std::size_t ecu_index = 0;
+    uds::Did did = 0;               // UDS source
+    std::uint8_t local_id = 0;      // KWP source
+    std::size_t esv_index = 0;
+    std::size_t data_bytes = 1;
+    vehicle::PropFormula formula;   // tool's proprietary decode knowledge
+    std::uint8_t kwp_formula_type = 0;
+    bool selected = false;
+    // Live value, with repaint lag modeling (§4.3 error cause (i)).
+    std::string value_text = "--";
+    std::string pending_text;
+    util::SimTime pending_at = -1;
+  };
+
+  struct Connection {
+    std::unique_ptr<util::MessageLink> link;
+    std::unique_ptr<uds::Client> uds;
+    std::unique_ptr<kwp::Client> kwp;
+    bool session_started = false;
+  };
+
+  void build_screen();
+  void enter_ecu(std::size_t index);
+  void build_rows(std::size_t ecu_index);
+  Connection& connection(std::size_t ecu_index);
+  void poll_live_rows();
+  void apply_pending(util::SimTime now);
+  void run_active_test(std::size_t ecu_index, std::size_t actuator_index);
+  void read_trouble_codes(std::size_t ecu_index);
+  void clear_trouble_codes(std::size_t ecu_index);
+  void poll_obd();
+  std::string format_value(const Row& row, double physical) const;
+
+  ToolProfile profile_;
+  vehicle::Vehicle& vehicle_;
+  can::CanBus& bus_;
+  util::SimClock& clock_;
+
+  Mode mode_ = Mode::kMainMenu;
+  util::SimTime next_poll_at_ = 0;
+  std::size_t poll_counter_ = 0;
+  Screen screen_;
+  std::size_t current_ecu_ = 0;
+  std::size_t page_ = 0;
+  std::vector<Row> rows_;
+  std::vector<std::string> dtc_texts_;
+  std::string status_text_;
+  std::map<std::size_t, Connection> connections_;
+
+  // OBD live view state (main-menu "OBD-II Scan").
+  struct ObdRow {
+    std::uint8_t pid = 0;
+    std::string name;
+    std::string value_text = "--";
+    std::string pending_text;
+    util::SimTime pending_at = -1;
+  };
+  std::vector<ObdRow> obd_rows_;
+  std::unique_ptr<isotp::Endpoint> obd_link_;
+  std::unique_ptr<uds::Client> obd_client_;  // reused as raw transport
+
+  static constexpr std::size_t kRowsPerPage = 14;
+};
+
+}  // namespace dpr::diagtool

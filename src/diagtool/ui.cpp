@@ -1,0 +1,24 @@
+#include "diagtool/ui.hpp"
+
+namespace dpr::diagtool {
+
+const Widget* Screen::hit_test(int x, int y) const {
+  for (auto it = widgets.rbegin(); it != widgets.rend(); ++it) {
+    if ((it->kind == Widget::Kind::kButton ||
+         it->kind == Widget::Kind::kIconButton) &&
+        it->bounds.contains(x, y)) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Widget*> Screen::of_kind(Widget::Kind kind) const {
+  std::vector<const Widget*> out;
+  for (const auto& widget : widgets) {
+    if (widget.kind == kind) out.push_back(&widget);
+  }
+  return out;
+}
+
+}  // namespace dpr::diagtool

@@ -1,0 +1,140 @@
+#include "frames/analysis.hpp"
+
+#include <map>
+
+#include "isotp/isotp.hpp"
+#include "oemtp/bmw_framing.hpp"
+#include "vwtp/vwtp.hpp"
+
+namespace dpr::frames {
+
+FrameCensus census(const std::vector<can::TimestampedFrame>& capture,
+                   TransportHint hint) {
+  FrameCensus c;
+  for (const auto& rec : capture) {
+    switch (hint) {
+      case TransportHint::kIsoTp: {
+        const auto type = isotp::classify(rec.frame);
+        if (!type) {
+          ++c.other;
+          break;
+        }
+        switch (*type) {
+          case isotp::FrameType::kSingle:
+            ++c.single_frames;
+            break;
+          case isotp::FrameType::kFirst:
+            ++c.first_frames;
+            break;
+          case isotp::FrameType::kConsecutive:
+            ++c.consecutive_frames;
+            break;
+          case isotp::FrameType::kFlowControl:
+            ++c.flow_control_frames;
+            break;
+        }
+        break;
+      }
+      case TransportHint::kVwTp20: {
+        const auto kind = vwtp::classify(rec.frame);
+        if (!kind) {
+          ++c.other;
+          break;
+        }
+        if (*kind == vwtp::FrameKind::kData) {
+          const auto info = vwtp::decode_data(rec.frame);
+          if (info && vwtp::is_last(info->op)) {
+            ++c.vwtp_data_last;
+          } else {
+            ++c.vwtp_data_more;
+          }
+        } else {
+          ++c.vwtp_control;
+        }
+        break;
+      }
+      case TransportHint::kBmwFraming: {
+        const auto inner = oemtp::strip_address(rec.frame);
+        const auto type =
+            inner ? isotp::classify(*inner) : std::nullopt;
+        if (!type) {
+          ++c.other;
+          break;
+        }
+        switch (*type) {
+          case isotp::FrameType::kSingle:
+            ++c.single_frames;
+            break;
+          case isotp::FrameType::kFirst:
+            ++c.first_frames;
+            break;
+          case isotp::FrameType::kConsecutive:
+            ++c.consecutive_frames;
+            break;
+          case isotp::FrameType::kFlowControl:
+            ++c.flow_control_frames;
+            break;
+        }
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<DiagMessage> assemble(
+    const std::vector<can::TimestampedFrame>& capture, TransportHint hint) {
+  std::vector<DiagMessage> messages;
+
+  switch (hint) {
+    case TransportHint::kIsoTp: {
+      std::map<std::uint32_t, isotp::Reassembler> reassemblers;
+      for (const auto& rec : capture) {
+        auto& r = reassemblers[rec.frame.id().value];
+        if (auto payload = r.feed(rec.frame)) {
+          messages.push_back(DiagMessage{rec.timestamp,
+                                         rec.frame.id().value,
+                                         std::move(*payload)});
+        }
+      }
+      break;
+    }
+    case TransportHint::kVwTp20: {
+      std::map<std::uint32_t, vwtp::Reassembler> reassemblers;
+      for (const auto& rec : capture) {
+        // Screening: TP 2.0 control frames carry no payload (§3.2 step 1).
+        const auto kind = vwtp::classify(rec.frame);
+        if (!kind || vwtp::is_control_frame(*kind)) continue;
+        auto& r = reassemblers[rec.frame.id().value];
+        if (auto payload = r.feed(rec.frame)) {
+          messages.push_back(DiagMessage{rec.timestamp,
+                                         rec.frame.id().value,
+                                         std::move(*payload)});
+        }
+      }
+      break;
+    }
+    case TransportHint::kBmwFraming: {
+      // "Ignore the first byte and put the remaining bytes together":
+      // reassemble per (CAN id, address byte) so interleaved targets on a
+      // shared tester id do not corrupt each other.
+      std::map<std::pair<std::uint32_t, std::uint8_t>, isotp::Reassembler>
+          reassemblers;
+      for (const auto& rec : capture) {
+        const auto address = oemtp::bmw_target_ecu(rec.frame);
+        const auto inner = oemtp::strip_address(rec.frame);
+        if (!address || !inner) continue;
+        auto& r = reassemblers[{rec.frame.id().value, *address}];
+        if (auto payload = r.feed(*inner)) {
+          messages.push_back(DiagMessage{rec.timestamp,
+                                         rec.frame.id().value,
+                                         std::move(*payload)});
+        }
+      }
+      break;
+    }
+  }
+  return messages;
+}
+
+}  // namespace dpr::frames

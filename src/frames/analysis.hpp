@@ -1,0 +1,55 @@
+#pragma once
+// Diagnostic frames analysis, steps 1-2 (§3.2): screen out frames that
+// carry no diagnostic payload (flow control, TP 2.0 channel management),
+// then assemble the raw payload of each diagnostic message from the
+// sniffed frame stream — per transport flavor.
+
+#include <vector>
+
+#include "can/frame.hpp"
+#include "util/hex.hpp"
+
+namespace dpr::frames {
+
+/// Transport layer the capture used. The analyst knows this per vehicle
+/// (§6 limitation 4: recovering payloads requires the standard as domain
+/// knowledge).
+enum class TransportHint { kIsoTp, kVwTp20, kBmwFraming };
+
+/// Frame-type census over a capture (Table 9).
+struct FrameCensus {
+  std::size_t single_frames = 0;
+  std::size_t first_frames = 0;
+  std::size_t consecutive_frames = 0;
+  std::size_t flow_control_frames = 0;
+  std::size_t vwtp_data_last = 0;      // TP 2.0 last data frames
+  std::size_t vwtp_data_more = 0;      // TP 2.0 data frames awaiting more
+  std::size_t vwtp_control = 0;        // setup/params/ACK/disconnect
+  std::size_t other = 0;
+
+  std::size_t total() const {
+    return single_frames + first_frames + consecutive_frames +
+           flow_control_frames + vwtp_data_last + vwtp_data_more +
+           vwtp_control + other;
+  }
+  std::size_t multi_frames() const {
+    return first_frames + consecutive_frames;
+  }
+};
+
+FrameCensus census(const std::vector<can::TimestampedFrame>& capture,
+                   TransportHint hint);
+
+/// One assembled diagnostic message.
+struct DiagMessage {
+  util::SimTime timestamp = 0;   // completion time (last frame's stamp)
+  std::uint32_t can_id = 0;      // id the message was carried on
+  util::Bytes payload;
+};
+
+/// Steps 1+2: screen and assemble every message in the capture. Messages
+/// are reassembled per CAN id (one in-flight message per direction).
+std::vector<DiagMessage> assemble(
+    const std::vector<can::TimestampedFrame>& capture, TransportHint hint);
+
+}  // namespace dpr::frames

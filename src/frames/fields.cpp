@@ -1,0 +1,190 @@
+#include "frames/fields.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dpr::frames {
+
+namespace {
+
+/// Locate each requested DID in the response and slice the data between
+/// consecutive DIDs (the §3.2 step 3 reference algorithm).
+std::vector<EsvObservation> slice_uds_response(
+    const util::Bytes& response, const std::vector<std::uint16_t>& dids,
+    util::SimTime timestamp) {
+  std::vector<EsvObservation> out;
+  std::size_t pos = 1;  // skip the 0x62 service byte
+  for (std::size_t k = 0; k < dids.size(); ++k) {
+    // Find this DID at/after pos.
+    std::size_t found = response.size();
+    for (std::size_t i = pos; i + 1 < response.size(); ++i) {
+      if (response[i] == (dids[k] >> 8) &&
+          response[i + 1] == (dids[k] & 0xFF)) {
+        found = i;
+        break;
+      }
+    }
+    if (found == response.size()) return {};  // malformed pairing
+    const std::size_t data_begin = found + 2;
+    // Data runs until the next requested DID (or the end).
+    std::size_t data_end = response.size();
+    if (k + 1 < dids.size()) {
+      for (std::size_t i = data_begin; i + 1 < response.size(); ++i) {
+        if (response[i] == (dids[k + 1] >> 8) &&
+            response[i + 1] == (dids[k + 1] & 0xFF)) {
+          data_end = i;
+          break;
+        }
+      }
+    }
+    if (data_end <= data_begin) return {};
+    EsvObservation esv;
+    esv.timestamp = timestamp;
+    esv.is_kwp = false;
+    esv.did = dids[k];
+    esv.data.assign(response.begin() + static_cast<std::ptrdiff_t>(data_begin),
+                    response.begin() + static_cast<std::ptrdiff_t>(data_end));
+    out.push_back(std::move(esv));
+    pos = data_end;
+  }
+  return out;
+}
+
+}  // namespace
+
+ExtractionResult extract_fields(const std::vector<DiagMessage>& messages) {
+  ExtractionResult result;
+
+  // The diagnostic tool is strictly request/response sequential, so the
+  // last pending request is the reference for the next response (§3.2).
+  std::optional<std::vector<std::uint16_t>> pending_read_dids;   // 0x22
+  std::optional<std::uint8_t> pending_local_id;                  // 0x21
+  std::optional<EcrObservation> pending_ecr;                     // 0x2F/0x30
+
+  for (const auto& msg : messages) {
+    const auto& p = msg.payload;
+    if (p.empty()) continue;
+    const std::uint8_t first = p[0];
+
+    switch (first) {
+      case 0x22: {  // UDS ReadDataByIdentifier request
+        if (p.size() < 3 || (p.size() - 1) % 2 != 0) break;
+        std::vector<std::uint16_t> dids;
+        for (std::size_t i = 1; i + 1 < p.size(); i += 2) {
+          dids.push_back(
+              static_cast<std::uint16_t>((p[i] << 8) | p[i + 1]));
+        }
+        pending_read_dids = std::move(dids);
+        break;
+      }
+      case 0x62: {  // positive 0x22 response
+        if (!pending_read_dids) {
+          ++result.unmatched_responses;
+          break;
+        }
+        auto esvs = slice_uds_response(p, *pending_read_dids, msg.timestamp);
+        result.esvs.insert(result.esvs.end(), esvs.begin(), esvs.end());
+        pending_read_dids.reset();
+        break;
+      }
+      case 0x21: {  // KWP readDataByLocalIdentifier request
+        if (p.size() == 2) pending_local_id = p[1];
+        break;
+      }
+      case 0x61: {  // positive 0x21 response: local id + 3-byte records
+        if (p.size() < 5 || (p.size() - 2) % 3 != 0) break;
+        const std::uint8_t local_id = p[1];
+        std::size_t index = 0;
+        for (std::size_t i = 2; i + 2 < p.size(); i += 3) {
+          EsvObservation esv;
+          esv.timestamp = msg.timestamp;
+          esv.is_kwp = true;
+          esv.local_id = local_id;
+          esv.esv_index = index++;
+          esv.formula_type = p[i];
+          esv.x0 = p[i + 1];
+          esv.x1 = p[i + 2];
+          result.esvs.push_back(std::move(esv));
+        }
+        pending_local_id.reset();
+        break;
+      }
+      case 0x2F: {  // UDS IO control request
+        if (p.size() < 4) break;
+        EcrObservation ecr;
+        ecr.timestamp = msg.timestamp;
+        ecr.is_uds = true;
+        ecr.id = static_cast<std::uint16_t>((p[1] << 8) | p[2]);
+        ecr.io_param = p[3];
+        ecr.control_state.assign(p.begin() + 4, p.end());
+        pending_ecr = std::move(ecr);
+        break;
+      }
+      case 0x30: {  // KWP IO control by local identifier request
+        if (p.size() < 3) break;
+        EcrObservation ecr;
+        ecr.timestamp = msg.timestamp;
+        ecr.is_uds = false;
+        ecr.id = p[1];
+        ecr.io_param = p[2];
+        ecr.control_state.assign(p.begin() + 3, p.end());
+        pending_ecr = std::move(ecr);
+        break;
+      }
+      case 0x6F:   // positive 0x2F response
+      case 0x70: { // positive 0x30 response
+        if (pending_ecr) {
+          result.ecrs.push_back(*pending_ecr);
+          pending_ecr.reset();
+        } else {
+          ++result.unmatched_responses;
+        }
+        break;
+      }
+      case 0x7F: {  // negative response voids the pending request
+        pending_read_dids.reset();
+        pending_local_id.reset();
+        pending_ecr.reset();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+bool ControlProcedure::matches_three_message_pattern() const {
+  // Look for freeze (0x02) followed by adjustment (0x03) followed by
+  // return control (0x00), possibly with repetitions in between.
+  const auto freeze =
+      std::find(param_sequence.begin(), param_sequence.end(), 0x02);
+  if (freeze == param_sequence.end()) return false;
+  const auto adjust = std::find(freeze, param_sequence.end(), 0x03);
+  if (adjust == param_sequence.end()) return false;
+  const auto ret = std::find(adjust, param_sequence.end(), 0x00);
+  return ret != param_sequence.end();
+}
+
+std::vector<ControlProcedure> extract_procedures(
+    const std::vector<EcrObservation>& ecrs) {
+  std::map<std::pair<bool, std::uint16_t>, ControlProcedure> by_component;
+  for (const auto& ecr : ecrs) {
+    auto& proc = by_component[{ecr.is_uds, ecr.id}];
+    if (proc.param_sequence.empty()) proc.first_seen = ecr.timestamp;
+    proc.is_uds = ecr.is_uds;
+    proc.id = ecr.id;
+    proc.param_sequence.push_back(ecr.io_param);
+    if (ecr.io_param == 0x03) proc.adjustment_state = ecr.control_state;
+  }
+  std::vector<ControlProcedure> out;
+  out.reserve(by_component.size());
+  for (auto& [key, proc] : by_component) out.push_back(std::move(proc));
+  std::sort(out.begin(), out.end(),
+            [](const ControlProcedure& a, const ControlProcedure& b) {
+              return a.first_seen < b.first_seen;
+            });
+  return out;
+}
+
+}  // namespace dpr::frames

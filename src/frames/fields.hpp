@@ -1,0 +1,71 @@
+#pragma once
+// Diagnostic frames analysis, step 3 (§3.2): extract the manufacturer-
+// defined fields from assembled request/response messages — DIDs, local
+// identifiers, ESVs and ECRs. ESV boundaries inside a UDS 0x62 response
+// are found with the request-reference algorithm: "the list of DIDs in
+// the request message also appear in the corresponding response message
+// in the same order, and the field value after each DID is just the
+// corresponding ESV".
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "frames/analysis.hpp"
+#include "util/hex.hpp"
+
+namespace dpr::frames {
+
+/// One observed ESV instance.
+struct EsvObservation {
+  util::SimTime timestamp = 0;
+  bool is_kwp = false;
+  // UDS form: the DID and its raw data bytes.
+  std::uint16_t did = 0;
+  util::Bytes data;
+  // KWP form: local id, ESV index inside the block, and the record bytes.
+  std::uint8_t local_id = 0;
+  std::size_t esv_index = 0;
+  std::uint8_t formula_type = 0;
+  std::uint8_t x0 = 0;
+  std::uint8_t x1 = 0;
+};
+
+/// One observed ECU-control record (request that got a positive reply).
+struct EcrObservation {
+  util::SimTime timestamp = 0;
+  bool is_uds = false;          // service 0x2F (true) vs 0x30 (false)
+  std::uint16_t id = 0;         // DID or local identifier
+  std::uint8_t io_param = 0;    // first ECR byte (0x00/0x02/0x03/...)
+  util::Bytes control_state;
+};
+
+struct ExtractionResult {
+  std::vector<EsvObservation> esvs;
+  std::vector<EcrObservation> ecrs;
+  std::size_t unmatched_responses = 0;  // responses without a request
+};
+
+/// Walk the assembled message stream in time order, pair requests with
+/// their responses, and extract every field.
+ExtractionResult extract_fields(const std::vector<DiagMessage>& messages);
+
+/// The recovered IO-control procedure of one component (§4.5): the
+/// io-control parameters observed for a given id, in order.
+struct ControlProcedure {
+  bool is_uds = false;
+  std::uint16_t id = 0;
+  util::SimTime first_seen = 0;              // first ECR of this component
+  std::vector<std::uint8_t> param_sequence;  // e.g. {0x02, 0x03, 0x00}
+  util::Bytes adjustment_state;              // state of the 0x03 message
+
+  /// True when the sequence matches the paper's freeze -> short-term
+  /// adjustment -> return-control pattern.
+  bool matches_three_message_pattern() const;
+};
+
+/// Group ECR observations into per-component control procedures.
+std::vector<ControlProcedure> extract_procedures(
+    const std::vector<EcrObservation>& ecrs);
+
+}  // namespace dpr::frames

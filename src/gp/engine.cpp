@@ -1,0 +1,529 @@
+#include "gp/engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "regress/regress.hpp"
+
+namespace dpr::gp {
+
+namespace {
+
+struct Individual {
+  Expr expr;
+  double fitness = 1e300;    // raw MAE
+  double penalized = 1e300;  // MAE + parsimony
+};
+
+double evaluate_mae(const Expr& expr,
+                    const std::vector<std::vector<double>>& xs,
+                    const std::vector<double>& ys, double trim_fraction) {
+  std::vector<double> residuals;
+  residuals.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double predicted = expr.eval(xs[i]);
+    if (!std::isfinite(predicted)) return 1e300;
+    residuals.push_back(std::abs(predicted - ys[i]));
+  }
+  // Trimmed MAE: ignore the worst (1 - trim) fraction of residuals so
+  // surviving OCR outliers cannot steer the search.
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(trim_fraction *
+                                  static_cast<double>(residuals.size())));
+  std::nth_element(residuals.begin(),
+                   residuals.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                   residuals.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) total += residuals[i];
+  return total / static_cast<double>(keep);
+}
+
+void score(Individual& ind, const std::vector<std::vector<double>>& xs,
+           const std::vector<double>& ys, double parsimony, double trim) {
+  ind.fitness = evaluate_mae(ind.expr, xs, ys, trim);
+  ind.penalized =
+      ind.fitness + parsimony * static_cast<double>(ind.expr.size());
+}
+
+const Individual& tournament(const std::vector<Individual>& pop,
+                             util::Rng& rng, std::size_t k) {
+  const Individual* best = nullptr;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& candidate = pop[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))];
+    if (best == nullptr || candidate.penalized < best->penalized) {
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+/// Swap a random subtree of `a` with a random subtree of `b` (child only).
+Expr crossover(const Expr& a, const Expr& b, util::Rng& rng, int max_depth) {
+  Expr child = a;
+  auto child_nodes = child.nodes();
+  Expr donor = b;
+  auto donor_nodes = donor.nodes();
+  Node* target = child_nodes[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(child_nodes.size()) - 1))];
+  const Node* source = donor_nodes[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(donor_nodes.size()) - 1))];
+  auto cloned = source->clone();
+  *target = std::move(*cloned);
+  if (child.depth() > max_depth) return a;  // reject oversized offspring
+  return child;
+}
+
+Expr subtree_mutation(const Expr& a, util::Rng& rng, std::size_t n_vars,
+                      int max_depth) {
+  Expr child = a;
+  auto nodes = child.nodes();
+  Node* target = nodes[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(nodes.size()) - 1))];
+  Expr replacement = random_expr(rng, n_vars, 2, false);
+  auto cloned = replacement.root()->clone();
+  *target = std::move(*cloned);
+  if (child.depth() > max_depth) return a;
+  return child;
+}
+
+Expr point_mutation(const Expr& a, util::Rng& rng, std::size_t n_vars) {
+  Expr child = a;
+  for (Node* node : child.nodes()) {
+    if (!rng.chance(0.15)) continue;
+    switch (arity(node->op)) {
+      case 0:
+        if (node->op == Op::kConst) {
+          // Gaussian constant perturbation.
+          node->value += rng.normal(0.0, 0.3 + 0.1 * std::abs(node->value));
+        } else if (n_vars > 1) {
+          node->var = static_cast<int>(
+              rng.uniform_int(0, static_cast<std::int64_t>(n_vars) - 1));
+        }
+        break;
+      case 1: {
+        static const Op unary[] = {Op::kSqrt, Op::kLog, Op::kAbs, Op::kNeg,
+                                   Op::kSin, Op::kCos, Op::kTan, Op::kInv};
+        node->op = unary[rng.uniform_int(0, std::size(unary) - 1)];
+        break;
+      }
+      case 2: {
+        static const Op binary[] = {Op::kAdd, Op::kSub, Op::kMul, Op::kDiv,
+                                    Op::kMin, Op::kMax};
+        node->op = binary[rng.uniform_int(0, std::size(binary) - 1)];
+        break;
+      }
+    }
+  }
+  return child;
+}
+
+/// Coordinate-descent refinement of an individual's constants — part of
+/// the "improved" GP: evolution finds the shape, refinement nails the
+/// coefficients.
+void tune_constants(Individual& ind,
+                    const std::vector<std::vector<double>>& xs,
+                    const std::vector<double>& ys, double parsimony,
+                    double trim) {
+  auto constants = ind.expr.constant_nodes();
+  if (constants.empty()) return;
+  bool improved_any = true;
+  for (int pass = 0; improved_any && pass < 6; ++pass) {
+    improved_any = false;
+    for (Node* node : constants) {
+      const double magnitude = std::max(0.001, std::abs(node->value));
+      for (double step : {magnitude, magnitude * 0.1, magnitude * 0.01,
+                          magnitude * 0.001}) {
+        for (double direction : {+1.0, -1.0}) {
+          // Line search: keep stepping while the fit keeps improving.
+          for (int walk = 0; walk < 64; ++walk) {
+            node->value += direction * step;
+            const double mae = evaluate_mae(ind.expr, xs, ys, trim);
+            if (mae + 1e-15 < ind.fitness) {
+              ind.fitness = mae;
+              improved_any = true;
+            } else {
+              node->value -= direction * step;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  ind.penalized =
+      ind.fitness + parsimony * static_cast<double>(ind.expr.size());
+}
+
+/// Affine / product seed templates (improved-GP ingredient): cheap
+/// skeletons matching the shapes manufacturer formulas overwhelmingly
+/// take. Evolution is free to discard them.
+std::vector<Expr> seed_templates(util::Rng& rng, std::size_t n_vars) {
+  std::vector<Expr> seeds;
+  auto c = [&rng] { return Expr::constant(rng.uniform(-5.0, 5.0)); };
+  for (std::size_t v = 0; v < n_vars; ++v) {
+    seeds.push_back(Expr::variable(static_cast<int>(v)));
+    seeds.push_back(Expr::binary(Op::kMul, c(),
+                                 Expr::variable(static_cast<int>(v))));
+    seeds.push_back(Expr::binary(
+        Op::kAdd,
+        Expr::binary(Op::kMul, c(), Expr::variable(static_cast<int>(v))),
+        c()));
+  }
+  if (n_vars >= 2) {
+    seeds.push_back(Expr::binary(Op::kMul, Expr::variable(0),
+                                 Expr::variable(1)));
+    seeds.push_back(Expr::binary(
+        Op::kMul, c(),
+        Expr::binary(Op::kMul, Expr::variable(0), Expr::variable(1))));
+    seeds.push_back(Expr::binary(
+        Op::kAdd, Expr::binary(Op::kMul, c(), Expr::variable(0)),
+        Expr::binary(Op::kMul, c(), Expr::variable(1))));
+    seeds.push_back(Expr::binary(
+        Op::kAdd,
+        Expr::binary(Op::kAdd, Expr::binary(Op::kMul, c(),
+                                            Expr::variable(0)),
+                     Expr::binary(Op::kMul, c(), Expr::variable(1))),
+        c()));
+  }
+  // Quadratic skeleton.
+  seeds.push_back(Expr::binary(
+      Op::kMul, c(), Expr::binary(Op::kMul, Expr::variable(0),
+                                  Expr::variable(0))));
+  return seeds;
+}
+
+/// Ordinary-least-squares seeds (improved-GP ingredient): solve the
+/// affine and degree-2 bases directly on the (scaled) data and inject the
+/// solutions into the initial population. Evolution keeps them only if
+/// they actually fit — nonlinear targets still require search.
+std::vector<Expr> least_squares_seeds(
+    const std::vector<std::vector<double>>& xs,
+    const std::vector<double>& ys, std::size_t n_vars) {
+  std::vector<Expr> seeds;
+  auto emit = [&seeds](const std::vector<double>& coeffs,
+                       const std::vector<Expr>& basis) {
+    Expr sum = Expr::constant(coeffs[0]);
+    for (std::size_t i = 1; i < coeffs.size() && i - 1 < basis.size();
+         ++i) {
+      if (std::abs(coeffs[i]) < 1e-12) continue;
+      sum = Expr::binary(Op::kAdd, std::move(sum),
+                         Expr::binary(Op::kMul, Expr::constant(coeffs[i]),
+                                      basis[i - 1]));
+    }
+    seeds.push_back(std::move(sum));
+  };
+
+  // Solve, then re-solve once excluding gross-residual rows (OCR
+  // outliers): a one-step robust refit.
+  auto solve_robust = [&ys](const std::vector<std::vector<double>>& rows)
+      -> std::vector<std::vector<double>> {
+    std::vector<std::vector<double>> solutions;
+    const auto first = regress::solve_least_squares(rows, ys);
+    if (!first) return solutions;
+    solutions.push_back(*first);
+
+    std::vector<double> residuals(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      double predicted = 0.0;
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        predicted += (*first)[c] * rows[r][c];
+      }
+      residuals[r] = std::abs(predicted - ys[r]);
+    }
+    std::vector<double> sorted = residuals;
+    std::nth_element(sorted.begin(), sorted.begin() +
+                         static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                     sorted.end());
+    const double cut = std::max(1e-9, 3.0 * sorted[sorted.size() / 2]);
+    std::vector<std::vector<double>> kept_rows;
+    std::vector<double> kept_ys;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (residuals[r] <= cut) {
+        kept_rows.push_back(rows[r]);
+        kept_ys.push_back(ys[r]);
+      }
+    }
+    if (kept_rows.size() >= rows.size() * 2 / 3 &&
+        kept_rows.size() < rows.size()) {
+      if (const auto second =
+              regress::solve_least_squares(kept_rows, kept_ys)) {
+        solutions.push_back(*second);
+      }
+    }
+    return solutions;
+  };
+
+  // Affine basis: X0 (, X1).
+  {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(xs.size());
+    for (const auto& x : xs) {
+      std::vector<double> row{1.0};
+      row.insert(row.end(), x.begin(), x.end());
+      rows.push_back(std::move(row));
+    }
+    std::vector<Expr> basis;
+    for (std::size_t v = 0; v < n_vars; ++v) {
+      basis.push_back(Expr::variable(static_cast<int>(v)));
+    }
+    for (const auto& sol : solve_robust(rows)) emit(sol, basis);
+  }
+  // Degree-2 basis: X0 (, X1), X0^2, X0*X1, X1^2.
+  {
+    std::vector<std::vector<double>> rows;
+    std::vector<Expr> basis;
+    for (std::size_t v = 0; v < n_vars; ++v) {
+      basis.push_back(Expr::variable(static_cast<int>(v)));
+    }
+    for (std::size_t i = 0; i < n_vars; ++i) {
+      for (std::size_t j = i; j < n_vars; ++j) {
+        basis.push_back(Expr::binary(Op::kMul,
+                                     Expr::variable(static_cast<int>(i)),
+                                     Expr::variable(static_cast<int>(j))));
+      }
+    }
+    rows.reserve(xs.size());
+    for (const auto& x : xs) {
+      std::vector<double> row{1.0};
+      row.insert(row.end(), x.begin(), x.end());
+      for (std::size_t i = 0; i < n_vars; ++i) {
+        for (std::size_t j = i; j < n_vars; ++j) {
+          row.push_back(x[i] * x[j]);
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+    for (const auto& sol : solve_robust(rows)) emit(sol, basis);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+double GpResult::predict(std::span<const double> raw_xs) const {
+  std::vector<double> scaled(raw_xs.size());
+  for (std::size_t i = 0; i < raw_xs.size(); ++i) {
+    const double factor =
+        i < x_scales.size() ? x_scales[i].factor : 1.0;
+    scaled[i] = raw_xs[i] / factor;
+  }
+  return best.eval(scaled) * y_scale.factor;
+}
+
+std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
+                                      const GpConfig& config) {
+  if (dataset.points.size() < 6) return std::nullopt;
+  const std::size_t n_vars = dataset.n_vars;
+
+  // --- Table 2 pre-processing ---------------------------------------------
+  GpResult result;
+  result.n_vars = n_vars;
+  result.x_scales.assign(n_vars, SeriesScale{});
+  if (config.use_scaling) {
+    for (std::size_t v = 0; v < n_vars; ++v) {
+      std::vector<double> column;
+      column.reserve(dataset.points.size());
+      for (const auto& p : dataset.points) column.push_back(p.xs[v]);
+      result.x_scales[v] = choose_scale(column, /*allow_enlarge=*/false);
+    }
+    std::vector<double> targets;
+    targets.reserve(dataset.points.size());
+    for (const auto& p : dataset.points) targets.push_back(p.y);
+    result.y_scale = choose_scale(targets, /*allow_enlarge=*/true);
+  }
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  xs.reserve(dataset.points.size());
+  ys.reserve(dataset.points.size());
+  for (const auto& p : dataset.points) {
+    std::vector<double> row(n_vars);
+    for (std::size_t v = 0; v < n_vars; ++v) {
+      row[v] = p.xs[v] / result.x_scales[v].factor;
+    }
+    xs.push_back(std::move(row));
+    ys.push_back(p.y / result.y_scale.factor);
+  }
+
+  // --- Initial population ----------------------------------------------------
+  util::Rng rng(config.seed);
+  std::vector<Individual> population;
+  population.reserve(config.population);
+  if (config.seed_templates) {
+    for (auto& seed : seed_templates(rng, n_vars)) {
+      Individual ind;
+      ind.expr = std::move(seed);
+      population.push_back(std::move(ind));
+    }
+  }
+  if (config.seed_least_squares) {
+    for (auto& seed : least_squares_seeds(xs, ys, n_vars)) {
+      Individual ind;
+      ind.expr = std::move(seed);
+      population.push_back(std::move(ind));
+    }
+  }
+  const std::size_t seed_count = population.size();
+  while (population.size() < config.population) {
+    // Ramped half-and-half.
+    const int depth = static_cast<int>(rng.uniform_int(
+        config.init_depth_min, config.init_depth_max));
+    Individual ind;
+    ind.expr = random_expr(rng, n_vars, depth, rng.chance(0.5));
+    population.push_back(std::move(ind));
+  }
+  for (auto& ind : population) {
+    score(ind, xs, ys, config.parsimony, config.trim_fraction);
+  }
+  if (config.constant_tuning) {
+    // Refine the seed skeletons once up front: the template *shapes* are
+    // right, their random constants are not.
+    for (std::size_t i = 0; i < seed_count; ++i) {
+      tune_constants(population[i], xs, ys, config.parsimony,
+                     config.trim_fraction);
+    }
+  }
+
+  auto best_it = std::min_element(
+      population.begin(), population.end(),
+      [](const Individual& a, const Individual& b) {
+        return a.penalized < b.penalized;
+      });
+  Individual best = *best_it;
+
+  // --- Evolution ---------------------------------------------------------------
+  // Absolute form of stopping criterion (ii), anchored to the scaled
+  // target's magnitude.
+  double mean_abs_y = 0.0;
+  for (double y : ys) mean_abs_y += std::abs(y);
+  mean_abs_y /= static_cast<double>(ys.size());
+  const double stop_below =
+      config.fitness_threshold * std::max(1e-6, mean_abs_y);
+
+  std::size_t generation = 0;
+  for (; generation < config.max_generations; ++generation) {
+    if (best.fitness <= stop_below) break;  // criterion (ii)
+
+    std::vector<Individual> next;
+    next.reserve(config.population);
+    next.push_back(best);  // elitism
+
+    while (next.size() < config.population) {
+      const double roll = rng.uniform();
+      Individual child;
+      if (roll < config.crossover_rate) {
+        child.expr = crossover(tournament(population, rng, config.tournament).expr,
+                               tournament(population, rng, config.tournament).expr,
+                               rng, config.max_depth);
+      } else if (roll < config.crossover_rate + config.subtree_mutation_rate) {
+        child.expr = subtree_mutation(
+            tournament(population, rng, config.tournament).expr, rng, n_vars,
+            config.max_depth);
+      } else if (roll < config.crossover_rate + config.subtree_mutation_rate +
+                            config.point_mutation_rate) {
+        child.expr = point_mutation(
+            tournament(population, rng, config.tournament).expr, rng, n_vars);
+      } else {
+        child.expr = tournament(population, rng, config.tournament).expr;
+      }
+      score(child, xs, ys, config.parsimony, config.trim_fraction);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+
+    // Refine the constants of the few fittest individuals, then promote
+    // the overall champion.
+    if (config.constant_tuning) {
+      std::partial_sort(population.begin(), population.begin() + 3,
+                        population.end(),
+                        [](const Individual& a, const Individual& b) {
+                          return a.penalized < b.penalized;
+                        });
+      for (std::size_t k = 0; k < 3 && k < population.size(); ++k) {
+        tune_constants(population[k], xs, ys, config.parsimony,
+                       config.trim_fraction);
+      }
+    }
+    auto it = std::min_element(population.begin(), population.end(),
+                               [](const Individual& a, const Individual& b) {
+                                 return a.penalized < b.penalized;
+                               });
+    if (it->penalized < best.penalized) best = *it;
+  }
+
+  best.expr.simplify();
+  result.best = best.expr;
+  result.fitness = best.fitness;
+  result.generations_run = generation;
+  result.converged = best.fitness <= stop_below;
+
+  // --- Table 2 post-processing: substitute the scale factors back ------------
+  std::string body = result.best.to_string(n_vars);
+  for (std::size_t v = 0; v < n_vars; ++v) {
+    if (result.x_scales[v].identity()) continue;
+    const std::string symbol = n_vars <= 1 ? "X" : "X" + std::to_string(v);
+    const std::string substituted =
+        "(" + scaled_symbol(symbol, result.x_scales[v]) + ")";
+    std::size_t pos = 0;
+    while ((pos = body.find(symbol, pos)) != std::string::npos) {
+      // Avoid replacing "X1" inside "X10"-like tokens (n_vars <= 2 keeps
+      // this simple: symbols are "X", "X0", "X1").
+      const std::size_t after = pos + symbol.size();
+      if (after < body.size() && std::isdigit(static_cast<unsigned char>(
+                                     body[after]))) {
+        pos = after;
+        continue;
+      }
+      body.replace(pos, symbol.size(), substituted);
+      pos += substituted.size();
+    }
+  }
+  result.formula = scaled_symbol("Y", result.y_scale) + " = " + body;
+  return result;
+}
+
+double mean_relative_error(
+    const GpResult& result, const correlate::Dataset& dataset,
+    const std::function<double(std::span<const double>)>& truth) {
+  if (dataset.points.empty()) return 1e300;
+  // Error scale: pointwise magnitude with a floor at 5% of the signal's
+  // mean magnitude (so near-zero crossings don't explode the ratio and
+  // tiny-valued signals aren't trivially "correct").
+  double mean_abs = 0.0;
+  for (const auto& p : dataset.points) mean_abs += std::abs(truth(p.xs));
+  mean_abs /= static_cast<double>(dataset.points.size());
+  const double floor_scale = std::max(1e-9, 0.05 * mean_abs);
+  double total = 0.0;
+  for (const auto& p : dataset.points) {
+    const double predicted = result.predict(p.xs);
+    const double expected = truth(p.xs);
+    const double scale = std::max(floor_scale, std::abs(expected));
+    total += std::abs(predicted - expected) / scale;
+  }
+  return total / static_cast<double>(dataset.points.size());
+}
+
+double max_relative_error(
+    const GpResult& result, const correlate::Dataset& dataset,
+    const std::function<double(std::span<const double>)>& truth) {
+  if (dataset.points.empty()) return 1e300;
+  // Error scale: pointwise magnitude with a floor at 5% of the signal's
+  // mean magnitude (so near-zero crossings don't explode the ratio and
+  // tiny-valued signals aren't trivially "correct").
+  double mean_abs = 0.0;
+  for (const auto& p : dataset.points) mean_abs += std::abs(truth(p.xs));
+  mean_abs /= static_cast<double>(dataset.points.size());
+  const double floor_scale = std::max(1e-9, 0.05 * mean_abs);
+  double worst = 0.0;
+  for (const auto& p : dataset.points) {
+    const double predicted = result.predict(p.xs);
+    const double expected = truth(p.xs);
+    const double scale = std::max(floor_scale, std::abs(expected));
+    worst = std::max(worst, std::abs(predicted - expected) / scale);
+  }
+  return worst;
+}
+
+}  // namespace dpr::gp

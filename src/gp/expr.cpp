@@ -1,0 +1,302 @@
+#include "gp/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dpr::gp {
+
+std::unique_ptr<Node> Node::clone() const {
+  auto copy = std::make_unique<Node>();
+  copy->op = op;
+  copy->value = value;
+  copy->var = var;
+  if (lhs) copy->lhs = lhs->clone();
+  if (rhs) copy->rhs = rhs->clone();
+  return copy;
+}
+
+Expr Expr::constant(double v) {
+  auto node = std::make_unique<Node>();
+  node->op = Op::kConst;
+  node->value = v;
+  return Expr(std::move(node));
+}
+
+Expr Expr::variable(int index) {
+  auto node = std::make_unique<Node>();
+  node->op = Op::kVar;
+  node->var = index;
+  return Expr(std::move(node));
+}
+
+Expr Expr::unary(Op op, Expr operand) {
+  auto node = std::make_unique<Node>();
+  node->op = op;
+  node->lhs = std::move(operand.root_);
+  return Expr(std::move(node));
+}
+
+Expr Expr::binary(Op op, Expr lhs, Expr rhs) {
+  auto node = std::make_unique<Node>();
+  node->op = op;
+  node->lhs = std::move(lhs.root_);
+  node->rhs = std::move(rhs.root_);
+  return Expr(std::move(node));
+}
+
+namespace {
+
+double eval_node(const Node* node, std::span<const double> vars) {
+  switch (node->op) {
+    case Op::kConst:
+      return node->value;
+    case Op::kVar:
+      return node->var < static_cast<int>(vars.size()) ? vars[node->var]
+                                                       : 0.0;
+    case Op::kAdd:
+      return eval_node(node->lhs.get(), vars) +
+             eval_node(node->rhs.get(), vars);
+    case Op::kSub:
+      return eval_node(node->lhs.get(), vars) -
+             eval_node(node->rhs.get(), vars);
+    case Op::kMul:
+      return eval_node(node->lhs.get(), vars) *
+             eval_node(node->rhs.get(), vars);
+    case Op::kDiv: {
+      const double d = eval_node(node->rhs.get(), vars);
+      if (std::abs(d) < 1e-9) return 1.0;
+      return eval_node(node->lhs.get(), vars) / d;
+    }
+    case Op::kMin:
+      return std::min(eval_node(node->lhs.get(), vars),
+                      eval_node(node->rhs.get(), vars));
+    case Op::kMax:
+      return std::max(eval_node(node->lhs.get(), vars),
+                      eval_node(node->rhs.get(), vars));
+    case Op::kSqrt:
+      return std::sqrt(std::abs(eval_node(node->lhs.get(), vars)));
+    case Op::kLog: {
+      const double v = std::abs(eval_node(node->lhs.get(), vars));
+      return v < 1e-9 ? 0.0 : std::log(v);
+    }
+    case Op::kAbs:
+      return std::abs(eval_node(node->lhs.get(), vars));
+    case Op::kNeg:
+      return -eval_node(node->lhs.get(), vars);
+    case Op::kSin:
+      return std::sin(eval_node(node->lhs.get(), vars));
+    case Op::kCos:
+      return std::cos(eval_node(node->lhs.get(), vars));
+    case Op::kTan:
+      return std::clamp(std::tan(eval_node(node->lhs.get(), vars)), -1e6,
+                        1e6);
+    case Op::kInv: {
+      const double v = eval_node(node->lhs.get(), vars);
+      return std::abs(v) < 1e-9 ? 0.0 : 1.0 / v;
+    }
+  }
+  return 0.0;
+}
+
+std::size_t size_node(const Node* node) {
+  std::size_t n = 1;
+  if (node->lhs) n += size_node(node->lhs.get());
+  if (node->rhs) n += size_node(node->rhs.get());
+  return n;
+}
+
+int depth_node(const Node* node) {
+  int d = 0;
+  if (node->lhs) d = std::max(d, depth_node(node->lhs.get()));
+  if (node->rhs) d = std::max(d, depth_node(node->rhs.get()));
+  return d + 1;
+}
+
+std::string format_const(double v) {
+  std::ostringstream out;
+  out.precision(4);
+  out << v;
+  return out.str();
+}
+
+std::string print_node(const Node* node, std::size_t n_vars) {
+  switch (node->op) {
+    case Op::kConst:
+      return format_const(node->value);
+    case Op::kVar:
+      return n_vars <= 1 ? "X" : "X" + std::to_string(node->var);
+    case Op::kAdd:
+      return "(" + print_node(node->lhs.get(), n_vars) + " + " +
+             print_node(node->rhs.get(), n_vars) + ")";
+    case Op::kSub:
+      return "(" + print_node(node->lhs.get(), n_vars) + " - " +
+             print_node(node->rhs.get(), n_vars) + ")";
+    case Op::kMul:
+      return "(" + print_node(node->lhs.get(), n_vars) + " * " +
+             print_node(node->rhs.get(), n_vars) + ")";
+    case Op::kDiv:
+      return "(" + print_node(node->lhs.get(), n_vars) + " / " +
+             print_node(node->rhs.get(), n_vars) + ")";
+    case Op::kMin:
+      return "min(" + print_node(node->lhs.get(), n_vars) + ", " +
+             print_node(node->rhs.get(), n_vars) + ")";
+    case Op::kMax:
+      return "max(" + print_node(node->lhs.get(), n_vars) + ", " +
+             print_node(node->rhs.get(), n_vars) + ")";
+    case Op::kSqrt:
+      return "sqrt(" + print_node(node->lhs.get(), n_vars) + ")";
+    case Op::kLog:
+      return "log(" + print_node(node->lhs.get(), n_vars) + ")";
+    case Op::kAbs:
+      return "abs(" + print_node(node->lhs.get(), n_vars) + ")";
+    case Op::kNeg:
+      return "(-" + print_node(node->lhs.get(), n_vars) + ")";
+    case Op::kSin:
+      return "sin(" + print_node(node->lhs.get(), n_vars) + ")";
+    case Op::kCos:
+      return "cos(" + print_node(node->lhs.get(), n_vars) + ")";
+    case Op::kTan:
+      return "tan(" + print_node(node->lhs.get(), n_vars) + ")";
+    case Op::kInv:
+      return "(1/" + print_node(node->lhs.get(), n_vars) + ")";
+  }
+  return "?";
+}
+
+bool is_const(const Node* node, double v) {
+  return node->op == Op::kConst && node->value == v;
+}
+
+/// Returns true if the subtree contains no variables.
+bool constant_subtree(const Node* node) {
+  if (node->op == Op::kVar) return false;
+  if (node->lhs && !constant_subtree(node->lhs.get())) return false;
+  if (node->rhs && !constant_subtree(node->rhs.get())) return false;
+  return true;
+}
+
+void simplify_node(std::unique_ptr<Node>& node) {
+  if (node->lhs) simplify_node(node->lhs);
+  if (node->rhs) simplify_node(node->rhs);
+
+  // Fold fully-constant subtrees.
+  if (node->op != Op::kConst && constant_subtree(node.get())) {
+    const double v = eval_node(node.get(), {});
+    if (std::isfinite(v)) {
+      auto folded = std::make_unique<Node>();
+      folded->op = Op::kConst;
+      folded->value = v;
+      node = std::move(folded);
+      return;
+    }
+  }
+
+  // Identity cleanups.
+  switch (node->op) {
+    case Op::kAdd:
+      if (is_const(node->lhs.get(), 0.0)) node = std::move(node->rhs);
+      else if (is_const(node->rhs.get(), 0.0)) node = std::move(node->lhs);
+      break;
+    case Op::kSub:
+      if (is_const(node->rhs.get(), 0.0)) node = std::move(node->lhs);
+      break;
+    case Op::kMul:
+      if (is_const(node->lhs.get(), 1.0)) node = std::move(node->rhs);
+      else if (is_const(node->rhs.get(), 1.0)) node = std::move(node->lhs);
+      else if (is_const(node->lhs.get(), 0.0) ||
+               is_const(node->rhs.get(), 0.0)) {
+        auto zero = std::make_unique<Node>();
+        zero->op = Op::kConst;
+        zero->value = 0.0;
+        node = std::move(zero);
+      }
+      break;
+    case Op::kDiv:
+      if (is_const(node->rhs.get(), 1.0)) node = std::move(node->lhs);
+      break;
+    default:
+      break;
+  }
+}
+
+void collect_nodes(Node* node, std::vector<Node*>& out) {
+  out.push_back(node);
+  if (node->lhs) collect_nodes(node->lhs.get(), out);
+  if (node->rhs) collect_nodes(node->rhs.get(), out);
+}
+
+}  // namespace
+
+double Expr::eval(std::span<const double> vars) const {
+  return eval_node(root_.get(), vars);
+}
+
+std::size_t Expr::size() const { return size_node(root_.get()); }
+
+int Expr::depth() const { return depth_node(root_.get()); }
+
+std::string Expr::to_string(std::size_t n_vars) const {
+  return print_node(root_.get(), n_vars);
+}
+
+void Expr::simplify() { simplify_node(root_); }
+
+std::vector<Node*> Expr::nodes() {
+  std::vector<Node*> out;
+  collect_nodes(root_.get(), out);
+  return out;
+}
+
+std::vector<Node*> Expr::constant_nodes() {
+  std::vector<Node*> out;
+  for (Node* node : nodes()) {
+    if (node->op == Op::kConst) out.push_back(node);
+  }
+  return out;
+}
+
+namespace {
+
+Op random_function(util::Rng& rng) {
+  // Arithmetic-weighted function choice: real ECU formulas are mostly
+  // affine/products, but the full 14-function set stays reachable.
+  static const Op weighted[] = {
+      Op::kAdd, Op::kAdd, Op::kAdd, Op::kSub, Op::kSub, Op::kMul, Op::kMul,
+      Op::kMul, Op::kDiv, Op::kDiv, Op::kSqrt, Op::kLog, Op::kAbs,
+      Op::kNeg, Op::kMin, Op::kMax, Op::kSin, Op::kCos, Op::kTan,
+      Op::kInv};
+  return weighted[rng.uniform_int(0, std::size(weighted) - 1)];
+}
+
+std::unique_ptr<Node> random_node(util::Rng& rng, std::size_t n_vars,
+                                  int depth, bool full) {
+  const bool make_leaf =
+      depth <= 0 || (!full && rng.chance(0.3));
+  auto node = std::make_unique<Node>();
+  if (make_leaf) {
+    if (rng.chance(0.6)) {
+      node->op = Op::kVar;
+      node->var = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n_vars) - 1));
+    } else {
+      node->op = Op::kConst;
+      node->value = rng.uniform(-10.0, 10.0);
+    }
+    return node;
+  }
+  node->op = random_function(rng);
+  node->lhs = random_node(rng, n_vars, depth - 1, full);
+  if (arity(node->op) == 2) {
+    node->rhs = random_node(rng, n_vars, depth - 1, full);
+  }
+  return node;
+}
+
+}  // namespace
+
+Expr random_expr(util::Rng& rng, std::size_t n_vars, int depth, bool full) {
+  return Expr(random_node(rng, n_vars, depth, full));
+}
+
+}  // namespace dpr::gp

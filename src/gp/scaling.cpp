@@ -1,0 +1,48 @@
+#include "gp/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dpr::gp {
+
+SeriesScale choose_scale(std::span<const double> values, bool allow_enlarge) {
+  if (values.empty()) return {};
+  std::vector<double> magnitudes;
+  magnitudes.reserve(values.size());
+  for (double v : values) magnitudes.push_back(std::abs(v));
+  std::sort(magnitudes.begin(), magnitudes.end());
+  const double median = magnitudes[magnitudes.size() / 2];
+
+  std::size_t outside_high = 0;
+  std::size_t outside_low = 0;
+  for (double m : magnitudes) {
+    if (m >= 10.0) ++outside_high;
+    if (m < 1.0) ++outside_low;
+  }
+  const std::size_t half = values.size() / 2;
+
+  SeriesScale scale;
+  if (outside_high > half && median >= 10.0) {
+    // Reduce: divide by the power of ten putting the median into [1,10).
+    scale.factor = std::pow(10.0, std::floor(std::log10(median)));
+  } else if (allow_enlarge && outside_low > half && median > 0.0 &&
+             median < 1.0) {
+    // Enlarge: multiply (factor < 1).
+    scale.factor = std::pow(10.0, std::floor(std::log10(median)));
+  }
+  return scale;
+}
+
+std::string scaled_symbol(const std::string& symbol, const SeriesScale& s) {
+  if (s.identity()) return symbol;
+  std::ostringstream out;
+  if (s.factor > 1.0) {
+    out << symbol << "/" << s.factor;
+  } else {
+    out << symbol << "*" << 1.0 / s.factor;
+  }
+  return out.str();
+}
+
+}  // namespace dpr::gp

@@ -1,0 +1,30 @@
+#pragma once
+// Table 2 pre-processing / post-processing: GP converges best when most
+// absolute values of both the operands X and the target Y lie in
+// [1.0, 10.0). Each series is scaled by a power of ten before inference,
+// and the factor is substituted back into the reported formula afterwards
+// ("Replace(Y', Y/10^3)" etc.).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dpr::gp {
+
+struct SeriesScale {
+  double factor = 1.0;  // scaled = raw / factor
+
+  bool identity() const { return factor == 1.0; }
+};
+
+/// Choose the Table-2 factor: if more than half of the absolute values
+/// fall outside [1, 10), scale by the power of ten that moves the median
+/// magnitude into that band. X series (integers >= 0) are only ever
+/// reduced; Y series can be reduced or enlarged.
+SeriesScale choose_scale(std::span<const double> values, bool allow_enlarge);
+
+/// Render the substituted variable, e.g. "X0/100" or "Y*1000".
+std::string scaled_symbol(const std::string& symbol, const SeriesScale& s);
+
+}  // namespace dpr::gp

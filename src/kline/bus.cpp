@@ -1,0 +1,60 @@
+#include "kline/bus.hpp"
+
+namespace dpr::kline {
+
+KLineBus::KLineBus(util::SimClock& clock, std::uint32_t baud)
+    : clock_(clock), baud_(baud) {}
+
+void KLineBus::attach(ByteListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void KLineBus::attach_wakeup(WakeupListener listener) {
+  wakeup_listeners_.push_back(std::move(listener));
+}
+
+void KLineBus::send(const std::vector<std::uint8_t>& bytes) {
+  for (std::uint8_t b : bytes) send_byte(b);
+}
+
+void KLineBus::send_byte(std::uint8_t byte) {
+  queue_.push_back(Item{false, Wakeup::kFastInit, byte});
+}
+
+void KLineBus::send_wakeup(Wakeup kind) {
+  queue_.push_back(Item{true, kind, 0});
+}
+
+util::SimTime KLineBus::byte_time() const {
+  // 10 UART bits per byte.
+  return static_cast<util::SimTime>(10.0 / static_cast<double>(baud_) *
+                                    static_cast<double>(util::kSecond));
+}
+
+std::size_t KLineBus::deliver_pending() {
+  std::size_t delivered = 0;
+  while (!queue_.empty()) {
+    const Item item = queue_.front();
+    queue_.pop_front();
+    if (item.is_wakeup) {
+      // Fast init: 25 ms low + 25 ms high. 5-baud init: 8 address bits
+      // at 5 bit/s plus start/stop = 2 s.
+      clock_.advance(item.wakeup == Wakeup::kFastInit
+                         ? 50 * util::kMillisecond
+                         : 2 * util::kSecond);
+      for (const auto& listener : wakeup_listeners_) {
+        listener(item.wakeup, clock_.now());
+      }
+      continue;
+    }
+    clock_.advance(byte_time());
+    // P4 inter-byte spacing (tester side) is folded into the byte time.
+    for (const auto& listener : listeners_) {
+      listener(item.byte, clock_.now());
+    }
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace dpr::kline

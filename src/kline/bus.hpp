@@ -1,0 +1,65 @@
+#pragma once
+// K-Line physical layer (ISO 14230-1 / ISO 9141-2): a single-wire,
+// byte-oriented serial bus at 10.4 kbaud. KWP 2000's original carrier
+// (Table 1) — older vehicles speak KWP over K-Line rather than CAN.
+//
+// The model mirrors can::CanBus: single-threaded, deterministic, shared
+// SimClock; each transmitted byte advances time by its UART frame time.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace dpr::kline {
+
+/// Receives every byte on the wire with its completion timestamp.
+using ByteListener = std::function<void(std::uint8_t, util::SimTime)>;
+
+/// A wakeup pattern (fast init / 5-baud init) observed on the line.
+enum class Wakeup { kFastInit, kFiveBaudInit };
+using WakeupListener = std::function<void(Wakeup, util::SimTime)>;
+
+class KLineBus {
+ public:
+  explicit KLineBus(util::SimClock& clock, std::uint32_t baud = 10'400);
+
+  void attach(ByteListener listener);
+  void attach_wakeup(WakeupListener listener);
+
+  /// Queue bytes for transmission (the line is half duplex; bytes are
+  /// delivered strictly in queue order).
+  void send(const std::vector<std::uint8_t>& bytes);
+  void send_byte(std::uint8_t byte);
+
+  /// Issue a wakeup pattern. Fast init holds the line low 25 ms and high
+  /// 25 ms (ISO 14230-2); 5-baud init clocks the target address out at
+  /// 5 bit/s (~2 s). Time advances accordingly on delivery.
+  void send_wakeup(Wakeup kind);
+
+  /// Deliver everything queued; returns bytes delivered.
+  std::size_t deliver_pending();
+
+  bool idle() const { return queue_.empty(); }
+  util::SimClock& clock() { return clock_; }
+
+  /// UART frame time for one byte (start + 8 data + stop bits).
+  util::SimTime byte_time() const;
+
+ private:
+  struct Item {
+    bool is_wakeup = false;
+    Wakeup wakeup = Wakeup::kFastInit;
+    std::uint8_t byte = 0;
+  };
+
+  util::SimClock& clock_;
+  std::uint32_t baud_;
+  std::vector<ByteListener> listeners_;
+  std::vector<WakeupListener> wakeup_listeners_;
+  std::deque<Item> queue_;
+};
+
+}  // namespace dpr::kline

@@ -1,0 +1,49 @@
+#include "kline/endpoint.hpp"
+
+namespace dpr::kline {
+
+Endpoint::Endpoint(KLineBus& bus, EndpointConfig config)
+    : bus_(bus), config_(config) {
+  bus_.attach([this](std::uint8_t byte, util::SimTime) { on_byte(byte); });
+  bus_.attach_wakeup([this](Wakeup kind, util::SimTime) { on_wakeup(kind); });
+}
+
+void Endpoint::on_wakeup(Wakeup) {
+  if (!config_.is_tester) awake_ = true;
+}
+
+void Endpoint::on_byte(std::uint8_t byte) {
+  const auto frame = decoder_.feed(byte);
+  if (!frame) return;
+  if (frame->with_address && frame->target != config_.own_address) return;
+
+  if (!config_.is_tester && awake_ && !frame->payload.empty() &&
+      frame->payload[0] == 0x81) {
+    // StartCommunication: reply with the key bytes.
+    communication_started_ = true;
+    bus_.send(encode(start_communication_response(frame->source,
+                                                  config_.own_address)));
+    return;
+  }
+  if (config_.is_tester && is_start_communication_response(*frame)) {
+    communication_started_ = true;
+    return;
+  }
+  if (handler_) handler_(frame->payload);
+}
+
+void Endpoint::send(std::span<const std::uint8_t> payload) {
+  if (config_.is_tester && !communication_started_) {
+    bus_.send_wakeup(Wakeup::kFastInit);
+    bus_.send(encode(start_communication_request(config_.peer_address,
+                                                 config_.own_address)));
+    bus_.deliver_pending();  // handshake completes before the request
+  }
+  Frame frame;
+  frame.target = config_.peer_address;
+  frame.source = config_.own_address;
+  frame.payload.assign(payload.begin(), payload.end());
+  bus_.send(encode(frame));
+}
+
+}  // namespace dpr::kline

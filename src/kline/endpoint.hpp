@@ -1,0 +1,48 @@
+#pragma once
+// K-Line endpoint: a util::MessageLink carrying KWP 2000 over ISO 14230.
+// The tester performs fast init + StartCommunication before the first
+// application message; the ECU side answers the handshake automatically.
+
+#include "kline/bus.hpp"
+#include "kline/message.hpp"
+#include "util/link.hpp"
+
+namespace dpr::kline {
+
+struct EndpointConfig {
+  std::uint8_t own_address = 0xF1;    // tester 0xF1; ECUs e.g. 0x33/0x10
+  std::uint8_t peer_address = 0x33;
+  bool is_tester = true;              // testers initiate fast init
+};
+
+class Endpoint : public util::MessageLink {
+ public:
+  Endpoint(KLineBus& bus, EndpointConfig config);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Send one KWP message; a tester that has not yet connected performs
+  /// the fast-init + StartCommunication handshake first.
+  void send(std::span<const std::uint8_t> payload) override;
+
+  void set_message_handler(Handler handler) override {
+    handler_ = std::move(handler);
+  }
+
+  bool communication_started() const { return communication_started_; }
+  std::size_t checksum_errors() const { return decoder_.checksum_errors(); }
+
+ private:
+  void on_byte(std::uint8_t byte);
+  void on_wakeup(Wakeup kind);
+
+  KLineBus& bus_;
+  EndpointConfig config_;
+  Handler handler_;
+  Decoder decoder_;
+  bool communication_started_ = false;
+  bool awake_ = false;
+};
+
+}  // namespace dpr::kline

@@ -1,0 +1,108 @@
+#include "kline/message.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dpr::kline {
+
+std::uint8_t checksum(std::span<const std::uint8_t> bytes) {
+  unsigned sum = 0;
+  for (std::uint8_t b : bytes) sum += b;
+  return static_cast<std::uint8_t>(sum & 0xFF);
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  if (frame.payload.empty() || frame.payload.size() > 255) {
+    throw std::invalid_argument("K-Line payload must be 1..255 bytes");
+  }
+  std::vector<std::uint8_t> out;
+  const bool short_length = frame.payload.size() <= 0x3F;
+  std::uint8_t fmt = frame.with_address ? 0x80 : 0x00;
+  if (short_length) fmt |= static_cast<std::uint8_t>(frame.payload.size());
+  out.push_back(fmt);
+  if (frame.with_address) {
+    out.push_back(frame.target);
+    out.push_back(frame.source);
+  }
+  if (!short_length) {
+    out.push_back(static_cast<std::uint8_t>(frame.payload.size()));
+  }
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  out.push_back(checksum(out));
+  return out;
+}
+
+void Decoder::reset() {
+  state_ = State::kFormat;
+  frame_ = Frame{};
+  raw_.clear();
+  expected_length_ = 0;
+}
+
+std::optional<Frame> Decoder::feed(std::uint8_t byte) {
+  raw_.push_back(byte);
+  switch (state_) {
+    case State::kFormat: {
+      frame_.with_address = (byte & 0xC0) == 0x80;
+      expected_length_ = byte & 0x3F;
+      state_ = frame_.with_address
+                   ? State::kTarget
+                   : (expected_length_ == 0 ? State::kLength : State::kData);
+      return std::nullopt;
+    }
+    case State::kTarget:
+      frame_.target = byte;
+      state_ = State::kSource;
+      return std::nullopt;
+    case State::kSource:
+      frame_.source = byte;
+      state_ = expected_length_ == 0 ? State::kLength : State::kData;
+      return std::nullopt;
+    case State::kLength:
+      expected_length_ = byte;
+      state_ = State::kData;
+      return std::nullopt;
+    case State::kData:
+      frame_.payload.push_back(byte);
+      if (frame_.payload.size() >= expected_length_) {
+        state_ = State::kChecksum;
+      }
+      return std::nullopt;
+    case State::kChecksum: {
+      const std::uint8_t expected = checksum(
+          std::span<const std::uint8_t>(raw_.data(), raw_.size() - 1));
+      Frame complete = std::move(frame_);
+      const bool ok = byte == expected;
+      if (!ok) ++checksum_errors_;
+      reset();
+      if (ok) return complete;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+Frame start_communication_request(std::uint8_t target,
+                                  std::uint8_t source) {
+  Frame frame;
+  frame.target = target;
+  frame.source = source;
+  frame.payload = {0x81};
+  return frame;
+}
+
+Frame start_communication_response(std::uint8_t target,
+                                   std::uint8_t source) {
+  Frame frame;
+  frame.target = target;
+  frame.source = source;
+  // Key bytes 0x8F 0xE9: "timing per ISO 14230, normal addressing".
+  frame.payload = {0xC1, 0xE9, 0x8F};
+  return frame;
+}
+
+bool is_start_communication_response(const Frame& frame) {
+  return !frame.payload.empty() && frame.payload[0] == 0xC1;
+}
+
+}  // namespace dpr::kline

@@ -1,0 +1,54 @@
+#pragma once
+// ISO 14230-2 data-link framing for KWP 2000 over K-Line:
+//   Fmt [Tgt] [Src] [Len] Data... Checksum
+// Fmt's top two bits select the addressing mode; its low 6 bits carry the
+// payload length (0 => a separate Len byte follows the addresses). The
+// checksum is the modulo-256 sum of all preceding bytes.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dpr::kline {
+
+struct Frame {
+  bool with_address = true;     // physical addressing (Tgt+Src present)
+  std::uint8_t target = 0x33;   // ECU address
+  std::uint8_t source = 0xF1;   // tester address
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize a frame to the wire bytes (including checksum).
+std::vector<std::uint8_t> encode(const Frame& frame);
+
+/// Modulo-256 checksum over a byte span.
+std::uint8_t checksum(std::span<const std::uint8_t> bytes);
+
+/// Incremental decoder: feed wire bytes one at a time; a completed,
+/// checksum-valid frame is returned from the finishing byte.
+class Decoder {
+ public:
+  std::optional<Frame> feed(std::uint8_t byte);
+
+  std::size_t checksum_errors() const { return checksum_errors_; }
+  void reset();
+
+ private:
+  enum class State { kFormat, kTarget, kSource, kLength, kData, kChecksum };
+  State state_ = State::kFormat;
+  Frame frame_;
+  std::vector<std::uint8_t> raw_;
+  std::size_t expected_length_ = 0;
+  std::size_t checksum_errors_ = 0;
+};
+
+/// Fast-init StartCommunication request/response (ISO 14230-2 §5.2.4.2):
+/// request payload {0x81}; positive response {0xC1, keyByte1, keyByte2}.
+Frame start_communication_request(std::uint8_t target,
+                                  std::uint8_t source = 0xF1);
+Frame start_communication_response(std::uint8_t target,
+                                   std::uint8_t source);
+bool is_start_communication_response(const Frame& frame);
+
+}  // namespace dpr::kline

@@ -1,0 +1,49 @@
+#include "kwp/client.hpp"
+
+namespace dpr::kwp {
+
+Client::Client(util::MessageLink& link, std::function<void()> pump)
+    : link_(link), pump_(std::move(pump)) {}
+
+std::optional<util::Bytes> Client::transact(
+    std::span<const std::uint8_t> request) {
+  // (Re-)claim the link: a UDS client may share this transport on
+  // vehicles that mix 0x22 reads with 0x30 IO control.
+  link_.set_message_handler(
+      [this](const util::Bytes& message) { inbox_ = message; });
+  inbox_.reset();
+  link_.send(request);
+  pump_();
+  return inbox_;
+}
+
+bool Client::start_session(std::uint8_t session_type) {
+  const auto resp = transact(encode_start_session(session_type));
+  return resp && is_positive_response(*resp, kStartDiagnosticSession);
+}
+
+std::optional<ReadResponse> Client::read_local_id(std::uint8_t local_id) {
+  const auto resp = transact(encode_read_by_local_id(local_id));
+  if (!resp) return std::nullopt;
+  return decode_read_response(*resp);
+}
+
+std::optional<util::Bytes> Client::io_control_local(
+    std::uint8_t local_id, std::span<const std::uint8_t> ecr) {
+  const auto resp = transact(encode_io_control_local(local_id, ecr));
+  if (!resp || !is_positive_response(*resp, kIoControlByLocalId)) {
+    return std::nullopt;
+  }
+  return util::Bytes(resp->begin() + 2, resp->end());
+}
+
+std::optional<util::Bytes> Client::io_control_common(
+    std::uint16_t common_id, std::span<const std::uint8_t> ecr) {
+  const auto resp = transact(encode_io_control_common(common_id, ecr));
+  if (!resp || !is_positive_response(*resp, kIoControlByCommonId)) {
+    return std::nullopt;
+  }
+  return util::Bytes(resp->begin() + 3, resp->end());
+}
+
+}  // namespace dpr::kwp

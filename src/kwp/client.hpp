@@ -1,0 +1,37 @@
+#pragma once
+// KWP 2000 client (tester side), mirroring uds::Client.
+
+#include <functional>
+#include <optional>
+
+#include "kwp/message.hpp"
+#include "util/link.hpp"
+
+namespace dpr::kwp {
+
+class Client {
+ public:
+  Client(util::MessageLink& link, std::function<void()> pump);
+
+  std::optional<util::Bytes> transact(std::span<const std::uint8_t> request);
+
+  bool start_session(std::uint8_t session_type = 0x89);
+
+  /// 0x21: read the ESV records of a local identifier.
+  std::optional<ReadResponse> read_local_id(std::uint8_t local_id);
+
+  /// 0x30: control via local identifier; returns the control status.
+  std::optional<util::Bytes> io_control_local(
+      std::uint8_t local_id, std::span<const std::uint8_t> ecr);
+
+  /// 0x2F: control via common identifier.
+  std::optional<util::Bytes> io_control_common(
+      std::uint16_t common_id, std::span<const std::uint8_t> ecr);
+
+ private:
+  util::MessageLink& link_;
+  std::function<void()> pump_;
+  std::optional<util::Bytes> inbox_;
+};
+
+}  // namespace dpr::kwp

@@ -1,0 +1,139 @@
+#include "kwp/server.hpp"
+
+namespace dpr::kwp {
+
+namespace {
+// ISO 14230-3 response codes.
+constexpr std::uint8_t kServiceNotSupported = 0x11;
+constexpr std::uint8_t kSubFunctionNotSupported = 0x12;
+constexpr std::uint8_t kRequestOutOfRange = 0x31;
+}  // namespace
+
+void Server::add_local_id(std::uint8_t local_id, LocalIdReader reader) {
+  local_ids_[local_id] = std::move(reader);
+}
+
+void Server::add_io_local(std::uint8_t local_id, IoHandler handler) {
+  io_local_[local_id] = std::move(handler);
+}
+
+void Server::add_io_common(std::uint16_t common_id, IoHandler handler) {
+  io_common_[common_id] = std::move(handler);
+}
+
+void Server::add_dtc(std::uint16_t code, std::uint8_t status) {
+  dtcs_.push_back(Dtc{code, status});
+}
+
+void Server::bind(util::MessageLink& link) {
+  link.set_message_handler([this, &link](const util::Bytes& request) {
+    const util::Bytes response = handle(request);
+    if (!response.empty()) link.send(response);
+  });
+}
+
+util::Bytes Server::handle(std::span<const std::uint8_t> request) {
+  if (request.empty()) return {};
+  switch (request[0]) {
+    case kStartDiagnosticSession: {
+      if (request.size() != 2) {
+        return encode_negative_response(request[0],
+                                        kSubFunctionNotSupported);
+      }
+      session_started_ = true;
+      return {static_cast<std::uint8_t>(kStartDiagnosticSession +
+                                        kPositiveOffset),
+              request[1]};
+    }
+    case kReadDtcsByStatus: {
+      // [0x18, mode, groupHi, groupLo] -> [0x58, count, (code16, status)*].
+      if (request.size() != 4) {
+        return encode_negative_response(kReadDtcsByStatus,
+                                        kSubFunctionNotSupported);
+      }
+      util::Bytes out{static_cast<std::uint8_t>(kReadDtcsByStatus +
+                                                kPositiveOffset),
+                      static_cast<std::uint8_t>(dtcs_.size())};
+      for (const auto& dtc : dtcs_) {
+        util::append_u16(out, dtc.code);
+        out.push_back(dtc.status);
+      }
+      return out;
+    }
+    case kClearDiagnosticInformation: {
+      // [0x14, groupHi, groupLo]; 0xFF00 clears all groups.
+      if (request.size() != 3) {
+        return encode_negative_response(kClearDiagnosticInformation,
+                                        kSubFunctionNotSupported);
+      }
+      dtcs_.clear();
+      return {static_cast<std::uint8_t>(kClearDiagnosticInformation +
+                                        kPositiveOffset),
+              request[1], request[2]};
+    }
+    case kReadEcuIdentification: {
+      if (request.size() != 2 || identification_.empty()) {
+        return encode_negative_response(kReadEcuIdentification,
+                                        kRequestOutOfRange);
+      }
+      util::Bytes out{static_cast<std::uint8_t>(kReadEcuIdentification +
+                                                kPositiveOffset),
+                      request[1]};
+      out.insert(out.end(), identification_.begin(), identification_.end());
+      return out;
+    }
+    case kReadDataByLocalId: {
+      const auto req = decode_read_request(request);
+      if (!req) {
+        return encode_negative_response(kReadDataByLocalId,
+                                        kSubFunctionNotSupported);
+      }
+      const auto it = local_ids_.find(req->local_id);
+      if (it == local_ids_.end()) {
+        return encode_negative_response(kReadDataByLocalId,
+                                        kRequestOutOfRange);
+      }
+      return encode_read_response(req->local_id, it->second());
+    }
+    case kIoControlByLocalId: {
+      const auto req = decode_io_local_request(request);
+      if (!req) {
+        return encode_negative_response(kIoControlByLocalId,
+                                        kSubFunctionNotSupported);
+      }
+      const auto it = io_local_.find(req->local_id);
+      if (it == io_local_.end()) {
+        return encode_negative_response(kIoControlByLocalId,
+                                        kRequestOutOfRange);
+      }
+      const auto status = it->second(req->ecr);
+      if (!status) {
+        return encode_negative_response(kIoControlByLocalId,
+                                        kRequestOutOfRange);
+      }
+      return encode_io_local_response(req->local_id, *status);
+    }
+    case kIoControlByCommonId: {
+      const auto req = decode_io_common_request(request);
+      if (!req) {
+        return encode_negative_response(kIoControlByCommonId,
+                                        kSubFunctionNotSupported);
+      }
+      const auto it = io_common_.find(req->common_id);
+      if (it == io_common_.end()) {
+        return encode_negative_response(kIoControlByCommonId,
+                                        kRequestOutOfRange);
+      }
+      const auto status = it->second(req->ecr);
+      if (!status) {
+        return encode_negative_response(kIoControlByCommonId,
+                                        kRequestOutOfRange);
+      }
+      return encode_io_common_response(req->common_id, *status);
+    }
+    default:
+      return encode_negative_response(request[0], kServiceNotSupported);
+  }
+}
+
+}  // namespace dpr::kwp

@@ -1,0 +1,60 @@
+#pragma once
+// KWP 2000 server: application layer of a KWP ECU. Holds the local-id
+// registry (each local id yields 1..m 3-byte ESV records per Fig. 3) and
+// the IO-control registries for local and common identifiers.
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "kwp/message.hpp"
+#include "util/link.hpp"
+
+namespace dpr::kwp {
+
+/// Produces the current ESV records for one local identifier.
+using LocalIdReader = std::function<std::vector<EsvRecord>()>;
+
+/// Handles an ECU-control record; returns the control status bytes for the
+/// positive response, or nullopt to reject with requestOutOfRange.
+using IoHandler =
+    std::function<std::optional<util::Bytes>(std::span<const std::uint8_t>)>;
+
+class Server {
+ public:
+  void add_local_id(std::uint8_t local_id, LocalIdReader reader);
+  void add_io_local(std::uint8_t local_id, IoHandler handler);
+  void add_io_common(std::uint16_t common_id, IoHandler handler);
+
+  /// ECU identification data returned by readEcuIdentification (0x1A) —
+  /// part numbers / VIN / coding, typically a long multi-frame response.
+  void set_identification(util::Bytes data) {
+    identification_ = std::move(data);
+  }
+
+  /// Stored DTC (ISO 14230-3 0x18 readDTCsByStatus / 0x14 clear).
+  struct Dtc {
+    std::uint16_t code = 0;
+    std::uint8_t status = 0xE0;
+  };
+  void add_dtc(std::uint16_t code, std::uint8_t status = 0xE0);
+  const std::vector<Dtc>& dtcs() const { return dtcs_; }
+
+  /// Process one request, producing exactly one response message.
+  util::Bytes handle(std::span<const std::uint8_t> request);
+
+  /// Bind to a transport (request in, response out on the same link).
+  void bind(util::MessageLink& link);
+
+  bool session_started() const { return session_started_; }
+
+ private:
+  std::map<std::uint8_t, LocalIdReader> local_ids_;
+  std::map<std::uint8_t, IoHandler> io_local_;
+  std::map<std::uint16_t, IoHandler> io_common_;
+  util::Bytes identification_;
+  std::vector<Dtc> dtcs_;
+  bool session_started_ = false;
+};
+
+}  // namespace dpr::kwp

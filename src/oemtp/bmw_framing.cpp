@@ -1,0 +1,85 @@
+#include "oemtp/bmw_framing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dpr::oemtp {
+
+std::vector<can::CanFrame> segment_bmw(can::CanId id, std::uint8_t ecu_id,
+                                       std::span<const std::uint8_t> payload) {
+  if (payload.empty()) {
+    throw std::invalid_argument("BMW framing requires non-empty payload");
+  }
+  std::vector<can::CanFrame> frames;
+
+  // Build the inner ISO-TP slices with a 6-byte budget for single frames
+  // (one byte is consumed by the address). We reuse the standard ISO-TP
+  // encoders on a 7-byte-wide virtual link, then prepend the address.
+  auto wrap = [&](const can::CanFrame& inner) {
+    util::Bytes data;
+    data.push_back(ecu_id);
+    auto span = inner.data();
+    // Trim padding so the address + slice still fits 8 bytes.
+    const std::size_t n = std::min<std::size_t>(span.size(), 7);
+    data.insert(data.end(), span.begin(), span.begin() + static_cast<std::ptrdiff_t>(n));
+    frames.push_back(can::CanFrame(id, data));
+  };
+
+  if (payload.size() <= 6) {
+    wrap(isotp::encode_single(id, payload, /*pad=*/false));
+    return frames;
+  }
+
+  // First frame carries 5 inner payload bytes (2 PCI + 5 data + address =
+  // 8); consecutive frames carry 6 each (1 PCI + 6 data + address = 8).
+  util::Bytes ff;
+  ff.push_back(static_cast<std::uint8_t>(0x10 | (payload.size() >> 8)));
+  ff.push_back(static_cast<std::uint8_t>(payload.size() & 0xFF));
+  ff.insert(ff.end(), payload.begin(), payload.begin() + 5);
+  {
+    util::Bytes data;
+    data.push_back(ecu_id);
+    data.insert(data.end(), ff.begin(), ff.end());
+    frames.push_back(can::CanFrame(id, data));
+  }
+  std::uint8_t sequence = 1;
+  for (std::size_t offset = 5; offset < payload.size(); offset += 6) {
+    util::Bytes data;
+    data.push_back(ecu_id);
+    data.push_back(static_cast<std::uint8_t>(0x20 | (sequence & 0x0F)));
+    const std::size_t n = std::min<std::size_t>(6, payload.size() - offset);
+    data.insert(data.end(),
+                payload.begin() + static_cast<std::ptrdiff_t>(offset),
+                payload.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    frames.push_back(can::CanFrame(id, data));
+    sequence = static_cast<std::uint8_t>((sequence + 1) & 0x0F);
+  }
+  return frames;
+}
+
+std::optional<std::uint8_t> bmw_target_ecu(const can::CanFrame& frame) {
+  if (frame.dlc() < 2) return std::nullopt;
+  return frame.byte(0);
+}
+
+std::optional<can::CanFrame> strip_address(const can::CanFrame& frame) {
+  if (frame.dlc() < 2) return std::nullopt;
+  auto data = frame.data();
+  return can::CanFrame(frame.id(),
+                       std::span<const std::uint8_t>(data.begin() + 1,
+                                                     data.size() - 1));
+}
+
+std::optional<Reassembler::Message> Reassembler::feed(
+    const can::CanFrame& frame) {
+  const auto ecu = bmw_target_ecu(frame);
+  const auto inner = strip_address(frame);
+  if (!ecu || !inner) return std::nullopt;
+  if (!inner_.in_progress()) current_ecu_ = *ecu;
+  if (auto payload = inner_.feed(*inner)) {
+    return Message{current_ecu_, std::move(*payload)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace dpr::oemtp

@@ -1,0 +1,52 @@
+#pragma once
+// BMW / Mini Cooper framing variant observed in §3.2 step 2: these
+// vehicles do not put ISO 15765-2 PCI bytes first — the first byte of each
+// CAN frame is the target ECU id, and the *remaining* bytes carry an
+// ISO-TP-framed slice of the diagnostic message. Payload recovery must
+// strip the address byte before reassembly ("we ignore the first byte and
+// put the remaining bytes together").
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "can/frame.hpp"
+#include "isotp/isotp.hpp"
+#include "util/hex.hpp"
+
+namespace dpr::oemtp {
+
+/// Wrap an ISO-TP-style segmentation in BMW extended addressing: each
+/// frame is [ecu_id, pci..., data...] (at most 7 ISO-TP bytes per frame,
+/// since the address consumes one byte).
+std::vector<can::CanFrame> segment_bmw(can::CanId id, std::uint8_t ecu_id,
+                                       std::span<const std::uint8_t> payload);
+
+/// The ECU id of a BMW-framed frame (first byte), if the frame is
+/// plausibly BMW-framed (non-empty).
+std::optional<std::uint8_t> bmw_target_ecu(const can::CanFrame& frame);
+
+/// Strip the address byte, yielding the inner ISO-TP slice as a pseudo
+/// CAN frame on the same id (ready for a standard isotp::Reassembler).
+std::optional<can::CanFrame> strip_address(const can::CanFrame& frame);
+
+/// Passive reassembler for BMW-framed traffic on one id: strips the
+/// address byte and delegates to ISO-TP reassembly. Also reports the ECU
+/// id the completed message was addressed to.
+class Reassembler {
+ public:
+  struct Message {
+    std::uint8_t ecu_id = 0;
+    util::Bytes payload;
+  };
+
+  std::optional<Message> feed(const can::CanFrame& frame);
+  void reset() { inner_.reset(); }
+
+ private:
+  isotp::Reassembler inner_;
+  std::uint8_t current_ecu_ = 0;
+};
+
+}  // namespace dpr::oemtp

@@ -1,0 +1,23 @@
+#include "oemtp/link.hpp"
+
+namespace dpr::oemtp {
+
+BmwLink::BmwLink(can::CanBus& bus, BmwLinkConfig config)
+    : bus_(bus), config_(config) {
+  bus_.attach([this](const can::CanFrame& frame, util::SimTime) {
+    if (frame.id() != config_.rx_id) return;
+    if (auto message = reassembler_.feed(frame)) {
+      if (message->ecu_id != config_.own_address) return;
+      if (handler_) handler_(message->payload);
+    }
+  });
+}
+
+void BmwLink::send(std::span<const std::uint8_t> payload) {
+  for (auto& frame :
+       segment_bmw(config_.tx_id, config_.peer_address, payload)) {
+    bus_.send(frame);
+  }
+}
+
+}  // namespace dpr::oemtp

@@ -1,0 +1,38 @@
+#pragma once
+// MessageLink over the BMW first-byte-addressing framing: the tester
+// transmits on a shared id (e.g. 0x6F1) with the target ECU id in byte 0;
+// each ECU answers on its own id with the tester address in byte 0.
+
+#include "can/bus.hpp"
+#include "oemtp/bmw_framing.hpp"
+#include "util/link.hpp"
+
+namespace dpr::oemtp {
+
+struct BmwLinkConfig {
+  can::CanId tx_id;          // id this side transmits on
+  can::CanId rx_id;          // id this side listens to
+  std::uint8_t peer_address; // address byte written into outgoing frames
+  std::uint8_t own_address;  // address byte expected on incoming frames
+};
+
+class BmwLink : public util::MessageLink {
+ public:
+  BmwLink(can::CanBus& bus, BmwLinkConfig config);
+
+  BmwLink(const BmwLink&) = delete;
+  BmwLink& operator=(const BmwLink&) = delete;
+
+  void send(std::span<const std::uint8_t> payload) override;
+  void set_message_handler(Handler handler) override {
+    handler_ = std::move(handler);
+  }
+
+ private:
+  can::CanBus& bus_;
+  BmwLinkConfig config_;
+  Handler handler_;
+  Reassembler reassembler_;
+};
+
+}  // namespace dpr::oemtp

@@ -1,0 +1,55 @@
+#include "screenshot/extract.hpp"
+
+#include <cstdlib>
+#include <map>
+
+namespace dpr::screenshot {
+
+std::optional<double> parse_value(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+std::string strip_unit(const std::string& label) {
+  const auto pos = label.rfind(" (");
+  if (pos == std::string::npos) return label;
+  if (label.back() != ')') return label;
+  return label.substr(0, pos);
+}
+
+std::vector<UiSample> extract_samples(const cps::VideoRecording& video,
+                                      cps::OcrEngine& ocr) {
+  std::vector<UiSample> samples;
+  for (const auto& frame : video.frames) {
+    // Row -> (label text, value text) association by layout geometry.
+    std::map<int, std::string> labels;
+    std::map<int, std::string> values;
+    for (const auto& region : frame.text_regions) {
+      if (region.row < 0) continue;
+      const std::string text = ocr.read(region.truth, region.font_px);
+      // Value regions sit in the right half of the screen; labels left.
+      if (region.bounds.x > frame.width / 2) {
+        values[region.row] = text;
+      } else if (!region.clickable) {
+        labels[region.row] = text;
+      }
+    }
+    for (const auto& [row, value_text] : values) {
+      const auto label_it = labels.find(row);
+      if (label_it == labels.end()) continue;
+      UiSample sample;
+      sample.timestamp = frame.timestamp;
+      sample.row = row;
+      sample.name = strip_unit(label_it->second);
+      sample.value_text = value_text;
+      sample.value = parse_value(value_text);
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+}  // namespace dpr::screenshot

@@ -1,0 +1,35 @@
+#pragma once
+// Screenshot analysis, extraction half (§3.3): turn the recorded UI video
+// into timestamped (signal name, displayed value) samples by running OCR
+// over every frame and pairing label/value regions by layout row.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cps/camera.hpp"
+#include "cps/ocr.hpp"
+
+namespace dpr::screenshot {
+
+struct UiSample {
+  util::SimTime timestamp = 0;      // video (camera-b device) timestamp
+  int row = -1;                     // layout row (stable per signal)
+  std::string name;                 // OCR'd signal label, unit stripped
+  std::string value_text;           // OCR'd value as shown
+  std::optional<double> value;      // parsed numeric value, if any
+};
+
+/// Extract all samples from a recorded video. Label and value regions are
+/// associated by their layout row; the "(unit)" suffix is stripped from
+/// names. Non-numeric values (enum states like "ON") yield nullopt.
+std::vector<UiSample> extract_samples(const cps::VideoRecording& video,
+                                      cps::OcrEngine& ocr);
+
+/// Parse a displayed value; nullopt unless the whole string is numeric.
+std::optional<double> parse_value(const std::string& text);
+
+/// Strip a trailing " (unit)" from an OCR'd label.
+std::string strip_unit(const std::string& label);
+
+}  // namespace dpr::screenshot

@@ -1,0 +1,111 @@
+#include "screenshot/filter.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+
+#include "util/stats.hpp"
+
+namespace dpr::screenshot {
+
+namespace {
+
+bool name_has(const std::string& name, const char* keyword) {
+  // Case-insensitive substring.
+  std::string lower_name;
+  lower_name.reserve(name.size());
+  for (char c : name) {
+    lower_name.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  std::string lower_key(keyword);
+  for (char& c : lower_key) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lower_name.find(lower_key) != std::string::npos;
+}
+
+}  // namespace
+
+RangeLimits range_for(const std::string& name) {
+  if (name_has(name, "engine speed") || name_has(name, "rpm")) {
+    return {0.0, 20000.0};
+  }
+  if (name_has(name, "wheel speed") || name_has(name, "vehicle speed")) {
+    return {0.0, 400.0};
+  }
+  if (name_has(name, "temperature")) return {-80.0, 1200.0};
+  if (name_has(name, "voltage")) return {0.0, 100.0};
+  if (name_has(name, "pressure")) return {-10.0, 5000.0};
+  if (name_has(name, "angle")) return {-900.0, 900.0};
+  if (name_has(name, "position") || name_has(name, "level") ||
+      name_has(name, "throttle")) {
+    return {-5.0, 150.0};
+  }
+  if (name_has(name, "torque")) return {-2000.0, 2000.0};
+  return {-1e7, 1e7};  // generic guard against catastrophic misreads
+}
+
+std::vector<bool> outlier_mask(const std::vector<double>& values, double k) {
+  std::vector<bool> keep(values.size(), true);
+  if (values.size() < 4) return keep;
+  const double med = util::median(values);
+  double spread = util::mad(values);
+  // Constant (or near-constant) series: allow small relative wiggle.
+  if (spread < 1e-9) spread = std::max(1e-6, std::abs(med) * 0.05);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::abs(values[i] - med) > k * spread) keep[i] = false;
+  }
+  return keep;
+}
+
+std::vector<UiSample> filter_samples(std::vector<UiSample> samples,
+                                     FilterStats* stats, double mad_k) {
+  FilterStats local;
+
+  // Stage 1: range check on numeric samples.
+  std::vector<UiSample> staged;
+  staged.reserve(samples.size());
+  for (auto& sample : samples) {
+    if (!sample.value) {
+      staged.push_back(std::move(sample));
+      continue;
+    }
+    ++local.numeric_samples;
+    const RangeLimits limits = range_for(sample.name);
+    if (*sample.value < limits.lo || *sample.value > limits.hi) {
+      ++local.range_rejected;
+      continue;
+    }
+    staged.push_back(std::move(sample));
+  }
+
+  // Stage 2: per-signal outlier removal.
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    if (staged[i].value) by_name[staged[i].name].push_back(i);
+  }
+  std::vector<bool> keep(staged.size(), true);
+  for (const auto& [name, indices] : by_name) {
+    std::vector<double> values;
+    values.reserve(indices.size());
+    for (std::size_t i : indices) values.push_back(*staged[i].value);
+    const auto mask = outlier_mask(values, mad_k);
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      if (!mask[j]) {
+        keep[indices[j]] = false;
+        ++local.outlier_rejected;
+      }
+    }
+  }
+
+  std::vector<UiSample> out;
+  out.reserve(staged.size());
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    if (keep[i]) out.push_back(std::move(staged[i]));
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace dpr::screenshot

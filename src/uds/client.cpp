@@ -1,0 +1,63 @@
+#include "uds/client.hpp"
+
+namespace dpr::uds {
+
+Client::Client(util::MessageLink& link, std::function<void()> pump)
+    : link_(link), pump_(std::move(pump)) {}
+
+std::optional<util::Bytes> Client::transact(
+    std::span<const std::uint8_t> request) {
+  // (Re-)claim the link for this transaction: several protocol clients
+  // (UDS + KWP on vehicles that mix 0x22 reads with 0x30 IO control) may
+  // share one transport.
+  link_.set_message_handler(
+      [this](const util::Bytes& message) { inbox_ = message; });
+  inbox_.reset();
+  last_nrc_.reset();
+  link_.send(request);
+  pump_();
+  if (inbox_) last_nrc_ = decode_negative_response(*inbox_);
+  return inbox_;
+}
+
+bool Client::start_session(std::uint8_t session_type) {
+  const auto resp = transact(encode_session_control(session_type));
+  return resp &&
+         is_positive_response(*resp, Service::kDiagnosticSessionControl);
+}
+
+bool Client::security_unlock(
+    std::uint8_t level,
+    const std::function<util::Bytes(const util::Bytes&)>& key_fn) {
+  const auto seed_resp =
+      transact(encode_security_access_seed_request(level));
+  if (!seed_resp || !is_positive_response(*seed_resp,
+                                          Service::kSecurityAccess)) {
+    return false;
+  }
+  const util::Bytes seed(seed_resp->begin() + 2, seed_resp->end());
+  const auto key_resp =
+      transact(encode_security_access_send_key(level, key_fn(seed)));
+  return key_resp &&
+         is_positive_response(*key_resp, Service::kSecurityAccess);
+}
+
+std::optional<std::vector<DataRecord>> Client::read_data(
+    std::span<const Did> dids,
+    const std::function<std::optional<std::size_t>(Did)>& length_of) {
+  const auto resp = transact(encode_read_data_by_identifier(dids));
+  if (!resp) return std::nullopt;
+  return decode_read_data_response(*resp, dids, length_of);
+}
+
+std::optional<util::Bytes> Client::io_control(
+    Did did, IoControlParameter param,
+    std::span<const std::uint8_t> control_state) {
+  const auto resp = transact(encode_io_control(did, param, control_state));
+  if (!resp || !is_positive_response(*resp, Service::kIoControlByIdentifier)) {
+    return std::nullopt;
+  }
+  return util::Bytes(resp->begin() + 4, resp->end());
+}
+
+}  // namespace dpr::uds

@@ -1,0 +1,56 @@
+#pragma once
+// UDS client: the tester side (professional diagnostic tool). Sends one
+// request at a time over a MessageLink and hands back the peer's response.
+//
+// The simulated bus is drained explicitly by the caller, so `transact`
+// takes a pump callback that pushes the bus until the response arrives.
+
+#include <functional>
+#include <optional>
+
+#include "uds/message.hpp"
+#include "util/link.hpp"
+
+namespace dpr::uds {
+
+class Client {
+ public:
+  /// `pump` must advance the underlying medium until pending traffic has
+  /// been delivered (e.g. [&]{ bus.deliver_pending(); }).
+  Client(util::MessageLink& link, std::function<void()> pump);
+
+  /// Send a raw request and wait for the response (pumping the medium).
+  /// Returns nullopt if no response arrived.
+  std::optional<util::Bytes> transact(std::span<const std::uint8_t> request);
+
+  /// --- Convenience wrappers over the §2.3.2 services --------------------
+
+  bool start_session(std::uint8_t session_type);
+
+  /// 0x27 seed/key handshake with the given key derivation.
+  bool security_unlock(
+      std::uint8_t level,
+      const std::function<util::Bytes(const util::Bytes&)>& key_fn);
+
+  /// 0x22 for several DIDs; parses the response with the tool's knowledge
+  /// of each DID's data length.
+  std::optional<std::vector<DataRecord>> read_data(
+      std::span<const Did> dids,
+      const std::function<std::optional<std::size_t>(Did)>& length_of);
+
+  /// 0x2F: returns the control-status bytes of a positive response.
+  std::optional<util::Bytes> io_control(
+      Did did, IoControlParameter param,
+      std::span<const std::uint8_t> control_state = {});
+
+  /// Last negative response seen (if the latest transact got a 0x7F).
+  std::optional<NegativeResponse> last_negative() const { return last_nrc_; }
+
+ private:
+  util::MessageLink& link_;
+  std::function<void()> pump_;
+  std::optional<util::Bytes> inbox_;
+  std::optional<NegativeResponse> last_nrc_;
+};
+
+}  // namespace dpr::uds

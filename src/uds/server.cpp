@@ -1,0 +1,207 @@
+#include "uds/server.hpp"
+
+namespace dpr::uds {
+
+void Server::add_did(Did did, std::size_t length, DidReader reader) {
+  dids_[did] = DidEntry{length, std::move(reader)};
+}
+
+void Server::add_io_did(Did did, IoHandler handler, bool requires_session) {
+  io_dids_[did] = IoEntry{std::move(handler), requires_session};
+}
+
+void Server::add_dtc(std::uint32_t code, std::uint8_t status) {
+  dtcs_.push_back(Dtc{code & 0xFFFFFF, status});
+}
+
+void Server::enable_security(
+    std::function<util::Bytes(const util::Bytes&)> key_fn) {
+  key_fn_ = std::move(key_fn);
+  unlocked_ = false;
+}
+
+void Server::bind(util::MessageLink& link) {
+  link.set_message_handler([this, &link](const util::Bytes& request) {
+    const util::Bytes response = handle(request);
+    if (!response.empty()) link.send(response);
+  });
+}
+
+util::Bytes Server::handle(std::span<const std::uint8_t> request) {
+  if (request.empty()) return {};
+  ++request_counts_[request[0]];
+  switch (request[0]) {
+    case 0x10:
+      return handle_session_control(request);
+    case 0x11:
+      return handle_ecu_reset(request);
+    case 0x14:
+      return handle_clear_dtc(request);
+    case 0x19:
+      return handle_read_dtc(request);
+    case 0x22:
+      return handle_read_data(request);
+    case 0x27:
+      return handle_security_access(request);
+    case 0x2F:
+      return handle_io_control(request);
+    case 0x3E:
+      return handle_tester_present(request);
+    default:
+      return encode_negative_response(static_cast<Service>(request[0]),
+                                      Nrc::kServiceNotSupported);
+  }
+}
+
+util::Bytes Server::handle_session_control(
+    std::span<const std::uint8_t> req) {
+  if (req.size() != 2) {
+    return encode_negative_response(Service::kDiagnosticSessionControl,
+                                    Nrc::kIncorrectMessageLength);
+  }
+  if (req[1] == 0x00 || req[1] > 0x04) {
+    return encode_negative_response(Service::kDiagnosticSessionControl,
+                                    Nrc::kSubFunctionNotSupported);
+  }
+  session_ = req[1];
+  if (session_ == 0x01) unlocked_ = false;  // default session re-locks
+  return {static_cast<std::uint8_t>(0x10 + kPositiveOffset), req[1],
+          0x00, 0x32, 0x01, 0xF4};  // P2/P2* timing record
+}
+
+util::Bytes Server::handle_tester_present(
+    std::span<const std::uint8_t> req) {
+  if (req.size() != 2 || req[1] != 0x00) {
+    return encode_negative_response(Service::kTesterPresent,
+                                    Nrc::kSubFunctionNotSupported);
+  }
+  return {static_cast<std::uint8_t>(0x3E + kPositiveOffset), 0x00};
+}
+
+util::Bytes Server::handle_ecu_reset(std::span<const std::uint8_t> req) {
+  if (req.size() != 2) {
+    return encode_negative_response(Service::kEcuReset,
+                                    Nrc::kIncorrectMessageLength);
+  }
+  session_ = 0x01;
+  unlocked_ = false;
+  return {static_cast<std::uint8_t>(0x11 + kPositiveOffset), req[1]};
+}
+
+util::Bytes Server::handle_security_access(
+    std::span<const std::uint8_t> req) {
+  if (!key_fn_) {
+    return encode_negative_response(Service::kSecurityAccess,
+                                    Nrc::kServiceNotSupported);
+  }
+  if (req.size() < 2) {
+    return encode_negative_response(Service::kSecurityAccess,
+                                    Nrc::kIncorrectMessageLength);
+  }
+  const std::uint8_t level = req[1];
+  if (level % 2 == 1) {  // requestSeed
+    pending_seed_ = {0x12, 0x34, 0x56, 0x78};
+    util::Bytes out{static_cast<std::uint8_t>(0x27 + kPositiveOffset), level};
+    out.insert(out.end(), pending_seed_.begin(), pending_seed_.end());
+    return out;
+  }
+  // sendKey
+  if (pending_seed_.empty()) {
+    return encode_negative_response(Service::kSecurityAccess,
+                                    Nrc::kRequestSequenceError);
+  }
+  const util::Bytes expected = key_fn_(pending_seed_);
+  const util::Bytes provided(req.begin() + 2, req.end());
+  pending_seed_.clear();
+  if (provided != expected) {
+    return encode_negative_response(Service::kSecurityAccess,
+                                    Nrc::kInvalidKey);
+  }
+  unlocked_ = true;
+  return {static_cast<std::uint8_t>(0x27 + kPositiveOffset), level};
+}
+
+util::Bytes Server::handle_read_data(std::span<const std::uint8_t> req) {
+  const auto dids = decode_read_data_request(req);
+  if (!dids) {
+    return encode_negative_response(Service::kReadDataByIdentifier,
+                                    Nrc::kIncorrectMessageLength);
+  }
+  std::vector<DataRecord> records;
+  for (Did did : *dids) {
+    const auto it = dids_.find(did);
+    if (it == dids_.end()) {
+      return encode_negative_response(Service::kReadDataByIdentifier,
+                                      Nrc::kRequestOutOfRange);
+    }
+    util::Bytes data = it->second.reader();
+    data.resize(it->second.length, 0x00);  // enforce declared length
+    records.push_back(DataRecord{did, std::move(data)});
+  }
+  return encode_read_data_response(records);
+}
+
+util::Bytes Server::handle_read_dtc(std::span<const std::uint8_t> req) {
+  // 0x19 0x02 <statusMask>: reportDTCByStatusMask.
+  if (req.size() != 3 || req[1] != 0x02) {
+    return encode_negative_response(static_cast<Service>(0x19),
+                                    Nrc::kSubFunctionNotSupported);
+  }
+  const std::uint8_t mask = req[2];
+  util::Bytes out{0x59, 0x02, 0x2F};  // DTCStatusAvailabilityMask
+  for (const auto& dtc : dtcs_) {
+    if ((dtc.status & mask) == 0) continue;
+    out.push_back(static_cast<std::uint8_t>(dtc.code >> 16));
+    out.push_back(static_cast<std::uint8_t>(dtc.code >> 8));
+    out.push_back(static_cast<std::uint8_t>(dtc.code));
+    out.push_back(dtc.status);
+  }
+  return out;
+}
+
+util::Bytes Server::handle_clear_dtc(std::span<const std::uint8_t> req) {
+  // 0x14 <groupOfDTC: 3 bytes>; 0xFFFFFF clears everything.
+  if (req.size() != 4) {
+    return encode_negative_response(static_cast<Service>(0x14),
+                                    Nrc::kIncorrectMessageLength);
+  }
+  const std::uint32_t group = (static_cast<std::uint32_t>(req[1]) << 16) |
+                              (static_cast<std::uint32_t>(req[2]) << 8) |
+                              req[3];
+  if (group == 0xFFFFFF) {
+    dtcs_.clear();
+  } else {
+    std::erase_if(dtcs_, [group](const Dtc& d) { return d.code == group; });
+  }
+  return {0x54};
+}
+
+util::Bytes Server::handle_io_control(std::span<const std::uint8_t> req) {
+  const auto parsed = decode_io_control_request(req);
+  if (!parsed) {
+    return encode_negative_response(Service::kIoControlByIdentifier,
+                                    Nrc::kIncorrectMessageLength);
+  }
+  const auto it = io_dids_.find(parsed->did);
+  if (it == io_dids_.end()) {
+    return encode_negative_response(Service::kIoControlByIdentifier,
+                                    Nrc::kRequestOutOfRange);
+  }
+  if (it->second.requires_session && session_ == 0x01) {
+    return encode_negative_response(Service::kIoControlByIdentifier,
+                                    Nrc::kConditionsNotCorrect);
+  }
+  if (key_fn_ && !unlocked_) {
+    return encode_negative_response(Service::kIoControlByIdentifier,
+                                    Nrc::kSecurityAccessDenied);
+  }
+  const auto status =
+      it->second.handler(parsed->param, parsed->control_state);
+  if (!status) {
+    return encode_negative_response(Service::kIoControlByIdentifier,
+                                    Nrc::kRequestOutOfRange);
+  }
+  return encode_io_control_response(parsed->did, parsed->param, *status);
+}
+
+}  // namespace dpr::uds

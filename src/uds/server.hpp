@@ -1,0 +1,90 @@
+#pragma once
+// UDS server: the application layer of a simulated ECU. Owns a registry of
+// readable data identifiers (0x22) and controllable IO identifiers (0x2F),
+// enforces the session/security gating a real ECU applies, and produces
+// byte-exact positive/negative responses.
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "uds/message.hpp"
+#include "util/link.hpp"
+
+namespace dpr::uds {
+
+/// Produces the current raw data bytes for one DID.
+using DidReader = std::function<util::Bytes()>;
+
+/// Handles an IO-control action; returns the control-status bytes echoed in
+/// the positive response, or nullopt to signal requestOutOfRange.
+using IoHandler = std::function<std::optional<util::Bytes>(
+    IoControlParameter, std::span<const std::uint8_t> control_state)>;
+
+class Server {
+ public:
+  /// Register a readable DID with fixed-length data.
+  void add_did(Did did, std::size_t length, DidReader reader);
+
+  /// Register a controllable DID (0x2F target). If `requires_session` the
+  /// ECU rejects IO control outside an extended diagnostic session, like
+  /// real ECUs do.
+  void add_io_did(Did did, IoHandler handler, bool requires_session = true);
+
+  /// Security-access seed/key: if set, 0x2F additionally requires an
+  /// unlocked state. The key function maps seed -> expected key.
+  void enable_security(std::function<util::Bytes(const util::Bytes&)> key_fn);
+
+  /// Stored diagnostic trouble code (ISO 14229 0x19 / 0x14).
+  struct Dtc {
+    std::uint32_t code = 0;     // 3-byte DTC
+    std::uint8_t status = 0x2F; // status byte (testFailed | confirmed...)
+  };
+  void add_dtc(std::uint32_t code, std::uint8_t status = 0x2F);
+  const std::vector<Dtc>& dtcs() const { return dtcs_; }
+
+  /// Process one request, producing exactly one response message.
+  util::Bytes handle(std::span<const std::uint8_t> request);
+
+  /// Bind to a transport: incoming messages are handled and the response
+  /// is sent back on the same link.
+  void bind(util::MessageLink& link);
+
+  std::uint8_t active_session() const { return session_; }
+  bool unlocked() const { return unlocked_; }
+
+  /// Number of requests processed, by service id (for traffic census).
+  const std::map<std::uint8_t, std::size_t>& request_counts() const {
+    return request_counts_;
+  }
+
+ private:
+  util::Bytes handle_session_control(std::span<const std::uint8_t> req);
+  util::Bytes handle_tester_present(std::span<const std::uint8_t> req);
+  util::Bytes handle_ecu_reset(std::span<const std::uint8_t> req);
+  util::Bytes handle_security_access(std::span<const std::uint8_t> req);
+  util::Bytes handle_read_data(std::span<const std::uint8_t> req);
+  util::Bytes handle_io_control(std::span<const std::uint8_t> req);
+  util::Bytes handle_read_dtc(std::span<const std::uint8_t> req);
+  util::Bytes handle_clear_dtc(std::span<const std::uint8_t> req);
+
+  struct DidEntry {
+    std::size_t length = 0;
+    DidReader reader;
+  };
+  struct IoEntry {
+    IoHandler handler;
+    bool requires_session = true;
+  };
+
+  std::map<Did, DidEntry> dids_;
+  std::map<Did, IoEntry> io_dids_;
+  std::vector<Dtc> dtcs_;
+  std::function<util::Bytes(const util::Bytes&)> key_fn_;
+  util::Bytes pending_seed_;
+  bool unlocked_ = false;
+  std::uint8_t session_ = 0x01;  // defaultSession
+  std::map<std::uint8_t, std::size_t> request_counts_;
+};
+
+}  // namespace dpr::uds

@@ -1,0 +1,60 @@
+#include "util/hex.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace dpr::util {
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char digits[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(data.size() * 3);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(digits[data[i] >> 4]);
+    out.push_back(digits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument(std::string("invalid hex character: ") + c);
+}
+
+}  // namespace
+
+Bytes from_hex(std::string_view text) {
+  Bytes out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == ' ' || c == ',' || c == '\t' || c == '\n') {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= text.size()) {
+      throw std::invalid_argument("dangling hex nibble");
+    }
+    const int hi = nibble(text[i]);
+    const int lo = nibble(text[i + 1]);
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::uint16_t read_u16(std::span<const std::uint8_t> data, std::size_t i) {
+  return static_cast<std::uint16_t>((data[i] << 8) | data[i + 1]);
+}
+
+void append_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+}  // namespace dpr::util

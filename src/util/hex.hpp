@@ -1,0 +1,31 @@
+#pragma once
+// Hex encoding/decoding for diagnostic payloads.
+//
+// Diagnostic messages throughout the paper are written as space-separated
+// hex bytes ("2F 09 50 03 05 01 00 00"); these helpers parse and render
+// that notation.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpr::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Render bytes as uppercase space-separated hex: {0x2F,0x09} -> "2F 09".
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parse space/comma-separated hex bytes. Throws std::invalid_argument on
+/// malformed input (odd nibble counts, non-hex characters).
+Bytes from_hex(std::string_view text);
+
+/// Big-endian 16-bit read of data[i], data[i+1]. Caller guarantees bounds.
+std::uint16_t read_u16(std::span<const std::uint8_t> data, std::size_t i);
+
+/// Append a big-endian 16-bit value.
+void append_u16(Bytes& out, std::uint16_t v);
+
+}  // namespace dpr::util

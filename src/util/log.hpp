@@ -1,0 +1,41 @@
+#pragma once
+// Minimal leveled logger. Defaults to Warning so tests/benches stay quiet;
+// examples raise it to Info to narrate the pipeline.
+
+#include <sstream>
+#include <string>
+
+namespace dpr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a log line if `level` passes the global threshold.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+/// Stream-style helper: LogLine(kInfo, "can") << "bus reset"; emits at scope
+/// exit.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dpr::util

@@ -1,0 +1,29 @@
+#pragma once
+// Small statistics helpers used by the screenshot outlier filter (§3.3),
+// the correlation module and the regression baselines.
+
+#include <span>
+#include <vector>
+
+namespace dpr::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double stddev(std::span<const double> xs);
+double median(std::vector<double> xs);          // by value: sorts a copy
+
+/// Median absolute deviation (raw, not scaled to sigma).
+double mad(std::vector<double> xs);
+
+/// Mean absolute error between predictions and targets (GP fitness, §3.5).
+double mean_absolute_error(std::span<const double> pred,
+                           std::span<const double> target);
+
+/// Mean squared error.
+double mean_squared_error(std::span<const double> pred,
+                          std::span<const double> target);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace dpr::util

@@ -1,0 +1,110 @@
+#pragma once
+// Per-vehicle specification catalog: Cars A-R of Table 3, with signal and
+// actuator inventories sized to match the paper's evaluation (Table 6 ESV
+// counts, Table 11 ECR counts). Each spec is generated deterministically
+// from the car id, drawing names/formulas from realistic automotive pools.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uds/message.hpp"
+#include "util/hex.hpp"
+#include "vehicle/formula.hpp"
+#include "vehicle/signal.hpp"
+
+namespace dpr::vehicle {
+
+enum class CarId {
+  kA, kB, kC, kD, kE, kF, kG, kH, kI, kJ, kK, kL, kM, kN, kO, kP, kQ, kR,
+};
+
+enum class Protocol { kUds, kKwp2000 };
+
+enum class TransportKind { kIsoTp, kVwTp20, kBmwFraming };
+
+/// Which IO-control service the vehicle's ECUs expose (Table 11: five
+/// cars use UDS 0x2F, five use the local-identifier service 0x30).
+enum class IoService { kUds2F, kKwp30 };
+
+/// One readable UDS data identifier.
+struct UdsSignalSpec {
+  uds::Did did = 0;
+  std::string name;
+  std::string unit;
+  std::size_t data_bytes = 1;
+  PropFormula formula;       // kEnum for the "#ESV (Enum)" rows
+  std::uint32_t raw_lo = 0;  // raw-count dynamics
+  std::uint32_t raw_hi = 255;
+  RawSignal::Pattern pattern = RawSignal::Pattern::kRandomWalk;
+  /// Two-byte signals whose bytes are *separate* physical quantities
+  /// (product/two-variable formulas): each byte evolves independently
+  /// within its own [raw_lo, raw_hi] sub-range instead of forming one
+  /// 16-bit counter.
+  bool independent_bytes = false;
+};
+
+/// One 3-byte KWP ESV inside a measuring block. The scaling byte X0 is
+/// constant when x0_lo == x0_hi (the common case the paper observes, e.g.
+/// vehicle speed with X0 pinned to 0x64); a few signals vary both bytes.
+struct KwpEsvSpec {
+  std::uint8_t formula_type = 0;  // index into kwp::formula_table
+  std::string name;
+  std::string unit;
+  std::uint8_t x0_lo = 0x64;
+  std::uint8_t x0_hi = 0x64;
+  std::uint8_t x1_lo = 0;
+  std::uint8_t x1_hi = 255;
+  RawSignal::Pattern pattern = RawSignal::Pattern::kRandomWalk;
+  bool is_enum = false;
+};
+
+/// A KWP local identifier (measuring block) grouping 1..4 ESVs (Fig. 3).
+struct KwpLocalIdSpec {
+  std::uint8_t local_id = 0;
+  std::string group_name;
+  std::vector<KwpEsvSpec> esvs;
+};
+
+/// One controllable component.
+struct ActuatorSpec {
+  std::uint16_t id = 0;  // DID (UDS 0x2F) or local id (service 0x30)
+  std::string name;
+  util::Bytes example_state;  // control-state bytes for shortTermAdjustment
+};
+
+struct EcuSpec {
+  std::string name;  // "Engine", "Main Body", "ABS", ...
+  std::uint8_t address = 0;        // logical address (VW TP / BMW framing)
+  std::uint32_t request_id = 0;    // ISO-TP request CAN id
+  std::uint32_t response_id = 0;   // ISO-TP response CAN id
+  bool supports_obd = false;       // engine ECU also answers SAE J1979
+  std::vector<UdsSignalSpec> uds_signals;
+  std::vector<KwpLocalIdSpec> kwp_local_ids;
+  std::vector<ActuatorSpec> actuators;
+};
+
+struct CarSpec {
+  CarId id = CarId::kA;
+  std::string label;    // "Car A"
+  std::string model;    // "Skoda Octavia"
+  Protocol protocol = Protocol::kUds;
+  TransportKind transport = TransportKind::kIsoTp;
+  IoService io_service = IoService::kUds2F;
+  std::string tool;     // diagnostic tool used in the paper (Table 3)
+  std::vector<EcuSpec> ecus;
+
+  /// Totals across ECUs (mirroring Tables 6 and 11).
+  std::size_t formula_esv_count = 0;
+  std::size_t enum_esv_count = 0;
+  std::size_t ecr_count = 0;
+};
+
+/// The full 18-car catalog; built once, deterministic.
+const std::vector<CarSpec>& catalog();
+
+const CarSpec& car_spec(CarId id);
+
+std::string car_label(CarId id);
+
+}  // namespace dpr::vehicle

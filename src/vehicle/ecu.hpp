@@ -1,0 +1,109 @@
+#pragma once
+// Simulated ECU: owns the protocol servers (UDS / KWP / OBD-II), the raw
+// signal stores behind every readable identifier, and the actuators behind
+// every controllable identifier. Bound to the CAN bus through whichever
+// transport the vehicle uses (ISO-TP, VW TP 2.0, or BMW framing).
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "isotp/endpoint.hpp"
+#include "kwp/server.hpp"
+#include "oemtp/link.hpp"
+#include "uds/server.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "vehicle/actuator.hpp"
+#include "vehicle/catalog.hpp"
+#include "vwtp/channel.hpp"
+
+namespace dpr::vehicle {
+
+class EcuSim {
+ public:
+  /// `spec` describes this ECU; `car` supplies protocol/transport context.
+  EcuSim(const EcuSpec& spec, const CarSpec& car, can::CanBus& bus,
+         util::SimClock& clock, util::Rng rng);
+
+  EcuSim(const EcuSim&) = delete;
+  EcuSim& operator=(const EcuSim&) = delete;
+
+  const std::string& name() const { return spec_.name; }
+  const EcuSpec& spec() const { return spec_; }
+
+  /// Current physical value of a UDS signal (ground truth for scoring).
+  std::optional<double> physical_value(uds::Did did) const;
+
+  /// Current physical value of one KWP ESV (block, index).
+  std::optional<double> kwp_physical_value(std::uint8_t local_id,
+                                           std::size_t index) const;
+
+  /// Actuator behind a DID / local id, if any.
+  const Actuator* actuator(std::uint16_t id) const;
+  Actuator* actuator(std::uint16_t id);
+
+  /// The tester-side ids to reach this ECU.
+  std::uint32_t request_id() const { return spec_.request_id; }
+  std::uint32_t response_id() const { return spec_.response_id; }
+
+  uds::Server& uds_server() { return uds_server_; }
+  kwp::Server& kwp_server() { return kwp_server_; }
+
+ private:
+  void install_uds_signals(util::Rng& rng);
+  void install_kwp_blocks(util::Rng& rng);
+  void install_actuators();
+  void install_obd(util::Rng& rng);
+  void attach_transport(can::CanBus& bus);
+  void dispatch(const util::Bytes& request);
+
+  EcuSpec spec_;
+  const CarSpec& car_;
+  util::SimClock& clock_;
+
+  uds::Server uds_server_;
+  kwp::Server kwp_server_;
+
+  // Signal stores.
+  struct UdsSignal {
+    UdsSignalSpec spec;
+    std::unique_ptr<RawSignal> source;        // combined (or high byte)
+    std::unique_ptr<RawSignal> low_source;    // independent low byte
+  };
+
+  std::vector<std::uint8_t> sample_uds_raw(const UdsSignal& sig) const;
+  std::map<uds::Did, UdsSignal> uds_signals_;
+
+  struct KwpEsv {
+    KwpEsvSpec spec;
+    std::unique_ptr<RawSignal> x0_source;  // null when X0 is constant
+    std::unique_ptr<RawSignal> x1_source;
+  };
+  struct KwpBlock {
+    KwpLocalIdSpec spec;
+    std::vector<KwpEsv> esvs;
+  };
+  std::map<std::uint8_t, KwpBlock> kwp_blocks_;
+
+  // OBD-II mode-01 state (engine ECUs only).
+  struct ObdSignal {
+    std::uint8_t pid = 0;
+    std::unique_ptr<RawSignal> source;
+  };
+  std::vector<ObdSignal> obd_signals_;
+
+  std::map<std::uint16_t, Actuator> actuators_;
+
+  // Transport (exactly one is active, depending on car_.transport).
+  std::unique_ptr<isotp::Endpoint> isotp_link_;
+  std::unique_ptr<isotp::Endpoint> obd_link_;   // 0x7DF functional listener
+  std::unique_ptr<vwtp::Channel> vwtp_link_;
+  std::unique_ptr<oemtp::BmwLink> bmw_link_;
+  util::MessageLink* link_ = nullptr;
+};
+
+}  // namespace dpr::vehicle

@@ -1,0 +1,139 @@
+#include "vehicle/formula.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace dpr::vehicle {
+
+PropFormula PropFormula::enumeration() {
+  PropFormula f;
+  f.kind_ = Kind::kEnum;
+  return f;
+}
+
+PropFormula PropFormula::linear(double a, double b) {
+  PropFormula f;
+  f.kind_ = Kind::kLinear;
+  f.a_ = a;
+  f.b_ = b;
+  return f;
+}
+
+PropFormula PropFormula::quadratic(double a, double b, double c) {
+  PropFormula f;
+  f.kind_ = Kind::kQuadratic;
+  f.a_ = a;
+  f.b_ = b;
+  f.c_ = c;
+  return f;
+}
+
+PropFormula PropFormula::two_byte(double a, double b, double c) {
+  PropFormula f;
+  f.kind_ = Kind::kTwoByte;
+  f.a_ = a;
+  f.b_ = b;
+  f.c_ = c;
+  return f;
+}
+
+PropFormula PropFormula::product(double a, double b) {
+  PropFormula f;
+  f.kind_ = Kind::kProduct;
+  f.a_ = a;
+  f.b_ = b;
+  return f;
+}
+
+double combine_raw(std::span<const std::uint8_t> raw) {
+  double v = 0.0;
+  for (std::uint8_t byte : raw) v = v * 256.0 + byte;
+  return v;
+}
+
+double PropFormula::eval(std::span<const std::uint8_t> raw) const {
+  if (raw.empty()) return 0.0;
+  const double x0 = raw[0];
+  const double x1 = raw.size() > 1 ? raw[1] : 0.0;
+  switch (kind_) {
+    case Kind::kEnum:
+      return combine_raw(raw);
+    case Kind::kLinear:
+    case Kind::kQuadratic:
+      return eval_x(combine_raw(raw));
+    case Kind::kTwoByte:
+    case Kind::kProduct:
+      return eval_xy(x0, x1);
+  }
+  return 0.0;
+}
+
+double PropFormula::eval_x(double x) const {
+  switch (kind_) {
+    case Kind::kLinear:
+      return a_ * x + b_;
+    case Kind::kQuadratic:
+      return a_ * x * x + b_ * x + c_;
+    default:
+      return x;
+  }
+}
+
+double PropFormula::eval_xy(double x0, double x1) const {
+  switch (kind_) {
+    case Kind::kTwoByte:
+      return a_ * x0 + b_ * x1 + c_;
+    case Kind::kProduct:
+      return a_ * x0 * x1 + b_;
+    default:
+      return eval_x(x0 * 256.0 + x1);
+  }
+}
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+// Render "a*X" omitting unit coefficients, "+ b" omitting zero offsets.
+std::string affine(const std::string& term, double coeff, double offset) {
+  std::string s;
+  if (coeff == 1.0) {
+    s = term;
+  } else {
+    s = num(coeff) + "*" + term;
+  }
+  if (offset > 0.0) s += " + " + num(offset);
+  if (offset < 0.0) s += " - " + num(-offset);
+  return s;
+}
+
+}  // namespace
+
+std::string PropFormula::repr() const {
+  switch (kind_) {
+    case Kind::kEnum:
+      return "(enum)";
+    case Kind::kLinear:
+      return "Y = " + affine("X", a_, b_);
+    case Kind::kQuadratic: {
+      std::string s = "Y = " + num(a_) + "*X^2";
+      if (b_ != 0.0) s += (b_ > 0 ? " + " : " - ") + num(std::abs(b_)) + "*X";
+      if (c_ != 0.0) s += (c_ > 0 ? " + " : " - ") + num(std::abs(c_));
+      return s;
+    }
+    case Kind::kTwoByte: {
+      std::string s = "Y = " + num(a_) + "*X0 + " + num(b_) + "*X1";
+      if (c_ != 0.0) s += (c_ > 0 ? " + " : " - ") + num(std::abs(c_));
+      return s;
+    }
+    case Kind::kProduct:
+      return "Y = " + affine("X0*X1", a_, b_);
+  }
+  return "?";
+}
+
+}  // namespace dpr::vehicle

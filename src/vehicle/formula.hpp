@@ -1,0 +1,61 @@
+#pragma once
+// Proprietary decode formulas: the manufacturer-defined mapping from the
+// raw bytes of an ESV field to the physical value a diagnostic tool
+// displays (§2.3). These are the objects DP-Reverser reverse engineers;
+// the vehicle simulator owns them as ground truth, and the diagnostic-tool
+// model owns a copy as its "built-in" knowledge.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dpr::vehicle {
+
+/// Closed-form formula families observed in the paper's evaluation
+/// (Tables 5-7, §4.3) plus a quadratic family for the nonlinear cases GP
+/// handles and the baselines cannot.
+class PropFormula {
+ public:
+  enum class Kind {
+    kEnum,       // status value: no formula (Table 6 "#ESV (Enum)")
+    kLinear,     // Y = a*X + b            over the combined raw integer
+    kQuadratic,  // Y = a*X^2 + b*X + c
+    kTwoByte,    // Y = a*X0 + b*X1 + c    over the two raw bytes
+    kProduct,    // Y = a*X0*X1 + b        (KWP-style product forms)
+  };
+
+  static PropFormula enumeration();
+  static PropFormula linear(double a, double b = 0.0);
+  static PropFormula quadratic(double a, double b, double c);
+  static PropFormula two_byte(double a, double b, double c = 0.0);
+  static PropFormula product(double a, double b = 0.0);
+
+  Kind kind() const { return kind_; }
+  bool is_enum() const { return kind_ == Kind::kEnum; }
+
+  /// Physical value for raw bytes (big-endian combination for kLinear /
+  /// kQuadratic; per-byte for kTwoByte / kProduct, which require >= 2
+  /// bytes). Enum formulas return the raw integer unchanged.
+  double eval(std::span<const std::uint8_t> raw) const;
+
+  /// Evaluate on already-separated operands (x = combined value, used by
+  /// equivalence checks).
+  double eval_xy(double x0, double x1) const;
+  double eval_x(double x) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double c() const { return c_; }
+
+  /// Ground-truth rendering, e.g. "0.1*X - 40" or "64.1*X0 + 0.241*X1".
+  std::string repr() const;
+
+ private:
+  Kind kind_ = Kind::kEnum;
+  double a_ = 1.0, b_ = 0.0, c_ = 0.0;
+};
+
+/// Combine raw bytes big-endian into one integer value.
+double combine_raw(std::span<const std::uint8_t> raw);
+
+}  // namespace dpr::vehicle

@@ -1,0 +1,69 @@
+#include "vehicle/signal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpr::vehicle {
+
+namespace {
+constexpr util::SimTime kRefreshTick = 50 * util::kMillisecond;
+}
+
+RawSignal::RawSignal(Pattern pattern, std::uint32_t lo, std::uint32_t hi,
+                     util::Rng rng, double period_s)
+    : pattern_(pattern),
+      lo_(std::min(lo, hi)),
+      hi_(std::max(lo, hi)),
+      rng_(rng),
+      period_s_(period_s),
+      phase_(rng_.uniform(0.0, 2.0 * M_PI)),
+      current_(lo_ + static_cast<std::uint32_t>(
+                         rng_.uniform_int(0, static_cast<std::int64_t>(
+                                                 hi_ - lo_)))) {}
+
+std::uint32_t RawSignal::sample(util::SimTime t) {
+  const util::SimTime tick = t / kRefreshTick;
+  if (tick == last_tick_) return current_;
+  last_tick_ = tick;
+
+  const double span = static_cast<double>(hi_ - lo_);
+  switch (pattern_) {
+    case Pattern::kConstant:
+      break;
+    case Pattern::kRandomWalk: {
+      // Step up to 4% of the range per tick; reflect at bounds.
+      const double step = rng_.normal(0.0, std::max(1.0, span * 0.04));
+      double next = static_cast<double>(current_) + step;
+      next = std::clamp(next, static_cast<double>(lo_),
+                        static_cast<double>(hi_));
+      current_ = static_cast<std::uint32_t>(std::llround(next));
+      break;
+    }
+    case Pattern::kSine: {
+      const double seconds =
+          static_cast<double>(t) / static_cast<double>(util::kSecond);
+      const double u =
+          0.5 + 0.5 * std::sin(2.0 * M_PI * seconds / period_s_ + phase_);
+      current_ = lo_ + static_cast<std::uint32_t>(std::llround(u * span));
+      break;
+    }
+    case Pattern::kToggle: {
+      if (rng_.chance(0.15)) {
+        current_ = lo_ + static_cast<std::uint32_t>(rng_.uniform_int(
+                             0, static_cast<std::int64_t>(hi_ - lo_)));
+      }
+      break;
+    }
+  }
+  return current_;
+}
+
+std::vector<std::uint8_t> raw_to_bytes(std::uint32_t raw, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[n - 1 - i] = static_cast<std::uint8_t>((raw >> (8 * i)) & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace dpr::vehicle

@@ -1,0 +1,53 @@
+#pragma once
+// Raw-domain signal sources: simulated sensor dynamics.
+//
+// ECUs store sensor readings as raw counts; the proprietary formula maps
+// counts to physical values. The simulator therefore evolves the *raw*
+// value (random walk / sine / constant in count space) and derives the
+// physical value via the formula — exactly the direction real hardware
+// works, and it guarantees the (X, Y) ground-truth relation that the
+// reverse-engineering pipeline must rediscover.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace dpr::vehicle {
+
+class RawSignal {
+ public:
+  enum class Pattern {
+    kConstant,    // frozen raw value (degenerate fields, §4.3 "X0 = 0x00")
+    kRandomWalk,  // bounded random walk — live sensor under test
+    kSine,        // periodic sweep (engine rpm during revving)
+    kToggle,      // enum-style: hops among a small value set
+  };
+
+  /// A signal spanning raw values [lo, hi] with the given dynamics.
+  RawSignal(Pattern pattern, std::uint32_t lo, std::uint32_t hi,
+            util::Rng rng, double period_s = 8.0);
+
+  /// Current raw value at simulated time `t`. Values are stable within a
+  /// 50 ms refresh tick, mimicking an ECU's sensor update rate.
+  std::uint32_t sample(util::SimTime t);
+
+  std::uint32_t lo() const { return lo_; }
+  std::uint32_t hi() const { return hi_; }
+
+ private:
+  Pattern pattern_;
+  std::uint32_t lo_;
+  std::uint32_t hi_;
+  util::Rng rng_;
+  double period_s_;
+  double phase_;
+  std::uint32_t current_;
+  util::SimTime last_tick_ = -1;
+};
+
+/// Render a raw value into `n` big-endian bytes.
+std::vector<std::uint8_t> raw_to_bytes(std::uint32_t raw, std::size_t n);
+
+}  // namespace dpr::vehicle

@@ -1,0 +1,57 @@
+#include "vehicle/vehicle.hpp"
+
+namespace dpr::vehicle {
+
+Vehicle::Vehicle(CarId id, can::CanBus& bus, util::SimClock& clock,
+                 std::uint64_t seed)
+    : spec_(car_spec(id)), clock_(clock) {
+  util::Rng rng(seed ^ (0xBEEF0000ULL + static_cast<std::uint64_t>(id)));
+  for (const auto& ecu_spec : spec_.ecus) {
+    ecus_.push_back(
+        std::make_unique<EcuSim>(ecu_spec, spec_, bus, clock, rng.fork()));
+  }
+}
+
+EcuSim* Vehicle::find_ecu_with_did(uds::Did did) {
+  for (auto& ecu : ecus_) {
+    for (const auto& sig : ecu->spec().uds_signals) {
+      if (sig.did == did) return ecu.get();
+    }
+  }
+  return nullptr;
+}
+
+EcuSim* Vehicle::find_ecu_with_actuator(std::uint16_t id) {
+  for (auto& ecu : ecus_) {
+    if (ecu->actuator(id) != nullptr) return ecu.get();
+  }
+  return nullptr;
+}
+
+std::optional<double> Vehicle::physical_value(uds::Did did) const {
+  for (const auto& ecu : ecus_) {
+    if (auto value = ecu->physical_value(did)) return value;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Vehicle::dashboard_value(
+    const std::string& signal_name) const {
+  for (const auto& ecu : ecus_) {
+    for (const auto& sig : ecu->spec().uds_signals) {
+      if (sig.name == signal_name) return ecu->physical_value(sig.did);
+    }
+    std::size_t block_index = 0;
+    for (const auto& block : ecu->spec().kwp_local_ids) {
+      for (std::size_t i = 0; i < block.esvs.size(); ++i) {
+        if (block.esvs[i].name == signal_name) {
+          return ecu->kwp_physical_value(block.local_id, i);
+        }
+      }
+      ++block_index;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dpr::vehicle

@@ -1,0 +1,52 @@
+#pragma once
+// A complete simulated vehicle: every ECU of the car spec attached to one
+// CAN bus behind the car's transport, plus dashboard access for the
+// Table 7 validation experiment.
+
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "vehicle/catalog.hpp"
+#include "vehicle/ecu.hpp"
+
+namespace dpr::vehicle {
+
+class Vehicle {
+ public:
+  /// Builds the car's ECUs on `bus`. `seed` controls all signal dynamics.
+  Vehicle(CarId id, can::CanBus& bus, util::SimClock& clock,
+          std::uint64_t seed = 0xCA7);
+
+  Vehicle(const Vehicle&) = delete;
+  Vehicle& operator=(const Vehicle&) = delete;
+
+  const CarSpec& spec() const { return spec_; }
+  CarId id() const { return spec_.id; }
+
+  std::vector<std::unique_ptr<EcuSim>>& ecus() { return ecus_; }
+  const std::vector<std::unique_ptr<EcuSim>>& ecus() const { return ecus_; }
+
+  /// ECU by catalog index.
+  EcuSim& ecu(std::size_t index) { return *ecus_.at(index); }
+
+  /// Find the ECU owning a given UDS signal / actuator id.
+  EcuSim* find_ecu_with_did(uds::Did did);
+  EcuSim* find_ecu_with_actuator(std::uint16_t id);
+
+  /// Ground-truth physical value of a UDS signal anywhere in the car.
+  std::optional<double> physical_value(uds::Did did) const;
+
+  /// Dashboard readout (Table 7): the physical value of the named signal
+  /// as the instrument cluster would display it.
+  std::optional<double> dashboard_value(const std::string& signal_name) const;
+
+ private:
+  CarSpec spec_;
+  util::SimClock& clock_;
+  std::vector<std::unique_ptr<EcuSim>> ecus_;
+};
+
+}  // namespace dpr::vehicle

@@ -1,0 +1,120 @@
+#include "vwtp/vwtp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dpr::vwtp {
+
+std::optional<FrameKind> classify(const can::CanFrame& frame) {
+  if (frame.dlc() == 0) return std::nullopt;
+  const std::uint8_t b0 = frame.byte(0);
+
+  // Channel setup frames live on the broadcast range and carry the opcode
+  // in byte 1: [dest, 0xC0/0xD0, ...].
+  if (frame.dlc() >= 2 && (frame.byte(1) == 0xC0 || frame.byte(1) == 0xD0)) {
+    return frame.byte(1) == 0xC0 ? FrameKind::kChannelSetupRequest
+                                 : FrameKind::kChannelSetupResponse;
+  }
+
+  switch (b0) {
+    case 0xA0:
+      return FrameKind::kChannelParamsRequest;
+    case 0xA1:
+      return FrameKind::kChannelParamsResponse;
+    case 0xA3:
+      return FrameKind::kBreak;
+    case 0xA8:
+      return FrameKind::kDisconnect;
+    default:
+      break;
+  }
+
+  const std::uint8_t op = b0 >> 4;
+  if (op <= 0x3) return FrameKind::kData;
+  if (op == 0x9 || op == 0xB) return FrameKind::kAck;
+  return std::nullopt;
+}
+
+bool is_control_frame(FrameKind kind) {
+  return kind != FrameKind::kData;
+}
+
+std::optional<DataFrameInfo> decode_data(const can::CanFrame& frame) {
+  if (classify(frame) != FrameKind::kData) return std::nullopt;
+  DataFrameInfo info;
+  info.op = static_cast<DataOp>(frame.byte(0) >> 4);
+  info.sequence = frame.byte(0) & 0x0F;
+  auto data = frame.data();
+  info.payload.assign(data.begin() + 1, data.end());
+  return info;
+}
+
+can::CanFrame encode_data(can::CanId id, DataOp op, std::uint8_t sequence,
+                          std::span<const std::uint8_t> chunk) {
+  if (chunk.empty() || chunk.size() > 7) {
+    throw std::invalid_argument("TP 2.0 data chunk must be 1..7 bytes");
+  }
+  util::Bytes data;
+  data.push_back(static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(op) << 4) | (sequence & 0x0F)));
+  data.insert(data.end(), chunk.begin(), chunk.end());
+  return can::CanFrame(id, data);
+}
+
+can::CanFrame encode_ack(can::CanId id, std::uint8_t next_sequence,
+                         bool ready) {
+  const std::uint8_t op = ready ? 0x9 : 0xB;
+  util::Bytes data{static_cast<std::uint8_t>((op << 4) |
+                                             (next_sequence & 0x0F))};
+  return can::CanFrame(id, data);
+}
+
+std::vector<can::CanFrame> segment_message(
+    can::CanId id, std::span<const std::uint8_t> payload,
+    std::uint8_t first_sequence) {
+  if (payload.empty()) {
+    throw std::invalid_argument("TP 2.0 message must not be empty");
+  }
+  std::vector<can::CanFrame> frames;
+  std::uint8_t sequence = static_cast<std::uint8_t>(first_sequence & 0x0F);
+  for (std::size_t offset = 0; offset < payload.size(); offset += 7) {
+    const std::size_t n = std::min<std::size_t>(7, payload.size() - offset);
+    const bool last = offset + n >= payload.size();
+    frames.push_back(encode_data(
+        id, last ? DataOp::kLastExpectAck : DataOp::kMoreNoAck, sequence,
+        payload.subspan(offset, n)));
+    sequence = static_cast<std::uint8_t>((sequence + 1) & 0x0F);
+  }
+  return frames;
+}
+
+void Reassembler::reset() {
+  buffer_.clear();
+  have_sequence_ = false;
+  next_sequence_ = 0;
+}
+
+std::optional<util::Bytes> Reassembler::feed(const can::CanFrame& frame) {
+  const auto kind = classify(frame);
+  if (kind != FrameKind::kData) return std::nullopt;
+  auto info = decode_data(frame);
+  if (!info) return std::nullopt;
+
+  if (have_sequence_ && info->sequence != next_sequence_) {
+    ++sequence_errors_;
+    reset();
+    return std::nullopt;
+  }
+  have_sequence_ = true;
+  next_sequence_ = static_cast<std::uint8_t>((info->sequence + 1) & 0x0F);
+
+  buffer_.insert(buffer_.end(), info->payload.begin(), info->payload.end());
+  if (is_last(info->op)) {
+    util::Bytes message = std::move(buffer_);
+    reset();
+    return message;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dpr::vwtp

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "appanalysis/corpus.hpp"
+#include "appanalysis/ir.hpp"
+#include "appanalysis/taint.hpp"
+
+namespace dpr::appanalysis {
+namespace {
+
+TEST(Prefixes, ClassifiedByServiceByte) {
+  EXPECT_EQ(classify_prefix("41 0C"), ProtocolClass::kObd2);
+  EXPECT_EQ(classify_prefix("62 F4 3C"), ProtocolClass::kUds);
+  EXPECT_EQ(classify_prefix("61 1A"), ProtocolClass::kKwp2000);
+  EXPECT_EQ(classify_prefix(""), ProtocolClass::kUnknown);
+  EXPECT_EQ(classify_prefix("59 02"), ProtocolClass::kUnknown);
+}
+
+TEST(Fig9, ExtractsTheEngineRpmFormula) {
+  // The worked example of Fig. 9: formula v*0.25 + 64*v, condition
+  // startsWith("41 0C").
+  const auto report = analyze_app(fig9_example());
+  ASSERT_EQ(report.formulas.size(), 1u);
+  const auto& formula = report.formulas[0];
+  EXPECT_EQ(formula.prefix, "41 0C");
+  EXPECT_EQ(formula.protocol, ProtocolClass::kObd2);
+  EXPECT_EQ(formula.variables, 2u);
+  // The reconstructed expression contains both the 0.25 and 64 factors.
+  EXPECT_NE(formula.expression.find("0.25"), std::string::npos);
+  EXPECT_NE(formula.expression.find("64"), std::string::npos);
+  EXPECT_NE(formula.condition.find("41 0C"), std::string::npos);
+}
+
+TEST(Taint, OpaqueCallBreaksPropagation) {
+  // Build a minimal app where the parsed value goes through a helper.
+  App app;
+  app.name = "opaque";
+  app.statements = {
+      {Stmt::Kind::kReadApi, 0, -1, -1, 0, '+', "", 0, -1},
+      {Stmt::Kind::kStartsWith, 1, 0, -1, 0, '+', "41 05", 0, -1},
+      {Stmt::Kind::kIf, -1, 1, -1, 0, '+', "", 0, 0},
+      {Stmt::Kind::kSubstr, 2, 0, -1, 0, '+', "", 0, -1},
+      {Stmt::Kind::kParseInt, 3, 2, -1, 0, '+', "", 0, -1},
+      {Stmt::Kind::kOpaqueCall, 4, 3, -1, 0, '+', "", 0, -1},
+      {Stmt::Kind::kDisplay, -1, 4, -1, 0, '+', "", 0, -1},
+      {Stmt::Kind::kLabel, -1, -1, -1, 0, '+', "", 0, 0},
+  };
+  const auto report = analyze_app(app);
+  EXPECT_TRUE(report.formulas.empty());
+  EXPECT_EQ(report.taint_breaks, 1u);
+}
+
+TEST(Taint, UntaintedMathIgnored) {
+  // Math on constants unrelated to the response buffer is not a formula.
+  App app;
+  app.name = "unrelated";
+  app.statements = {
+      {Stmt::Kind::kReadApi, 0, -1, -1, 0, '+', "", 0, -1},
+      {Stmt::Kind::kConst, 1, -1, -1, 3.0, '+', "", 0, -1},
+      {Stmt::Kind::kConst, 2, -1, -1, 4.0, '+', "", 0, -1},
+      {Stmt::Kind::kBinOp, 3, 1, 2, 0, '*', "", 0, -1},
+      {Stmt::Kind::kDisplay, -1, 3, -1, 0, '+', "", 0, -1},
+  };
+  const auto report = analyze_app(app);
+  EXPECT_TRUE(report.formulas.empty());
+}
+
+TEST(Corpus, HasExactly160Apps) {
+  EXPECT_EQ(build_corpus().size(), 160u);
+}
+
+TEST(Corpus, CarlyAppsMatchTable12) {
+  const auto corpus = build_corpus();
+  const auto find = [&](const std::string& name) -> const CorpusEntry* {
+    for (const auto& entry : corpus) {
+      if (entry.app.name == name) return &entry;
+    }
+    return nullptr;
+  };
+  const auto* vag = find("Carly for VAG");
+  ASSERT_NE(vag, nullptr);
+  EXPECT_EQ(vag->uds_formulas, 90u);
+  EXPECT_EQ(vag->kwp_formulas, 137u);
+  const auto* mercedes = find("Carly for Mercedes");
+  ASSERT_NE(mercedes, nullptr);
+  EXPECT_EQ(mercedes->uds_formulas, 1624u);
+  EXPECT_EQ(mercedes->kwp_formulas, 468u);
+  const auto* toyota = find("Carly for Toyota");
+  ASSERT_NE(toyota, nullptr);
+  EXPECT_EQ(toyota->kwp_formulas, 7u);
+}
+
+TEST(Corpus, AnalyzerRecoversGroundTruthCounts) {
+  // End-to-end Alg. 1 over a subset of the corpus (full sweep is the
+  // Table 12 bench).
+  const auto corpus = build_corpus();
+  std::size_t checked = 0;
+  for (const auto& entry : corpus) {
+    if (entry.app.name != "Carly for VAG" &&
+        entry.app.name != "ChevroSys Scan Free" &&
+        entry.app.name != "Kiwi OBD" &&
+        entry.app.name.rfind("DTC Reader", 0) != 0 &&
+        entry.app.name.rfind("ObfuscatedScanner", 0) != 0) {
+      continue;
+    }
+    const auto report = analyze_app(entry.app);
+    std::size_t uds = 0, kwp = 0, obd = 0;
+    for (const auto& formula : report.formulas) {
+      switch (formula.protocol) {
+        case ProtocolClass::kUds: ++uds; break;
+        case ProtocolClass::kKwp2000: ++kwp; break;
+        case ProtocolClass::kObd2: ++obd; break;
+        default: break;
+      }
+    }
+    if (entry.extraction_resistant) {
+      EXPECT_EQ(report.formulas.size(), 0u) << entry.app.name;
+      EXPECT_GT(report.taint_breaks, 0u) << entry.app.name;
+    } else {
+      EXPECT_EQ(uds, entry.uds_formulas) << entry.app.name;
+      EXPECT_EQ(kwp, entry.kwp_formulas) << entry.app.name;
+      EXPECT_EQ(obd, entry.obd_formulas) << entry.app.name;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 5u);
+}
+
+TEST(Ir, PrettyPrinterCoversAllKinds) {
+  const auto app = fig9_example();
+  for (const auto& stmt : app.statements) {
+    EXPECT_FALSE(to_string(stmt).empty());
+  }
+}
+
+}  // namespace
+}  // namespace dpr::appanalysis

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "can/bus.hpp"
+#include "can/sniffer.hpp"
+#include "can/trace.hpp"
+
+namespace dpr::can {
+namespace {
+
+TEST(CanFrame, StoresIdAndData) {
+  CanFrame frame(0x7E0, {0x02, 0x01, 0x0C});
+  EXPECT_EQ(frame.id().value, 0x7E0u);
+  EXPECT_FALSE(frame.id().extended);
+  EXPECT_EQ(frame.dlc(), 3);
+  EXPECT_EQ(frame.byte(1), 0x01);
+}
+
+TEST(CanFrame, RejectsOversizedPayload) {
+  const util::Bytes nine(9, 0);
+  EXPECT_THROW(CanFrame(CanId{0x100, false}, nine), std::invalid_argument);
+}
+
+TEST(CanFrame, RejectsOutOfRangeStandardId) {
+  const util::Bytes data{0x00};
+  EXPECT_THROW(CanFrame(CanId{0x800, false}, data), std::invalid_argument);
+}
+
+TEST(CanFrame, AcceptsExtendedId) {
+  const util::Bytes data{0x00};
+  const CanFrame frame(CanId{0x18DAF110, true}, data);
+  EXPECT_TRUE(frame.id().extended);
+}
+
+TEST(CanFrame, PadToEight) {
+  CanFrame frame(0x123, {0xAA});
+  frame.pad_to_8(0x55);
+  EXPECT_EQ(frame.dlc(), 8);
+  EXPECT_EQ(frame.byte(0), 0xAA);
+  EXPECT_EQ(frame.byte(7), 0x55);
+}
+
+TEST(CanBus, DeliversToAllListeners) {
+  util::SimClock clock;
+  CanBus bus(clock);
+  int count_a = 0, count_b = 0;
+  bus.attach([&](const CanFrame&, util::SimTime) { ++count_a; });
+  bus.attach([&](const CanFrame&, util::SimTime) { ++count_b; });
+  bus.send(CanFrame(0x100, {0x01}));
+  bus.deliver_pending();
+  EXPECT_EQ(count_a, 1);
+  EXPECT_EQ(count_b, 1);
+}
+
+TEST(CanBus, ArbitrationLowestIdWins) {
+  util::SimClock clock;
+  CanBus bus(clock);
+  std::vector<std::uint32_t> order;
+  bus.attach([&](const CanFrame& f, util::SimTime) {
+    order.push_back(f.id().value);
+  });
+  bus.send(CanFrame(0x700, {0x01}));
+  bus.send(CanFrame(0x100, {0x02}));
+  bus.send(CanFrame(0x400, {0x03}));
+  bus.deliver_pending();
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0x100, 0x400, 0x700}));
+}
+
+TEST(CanBus, FifoAmongEqualIds) {
+  util::SimClock clock;
+  CanBus bus(clock);
+  std::vector<std::uint8_t> order;
+  bus.attach([&](const CanFrame& f, util::SimTime) {
+    order.push_back(f.byte(0));
+  });
+  bus.send(CanFrame(0x100, {0x01}));
+  bus.send(CanFrame(0x100, {0x02}));
+  bus.deliver_pending();
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{0x01, 0x02}));
+}
+
+TEST(CanBus, ClockAdvancesByWireTime) {
+  util::SimClock clock;
+  CanBus bus(clock, 500'000);
+  bus.send(CanFrame(0x100, {0, 0, 0, 0, 0, 0, 0, 0}));
+  bus.deliver_pending();
+  // 8-byte frame: (47 + 64) * 1.19 bits at 500 kbit/s ~ 264 us.
+  EXPECT_NEAR(static_cast<double>(clock.now()), 264.0, 6.0);
+}
+
+TEST(CanBus, ListenerMayRespondDuringDelivery) {
+  util::SimClock clock;
+  CanBus bus(clock);
+  std::vector<std::uint32_t> seen;
+  bus.attach([&](const CanFrame& f, util::SimTime) {
+    seen.push_back(f.id().value);
+    if (f.id().value == 0x7E0) bus.send(CanFrame(0x7E8, {0x41}));
+  });
+  bus.send(CanFrame(0x7E0, {0x01}));
+  bus.deliver_pending();
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0x7E0, 0x7E8}));
+}
+
+TEST(Sniffer, RecordsWithDeviceTimestamps) {
+  util::SimClock clock;
+  CanBus bus(clock);
+  Sniffer sniffer(bus, util::DeviceClock(1000, 0.0));
+  bus.send(CanFrame(0x100, {0x01}));
+  bus.deliver_pending();
+  ASSERT_EQ(sniffer.size(), 1u);
+  EXPECT_EQ(sniffer.capture()[0].timestamp, clock.now() + 1000);
+}
+
+TEST(Sniffer, PausedSnifferDropsFrames) {
+  util::SimClock clock;
+  CanBus bus(clock);
+  Sniffer sniffer(bus);
+  sniffer.set_recording(false);
+  bus.send(CanFrame(0x100, {0x01}));
+  bus.deliver_pending();
+  EXPECT_EQ(sniffer.size(), 0u);
+}
+
+TEST(Trace, RoundTripsThroughText) {
+  std::vector<TimestampedFrame> capture{
+      {12345, CanFrame(0x7E0, {0x02, 0x01, 0x0C})},
+      {67890, CanFrame(0x7E8, {0x04, 0x41, 0x0C, 0x1A, 0xF8})},
+  };
+  const std::string text = trace_to_string(capture);
+  const auto parsed = trace_from_string(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].timestamp, 12345);
+  EXPECT_EQ(parsed[0].frame, capture[0].frame);
+  EXPECT_EQ(parsed[1].frame, capture[1].frame);
+}
+
+TEST(Trace, SkipsCommentsAndRejectsGarbage) {
+  const auto parsed = trace_from_string("# comment\n100 7E0 1 2F\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].frame.byte(0), 0x2F);
+  std::istringstream bad("100 7E0 9 00\n");
+  EXPECT_THROW(read_trace(bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dpr::can

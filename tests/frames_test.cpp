@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "can/trace.hpp"
+#include "frames/analysis.hpp"
+#include "frames/fields.hpp"
+#include "isotp/isotp.hpp"
+#include "oemtp/bmw_framing.hpp"
+#include "vwtp/vwtp.hpp"
+
+namespace dpr::frames {
+namespace {
+
+can::CanId id(std::uint32_t v) { return can::CanId{v, false}; }
+
+std::vector<can::TimestampedFrame> stamp(
+    const std::vector<can::CanFrame>& frames, util::SimTime start = 1000) {
+  std::vector<can::TimestampedFrame> out;
+  util::SimTime t = start;
+  for (const auto& frame : frames) {
+    out.push_back({t, frame});
+    t += 500;
+  }
+  return out;
+}
+
+TEST(Census, CountsIsoTpFrameTypes) {
+  util::Bytes long_payload(20, 0xAA);
+  auto frames = isotp::segment_message(id(0x7E8), long_payload);  // FF+2CF
+  frames.push_back(isotp::encode_single(id(0x7E0), util::from_hex("3E 00")));
+  frames.push_back(
+      isotp::encode_flow_control(id(0x7E0), isotp::FlowControl{}));
+  const auto c = census(stamp(frames), TransportHint::kIsoTp);
+  EXPECT_EQ(c.single_frames, 1u);
+  EXPECT_EQ(c.first_frames, 1u);
+  EXPECT_EQ(c.consecutive_frames, 2u);
+  EXPECT_EQ(c.flow_control_frames, 1u);
+  EXPECT_EQ(c.multi_frames(), 3u);
+  EXPECT_EQ(c.total(), 5u);
+}
+
+TEST(Census, CountsVwtpDataAndControl) {
+  util::Bytes payload(20, 0xBB);
+  auto frames = vwtp::segment_message(id(0x740), payload);  // 3 data frames
+  frames.push_back(vwtp::encode_ack(id(0x300), 3));
+  frames.push_back(can::CanFrame(0x740, {0xA8}));  // disconnect
+  const auto c = census(stamp(frames), TransportHint::kVwTp20);
+  EXPECT_EQ(c.vwtp_data_more, 2u);
+  EXPECT_EQ(c.vwtp_data_last, 1u);
+  EXPECT_EQ(c.vwtp_control, 2u);
+}
+
+TEST(Assemble, IsoTpScreensFlowControlAndReassembles) {
+  util::Bytes request = util::from_hex("22 F4 0D");
+  util::Bytes response(25, 0x62);
+  std::vector<can::CanFrame> frames;
+  for (auto& f : isotp::segment_message(id(0x7E0), request))
+    frames.push_back(f);
+  auto resp_frames = isotp::segment_message(id(0x7E8), response);
+  frames.push_back(resp_frames[0]);  // FF
+  frames.push_back(
+      isotp::encode_flow_control(id(0x7E0), isotp::FlowControl{}));
+  for (std::size_t i = 1; i < resp_frames.size(); ++i) {
+    frames.push_back(resp_frames[i]);
+  }
+  const auto messages = assemble(stamp(frames), TransportHint::kIsoTp);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].payload, request);
+  EXPECT_EQ(messages[1].payload, response);
+  EXPECT_EQ(messages[1].can_id, 0x7E8u);
+}
+
+TEST(Assemble, InterleavedIdsKeptSeparate) {
+  util::Bytes a(20, 0x11), b(20, 0x22);
+  const auto fa = isotp::segment_message(id(0x7E8), a);
+  const auto fb = isotp::segment_message(id(0x712), b);
+  // Interleave the two conversations frame by frame.
+  std::vector<can::CanFrame> mixed;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    mixed.push_back(fa[i]);
+    mixed.push_back(fb[i]);
+  }
+  const auto messages = assemble(stamp(mixed), TransportHint::kIsoTp);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].payload, a);
+  EXPECT_EQ(messages[1].payload, b);
+}
+
+TEST(Assemble, VwtpConcatenatesUntilLastFrame) {
+  util::Bytes payload(33, 0x61);
+  const auto frames = vwtp::segment_message(id(0x300), payload);
+  const auto messages = assemble(stamp(frames), TransportHint::kVwTp20);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].payload, payload);
+}
+
+TEST(Assemble, BmwStripsAddressByte) {
+  const util::Bytes payload = util::from_hex("62 DB E5 12 34 56 78 9A");
+  const auto frames = oemtp::segment_bmw(id(0x652), 0xF1, payload);
+  const auto messages = assemble(stamp(frames), TransportHint::kBmwFraming);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].payload, payload);
+}
+
+TEST(Assemble, BmwInterleavedAddressesOnSharedId) {
+  // Two multi-frame requests to different ECUs on the shared tester id.
+  const util::Bytes to_a(15, 0xAA), to_b(15, 0xBB);
+  const auto fa = oemtp::segment_bmw(id(0x6F1), 0x12, to_a);
+  const auto fb = oemtp::segment_bmw(id(0x6F1), 0x22, to_b);
+  std::vector<can::CanFrame> mixed;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    mixed.push_back(fa[i]);
+    mixed.push_back(fb[i]);
+  }
+  const auto messages = assemble(stamp(mixed), TransportHint::kBmwFraming);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].payload, to_a);
+  EXPECT_EQ(messages[1].payload, to_b);
+}
+
+// --- Field extraction --------------------------------------------------------
+
+std::vector<DiagMessage> conversation(
+    std::initializer_list<std::string> hex_messages) {
+  std::vector<DiagMessage> out;
+  util::SimTime t = 1000;
+  for (const auto& hex : hex_messages) {
+    out.push_back(DiagMessage{t, 0x7E0, util::from_hex(hex)});
+    t += 1000;
+  }
+  return out;
+}
+
+TEST(Fields, UdsEsvExtractionViaRequestReference) {
+  const auto result = extract_fields(conversation({
+      "22 F4 0D F4 1A",
+      "62 F4 0D 21 F4 1A 01 F4",  // speed: 1 byte; other: 2 bytes
+  }));
+  ASSERT_EQ(result.esvs.size(), 2u);
+  EXPECT_EQ(result.esvs[0].did, 0xF40D);
+  EXPECT_EQ(result.esvs[0].data, util::Bytes{0x21});
+  EXPECT_EQ(result.esvs[1].did, 0xF41A);
+  EXPECT_EQ(result.esvs[1].data, (util::Bytes{0x01, 0xF4}));
+}
+
+TEST(Fields, UdsResponseWithoutRequestIsUnmatched) {
+  const auto result = extract_fields(conversation({"62 F4 0D 21"}));
+  EXPECT_TRUE(result.esvs.empty());
+  EXPECT_EQ(result.unmatched_responses, 1u);
+}
+
+TEST(Fields, NegativeResponseVoidsPendingRequest) {
+  const auto result = extract_fields(conversation({
+      "22 F4 0D",
+      "7F 22 31",
+      "62 F4 0D 21",  // stale positive afterwards: unmatched
+  }));
+  EXPECT_TRUE(result.esvs.empty());
+  EXPECT_EQ(result.unmatched_responses, 1u);
+}
+
+TEST(Fields, KwpEsvRecordsExtracted) {
+  const auto result = extract_fields(conversation({
+      "21 07",
+      "61 07 01 F1 10 07 64 55",
+  }));
+  ASSERT_EQ(result.esvs.size(), 2u);
+  EXPECT_TRUE(result.esvs[0].is_kwp);
+  EXPECT_EQ(result.esvs[0].local_id, 0x07);
+  EXPECT_EQ(result.esvs[0].esv_index, 0u);
+  EXPECT_EQ(result.esvs[0].formula_type, 0x01);
+  EXPECT_EQ(result.esvs[0].x0, 0xF1);
+  EXPECT_EQ(result.esvs[0].x1, 0x10);
+  EXPECT_EQ(result.esvs[1].esv_index, 1u);
+}
+
+TEST(Fields, EcrExtractionRequiresPositiveResponse) {
+  const auto result = extract_fields(conversation({
+      "2F 09 50 02",
+      "6F 09 50 02",
+      "2F 09 50 03 05 01 00 00",
+      "6F 09 50 03 05 01 00 00",
+      "2F 09 51 03 01",
+      "7F 2F 31",  // rejected: not extracted
+  }));
+  ASSERT_EQ(result.ecrs.size(), 2u);
+  EXPECT_TRUE(result.ecrs[0].is_uds);
+  EXPECT_EQ(result.ecrs[0].id, 0x0950);
+  EXPECT_EQ(result.ecrs[0].io_param, 0x02);
+  EXPECT_EQ(result.ecrs[1].control_state,
+            util::from_hex("05 01 00 00"));
+}
+
+TEST(Fields, KwpEcrViaService30) {
+  const auto result = extract_fields(conversation({
+      "30 15 00 40 00",
+      "70 15 00",
+  }));
+  ASSERT_EQ(result.ecrs.size(), 1u);
+  EXPECT_FALSE(result.ecrs[0].is_uds);
+  EXPECT_EQ(result.ecrs[0].id, 0x15);
+  EXPECT_EQ(result.ecrs[0].io_param, 0x00);
+  EXPECT_EQ(result.ecrs[0].control_state, util::from_hex("40 00"));
+}
+
+TEST(Procedures, ThreeMessagePatternDetected) {
+  const auto result = extract_fields(conversation({
+      "2F 09 50 02", "6F 09 50 02",
+      "2F 09 50 03 05 01 00 00", "6F 09 50 03 05 01 00 00",
+      "2F 09 50 00", "6F 09 50 00",
+  }));
+  const auto procedures = extract_procedures(result.ecrs);
+  ASSERT_EQ(procedures.size(), 1u);
+  EXPECT_TRUE(procedures[0].matches_three_message_pattern());
+  EXPECT_EQ(procedures[0].param_sequence,
+            (std::vector<std::uint8_t>{0x02, 0x03, 0x00}));
+  EXPECT_EQ(procedures[0].adjustment_state, util::from_hex("05 01 00 00"));
+}
+
+TEST(Procedures, IncompleteSequenceNotMatched) {
+  const auto result = extract_fields(conversation({
+      "2F 09 50 03 05", "6F 09 50 03 05",
+      "2F 09 50 00", "6F 09 50 00",
+  }));
+  const auto procedures = extract_procedures(result.ecrs);
+  ASSERT_EQ(procedures.size(), 1u);
+  EXPECT_FALSE(procedures[0].matches_three_message_pattern());
+}
+
+TEST(Procedures, SortedByFirstObservation) {
+  const auto result = extract_fields(conversation({
+      "2F 09 60 02", "6F 09 60 02",
+      "2F 09 50 02", "6F 09 50 02",
+  }));
+  const auto procedures = extract_procedures(result.ecrs);
+  ASSERT_EQ(procedures.size(), 2u);
+  EXPECT_EQ(procedures[0].id, 0x0960);
+  EXPECT_EQ(procedures[1].id, 0x0950);
+}
+
+}  // namespace
+}  // namespace dpr::frames
+
+namespace dpr::frames {
+namespace {
+
+TEST(OfflineAnalysis, CaptureSurvivesTraceRoundTrip) {
+  // Persist a capture to the text trace format and analyze the reloaded
+  // copy: message assembly must be identical (offline re-analysis).
+  util::Bytes request = util::from_hex("22 F4 0D");
+  util::Bytes response(25, 0x62);
+  std::vector<can::TimestampedFrame> capture;
+  util::SimTime t = 1000;
+  for (auto& f : isotp::segment_message(can::CanId{0x7E0, false}, request))
+    capture.push_back({t += 500, f});
+  for (auto& f : isotp::segment_message(can::CanId{0x7E8, false}, response))
+    capture.push_back({t += 500, f});
+
+  const auto reloaded =
+      can::trace_from_string(can::trace_to_string(capture));
+  const auto original = assemble(capture, TransportHint::kIsoTp);
+  const auto roundtrip = assemble(reloaded, TransportHint::kIsoTp);
+  ASSERT_EQ(original.size(), roundtrip.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].payload, roundtrip[i].payload);
+    EXPECT_EQ(original[i].timestamp, roundtrip[i].timestamp);
+  }
+}
+
+}  // namespace
+}  // namespace dpr::frames

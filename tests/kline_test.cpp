@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "kline/bus.hpp"
+#include "kline/endpoint.hpp"
+#include "kline/message.hpp"
+#include "kwp/client.hpp"
+#include "kwp/server.hpp"
+#include "util/rng.hpp"
+
+namespace dpr::kline {
+namespace {
+
+TEST(Checksum, Modulo256Sum) {
+  const std::vector<std::uint8_t> bytes{0x82, 0x10, 0xF1, 0x21, 0x07};
+  EXPECT_EQ(checksum(bytes), (0x82 + 0x10 + 0xF1 + 0x21 + 0x07) & 0xFF);
+}
+
+TEST(Encode, AddressedShortFrame) {
+  Frame frame;
+  frame.target = 0x10;
+  frame.source = 0xF1;
+  frame.payload = {0x21, 0x07};
+  const auto wire = encode(frame);
+  // Fmt(0x80|2) Tgt Src Data Data Checksum.
+  ASSERT_EQ(wire.size(), 6u);
+  EXPECT_EQ(wire[0], 0x82);
+  EXPECT_EQ(wire[1], 0x10);
+  EXPECT_EQ(wire[2], 0xF1);
+  EXPECT_EQ(wire.back(),
+            checksum(std::span<const std::uint8_t>(wire.data(),
+                                                   wire.size() - 1)));
+}
+
+TEST(Encode, LongFrameUsesSeparateLengthByte) {
+  Frame frame;
+  frame.payload.assign(100, 0xAA);
+  const auto wire = encode(frame);
+  EXPECT_EQ(wire[0], 0x80);   // length bits zero
+  EXPECT_EQ(wire[3], 100);    // explicit Len byte
+  EXPECT_EQ(wire.size(), 1u + 2u + 1u + 100u + 1u);
+}
+
+TEST(Encode, RejectsEmptyAndOversized) {
+  Frame frame;
+  EXPECT_THROW(encode(frame), std::invalid_argument);
+  frame.payload.assign(256, 0);
+  EXPECT_THROW(encode(frame), std::invalid_argument);
+}
+
+class DecoderRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DecoderRoundTrip, EncodeDecode) {
+  Frame frame;
+  frame.target = 0x33;
+  frame.source = 0xF1;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    frame.payload.push_back(static_cast<std::uint8_t>(i * 7));
+  }
+  Decoder decoder;
+  std::optional<Frame> result;
+  for (std::uint8_t byte : encode(frame)) result = decoder.feed(byte);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->target, 0x33);
+  EXPECT_EQ(result->source, 0xF1);
+  EXPECT_EQ(result->payload, frame.payload);
+  EXPECT_EQ(decoder.checksum_errors(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadLengths, DecoderRoundTrip,
+                         ::testing::Values(1, 2, 5, 0x3F, 0x40, 100, 255));
+
+TEST(Decoder, ChecksumErrorDetectedAndCounted) {
+  Frame frame;
+  frame.payload = {0x3E};
+  auto wire = encode(frame);
+  wire.back() ^= 0xFF;  // corrupt the checksum
+  Decoder decoder;
+  std::optional<Frame> result;
+  for (std::uint8_t byte : wire) result = decoder.feed(byte);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(decoder.checksum_errors(), 1u);
+  // Decoder recovers: a following good frame parses.
+  for (std::uint8_t byte : encode(frame)) result = decoder.feed(byte);
+  EXPECT_TRUE(result.has_value());
+}
+
+TEST(Bus, ByteTimingAt10k4Baud) {
+  util::SimClock clock;
+  KLineBus bus(clock);
+  bus.send_byte(0x55);
+  bus.deliver_pending();
+  // 10 bits / 10400 baud ~ 961 us.
+  EXPECT_NEAR(static_cast<double>(clock.now()), 961.0, 3.0);
+}
+
+TEST(Bus, FastInitWakeupAdvances50Ms) {
+  util::SimClock clock;
+  KLineBus bus(clock);
+  bool woke = false;
+  bus.attach_wakeup([&](Wakeup kind, util::SimTime) {
+    woke = kind == Wakeup::kFastInit;
+  });
+  bus.send_wakeup(Wakeup::kFastInit);
+  bus.deliver_pending();
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(clock.now(), 50 * util::kMillisecond);
+}
+
+TEST(Endpoint, FastInitHandshakeThenKwpConversation) {
+  util::SimClock clock;
+  KLineBus bus(clock);
+  Endpoint tester(bus, EndpointConfig{0xF1, 0x10, /*is_tester=*/true});
+  Endpoint ecu(bus, EndpointConfig{0x10, 0xF1, /*is_tester=*/false});
+
+  // A KWP server behind the K-Line link — the Table 1 stack.
+  kwp::Server server;
+  server.add_local_id(0x07, [] {
+    return std::vector<kwp::EsvRecord>{{0x01, 0xF1, 0x10}};
+  });
+  server.bind(ecu);
+
+  kwp::Client client(tester, [&] { bus.deliver_pending(); });
+  const auto resp = client.read_local_id(0x07);
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->records.size(), 1u);
+  EXPECT_EQ(resp->records[0].x0, 0xF1);
+  EXPECT_TRUE(tester.communication_started());
+  EXPECT_TRUE(ecu.communication_started());
+}
+
+TEST(Endpoint, HandshakeHappensOnlyOnce) {
+  util::SimClock clock;
+  KLineBus bus(clock);
+  Endpoint tester(bus, EndpointConfig{0xF1, 0x10, true});
+  Endpoint ecu(bus, EndpointConfig{0x10, 0xF1, false});
+  kwp::Server server;
+  server.add_local_id(0x01, [] {
+    return std::vector<kwp::EsvRecord>{{0x07, 0x64, 0x20}};
+  });
+  server.bind(ecu);
+  kwp::Client client(tester, [&] { bus.deliver_pending(); });
+  client.read_local_id(0x01);
+  const util::SimTime after_first = clock.now();
+  client.read_local_id(0x01);
+  // No second 50 ms wakeup: the two reads are much closer than the init.
+  EXPECT_LT(clock.now() - after_first, 40 * util::kMillisecond);
+}
+
+TEST(Endpoint, IgnoresFramesForOtherAddresses) {
+  util::SimClock clock;
+  KLineBus bus(clock);
+  Endpoint ecu_a(bus, EndpointConfig{0x10, 0xF1, false});
+  Endpoint ecu_b(bus, EndpointConfig{0x20, 0xF1, false});
+  int a_count = 0, b_count = 0;
+  ecu_a.set_message_handler([&](const util::Bytes&) { ++a_count; });
+  ecu_b.set_message_handler([&](const util::Bytes&) { ++b_count; });
+  Frame frame;
+  frame.target = 0x10;
+  frame.source = 0xF1;
+  frame.payload = {0x3E, 0x00};
+  bus.send(encode(frame));
+  bus.deliver_pending();
+  EXPECT_EQ(a_count, 1);
+  EXPECT_EQ(b_count, 0);
+}
+
+}  // namespace
+}  // namespace dpr::kline
+
+namespace dpr::kline {
+namespace {
+
+TEST(Property, DecoderSurvivesRandomByteSoup) {
+  util::Rng rng(61);
+  Decoder decoder;
+  std::size_t frames = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (decoder.feed(static_cast<std::uint8_t>(rng.uniform_int(0, 255)))) {
+      ++frames;
+    }
+  }
+  // Random bytes rarely checksum correctly, but when they do the frame
+  // must be structurally valid (non-empty payload).
+  SUCCEED() << frames << " accidental frames";
+}
+
+}  // namespace
+}  // namespace dpr::kline

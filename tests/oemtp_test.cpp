@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "can/bus.hpp"
+#include "oemtp/bmw_framing.hpp"
+#include "oemtp/link.hpp"
+
+namespace dpr::oemtp {
+namespace {
+
+can::CanId id(std::uint32_t v) { return can::CanId{v, false}; }
+
+util::Bytes payload_of(std::size_t n) {
+  util::Bytes p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint8_t>(i);
+  return p;
+}
+
+TEST(Framing, ShortPayloadIsAddressedSingleFrame) {
+  const auto frames = segment_bmw(id(0x6F1), 0x12, util::from_hex("22 DB E5"));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].byte(0), 0x12);  // address byte first
+  EXPECT_EQ(frames[0].byte(1), 0x03);  // inner SF length
+  EXPECT_EQ(frames[0].byte(2), 0x22);
+}
+
+TEST(Framing, SevenBytePayloadSegments) {
+  // 7 bytes exceed the 6-byte addressed single-frame budget.
+  const auto frames = segment_bmw(id(0x6F1), 0x12, payload_of(7));
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].byte(1) >> 4, 0x1);  // inner FF
+  EXPECT_EQ(frames[1].byte(1), 0x21);      // inner CF
+}
+
+TEST(Framing, TargetEcuExtraction) {
+  const auto frames = segment_bmw(id(0x6F1), 0x40, payload_of(3));
+  EXPECT_EQ(bmw_target_ecu(frames[0]), 0x40);
+  EXPECT_EQ(bmw_target_ecu(can::CanFrame(0x100, {0x01})), std::nullopt);
+}
+
+class BmwRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BmwRoundTrip, ReassemblesWithAddressStripped) {
+  const auto payload = payload_of(GetParam());
+  Reassembler reassembler;
+  std::optional<Reassembler::Message> result;
+  for (const auto& frame : segment_bmw(id(0x6F1), 0x29, payload)) {
+    result = reassembler.feed(frame);
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->ecu_id, 0x29);
+  EXPECT_EQ(result->payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadLengths, BmwRoundTrip,
+                         ::testing::Values(1, 5, 6, 7, 8, 11, 12, 20, 60,
+                                           120));
+
+TEST(Link, RequestResponseBetweenTesterAndEcu) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  // Tester transmits on the shared 0x6F1; ECU 0x12 answers on 0x652.
+  BmwLink tester(bus, BmwLinkConfig{id(0x6F1), id(0x652), 0x12, 0xF1});
+  BmwLink ecu(bus, BmwLinkConfig{id(0x652), id(0x6F1), 0xF1, 0x12});
+
+  util::Bytes at_ecu, at_tester;
+  ecu.set_message_handler([&](const util::Bytes& m) {
+    at_ecu = m;
+    ecu.send(payload_of(15));  // multi-frame response
+  });
+  tester.set_message_handler([&](const util::Bytes& m) { at_tester = m; });
+  tester.send(util::from_hex("22 DE 9C"));
+  bus.deliver_pending();
+  EXPECT_EQ(at_ecu, util::from_hex("22 DE 9C"));
+  EXPECT_EQ(at_tester, payload_of(15));
+}
+
+TEST(Link, IgnoresMessagesForOtherEcus) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  BmwLink tester(bus, BmwLinkConfig{id(0x6F1), id(0x652), 0x12, 0xF1});
+  BmwLink other_ecu(bus, BmwLinkConfig{id(0x662), id(0x6F1), 0xF1, 0x22});
+  bool delivered = false;
+  other_ecu.set_message_handler([&](const util::Bytes&) { delivered = true; });
+  tester.send(util::from_hex("22 DE 9C"));  // addressed to 0x12
+  bus.deliver_pending();
+  EXPECT_FALSE(delivered);
+}
+
+}  // namespace
+}  // namespace dpr::oemtp

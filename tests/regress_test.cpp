@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "regress/regress.hpp"
+#include "util/rng.hpp"
+
+namespace dpr::regress {
+namespace {
+
+correlate::Dataset make_dataset(
+    std::size_t n_vars, const std::function<double(double, double)>& truth,
+    std::size_t n = 40) {
+  correlate::Dataset dataset;
+  dataset.n_vars = n_vars;
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(0.0, 255.0);
+    const double x1 = rng.uniform(0.0, 255.0);
+    correlate::DataPoint p;
+    p.xs = n_vars == 1 ? std::vector<double>{x0}
+                       : std::vector<double>{x0, x1};
+    p.y = truth(x0, x1);
+    dataset.points.push_back(std::move(p));
+  }
+  return dataset;
+}
+
+TEST(LeastSquares, SolvesExactSystem) {
+  // y = 2 + 3x.
+  std::vector<std::vector<double>> rows{{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  std::vector<double> ys{2, 5, 8, 11};
+  const auto sol = solve_least_squares(rows, ys);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR((*sol)[0], 2.0, 1e-6);
+  EXPECT_NEAR((*sol)[1], 3.0, 1e-6);
+}
+
+TEST(LeastSquares, RejectsEmptyAndMismatched) {
+  EXPECT_EQ(solve_least_squares({}, {}), std::nullopt);
+  EXPECT_EQ(solve_least_squares({{1.0}}, {1.0, 2.0}), std::nullopt);
+}
+
+TEST(Linear, RecoversAffineFormula) {
+  const auto dataset =
+      make_dataset(1, [](double x, double) { return 0.1 * x - 40.0; });
+  const auto fit = fit_linear(dataset);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->coefficients[0], -40.0, 1e-6);
+  EXPECT_NEAR(fit->coefficients[1], 0.1, 1e-8);
+  EXPECT_LT(fit->mae, 1e-6);
+}
+
+TEST(Linear, RecoversTwoVariableAffine) {
+  const auto dataset = make_dataset(
+      2, [](double x0, double x1) { return 64.0 * x0 + 0.25 * x1; });
+  const auto fit = fit_linear(dataset);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->coefficients[1], 64.0, 1e-6);
+  EXPECT_NEAR(fit->coefficients[2], 0.25, 1e-6);
+}
+
+TEST(Linear, CannotFitProduct) {
+  // The paper's engine-RPM case: Y = X0*X1/5 (§4.4 cause (ii)).
+  const auto dataset = make_dataset(
+      2, [](double x0, double x1) { return x0 * x1 / 5.0; });
+  const auto fit = fit_linear(dataset);
+  ASSERT_TRUE(fit.has_value());
+  const auto truth = [](std::span<const double> xs) {
+    return xs[0] * xs[1] / 5.0;
+  };
+  EXPECT_GT(max_relative_error(*fit, dataset, truth), 0.10);
+}
+
+TEST(Polynomial, FitsProductViaCrossTerm) {
+  const auto dataset = make_dataset(
+      2, [](double x0, double x1) { return x0 * x1 / 5.0; });
+  const auto fit = fit_polynomial(dataset);
+  ASSERT_TRUE(fit.has_value());
+  const auto truth = [](std::span<const double> xs) {
+    return xs[0] * xs[1] / 5.0;
+  };
+  EXPECT_LT(mean_relative_error(*fit, dataset, truth), 0.01);
+}
+
+TEST(Polynomial, FitsQuadratic) {
+  const auto dataset = make_dataset(
+      1, [](double x, double) { return 0.004 * x * x + 2.0; });
+  const auto fit = fit_polynomial(dataset);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(fit->mae, 1e-6);
+}
+
+TEST(Baselines, OutliersCorruptLeastSquares) {
+  // The §4.4 contrast: one gross OCR outlier shifts a plain LS fit
+  // measurably.
+  auto dataset =
+      make_dataset(1, [](double x, double) { return 2.0 * x; }, 30);
+  dataset.points[5].y *= 100.0;  // decimal-drop outlier
+  const auto fit = fit_linear(dataset);
+  ASSERT_TRUE(fit.has_value());
+  const auto truth = [](std::span<const double> xs) { return 2.0 * xs[0]; };
+  EXPECT_GT(mean_relative_error(*fit, dataset, truth), 0.03);
+}
+
+TEST(FitResult, PredictUsesChosenBasis) {
+  const auto dataset = make_dataset(
+      2, [](double x0, double x1) { return 1.0 + x0 + x1 + x0 * x1; });
+  const auto fit = fit_polynomial(dataset);
+  ASSERT_TRUE(fit.has_value());
+  const std::vector<double> x{2.0, 3.0};
+  EXPECT_NEAR(fit->predict(x), 1.0 + 2.0 + 3.0 + 6.0, 1e-6);
+}
+
+TEST(FitResult, FormulaRendering) {
+  const auto dataset =
+      make_dataset(1, [](double x, double) { return 2.0 * x + 1.0; });
+  const auto fit = fit_linear(dataset);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NE(fit->formula.find("Y ="), std::string::npos);
+  EXPECT_NE(fit->formula.find("X"), std::string::npos);
+}
+
+TEST(FitResult, TooFewPointsRejected) {
+  correlate::Dataset dataset;
+  dataset.n_vars = 1;
+  dataset.points.push_back(correlate::DataPoint{{1.0}, 2.0});
+  EXPECT_EQ(fit_linear(dataset), std::nullopt);
+}
+
+}  // namespace
+}  // namespace dpr::regress

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "cps/camera.hpp"
+#include "cps/ocr.hpp"
+#include "screenshot/extract.hpp"
+#include "screenshot/filter.hpp"
+
+namespace dpr::screenshot {
+namespace {
+
+cps::Screenshot make_frame(util::SimTime t,
+                           std::initializer_list<
+                               std::pair<std::string, std::string>> rows) {
+  cps::Screenshot shot;
+  shot.timestamp = t;
+  shot.width = 1000;
+  shot.height = 800;
+  int row = 0;
+  for (const auto& [label, value] : rows) {
+    cps::TextRegion name;
+    name.truth = label;
+    name.bounds = {40, 60 + 40 * row, 400, 36};
+    name.row = row;
+    shot.text_regions.push_back(name);
+    cps::TextRegion val;
+    val.truth = value;
+    val.bounds = {600, 60 + 40 * row, 200, 30};
+    val.row = row;
+    shot.text_regions.push_back(val);
+    ++row;
+  }
+  return shot;
+}
+
+TEST(Extract, PairsLabelsAndValuesByRow) {
+  cps::VideoRecording video;
+  video.frames.push_back(make_frame(
+      1000, {{"Engine Speed (rpm)", "3012.5"}, {"Door Status", "ON"}}));
+  cps::OcrEngine ocr(util::Rng(1), /*noisy=*/false);
+  const auto samples = extract_samples(video, ocr);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "Engine Speed");  // unit stripped
+  EXPECT_EQ(samples[0].row, 0);
+  ASSERT_TRUE(samples[0].value.has_value());
+  EXPECT_DOUBLE_EQ(*samples[0].value, 3012.5);
+  EXPECT_EQ(samples[1].name, "Door Status");
+  EXPECT_EQ(samples[1].value, std::nullopt);  // enum text
+}
+
+TEST(Extract, TimestampsComeFromFrames) {
+  cps::VideoRecording video;
+  video.frames.push_back(make_frame(1111, {{"A", "1.0"}}));
+  video.frames.push_back(make_frame(2222, {{"A", "2.0"}}));
+  cps::OcrEngine ocr(util::Rng(1), false);
+  const auto samples = extract_samples(video, ocr);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].timestamp, 1111);
+  EXPECT_EQ(samples[1].timestamp, 2222);
+}
+
+TEST(Extract, ParseValueRejectsPartialNumbers) {
+  EXPECT_EQ(parse_value("12.5x"), std::nullopt);
+  EXPECT_EQ(parse_value(""), std::nullopt);
+  EXPECT_EQ(parse_value("ON"), std::nullopt);
+  ASSERT_TRUE(parse_value("-40.5").has_value());
+  EXPECT_DOUBLE_EQ(*parse_value("-40.5"), -40.5);
+}
+
+TEST(Extract, StripUnitOnlyWhenParenthesized) {
+  EXPECT_EQ(strip_unit("Engine Speed (rpm)"), "Engine Speed");
+  EXPECT_EQ(strip_unit("Engine Speed"), "Engine Speed");
+}
+
+TEST(Filter, RangeForKnownTypes) {
+  EXPECT_LE(range_for("Engine Speed").hi, 20000.0);
+  EXPECT_LE(range_for("Vehicle Speed").hi, 400.0);
+  EXPECT_LE(range_for("Coolant Temperature").hi, 1200.0);
+  EXPECT_GE(range_for("Something Exotic").hi, 1e6);
+}
+
+TEST(Filter, Stage1RejectsOutOfRangeValues) {
+  std::vector<UiSample> samples;
+  // "25.0" misread as "2500" km/h — the paper's decimal-drop example.
+  samples.push_back(UiSample{1000, 0, "Vehicle Speed", "2500", 2500.0});
+  samples.push_back(UiSample{2000, 0, "Vehicle Speed", "25.0", 25.0});
+  FilterStats stats;
+  const auto kept = filter_samples(samples, &stats);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(*kept[0].value, 25.0);
+  EXPECT_EQ(stats.range_rejected, 1u);
+}
+
+TEST(Filter, Stage2RemovesStatisticalOutliers) {
+  std::vector<UiSample> samples;
+  for (int i = 0; i < 20; ++i) {
+    samples.push_back(UiSample{i * 1000, 0, "Oil Pressure", "x",
+                               200.0 + i});
+  }
+  // An 11.4 -> 4 style drop: in range, but far from the series.
+  samples.push_back(UiSample{30000, 0, "Oil Pressure", "4", 4.0});
+  FilterStats stats;
+  const auto kept = filter_samples(samples, &stats);
+  EXPECT_EQ(kept.size(), 20u);
+  EXPECT_EQ(stats.outlier_rejected, 1u);
+}
+
+TEST(Filter, NonNumericSamplesPassThrough) {
+  std::vector<UiSample> samples{
+      UiSample{1000, 0, "Door Status", "ON", std::nullopt}};
+  const auto kept = filter_samples(samples);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].value_text, "ON");
+}
+
+TEST(Filter, OutlierMaskHandlesConstantSeries) {
+  const std::vector<double> constant{5.0, 5.0, 5.0, 5.0, 5.0};
+  const auto mask = outlier_mask(constant, 10.0);
+  for (bool keep : mask) EXPECT_TRUE(keep);
+  // A constant series with one excursion.
+  const std::vector<double> spiked{5.0, 5.0, 5.0, 5.0, 50.0};
+  const auto spiked_mask = outlier_mask(spiked, 10.0);
+  EXPECT_FALSE(spiked_mask[4]);
+}
+
+TEST(Filter, SmallSeriesNotFiltered) {
+  const std::vector<double> tiny{1.0, 100.0};
+  const auto mask = outlier_mask(tiny, 10.0);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+}
+
+TEST(Filter, SeparateSignalsFilteredIndependently) {
+  std::vector<UiSample> samples;
+  for (int i = 0; i < 10; ++i) {
+    samples.push_back(UiSample{i * 1000, 0, "Oil Pressure", "x", 300.0});
+    samples.push_back(UiSample{i * 1000, 1, "Battery Voltage", "x", 12.6});
+  }
+  // 300 would be an outlier for the voltage series but is normal for the
+  // pressure series.
+  const auto kept = filter_samples(samples);
+  EXPECT_EQ(kept.size(), 20u);
+}
+
+}  // namespace
+}  // namespace dpr::screenshot

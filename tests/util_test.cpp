@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/clock.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dpr::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.05);
+}
+
+TEST(Rng, ChanceBoundaries) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // Child continues differently from parent.
+  EXPECT_NE(parent(), child());
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(5 * kMillisecond);
+  clock.advance(20);
+  EXPECT_EQ(clock.now(), 5020);
+}
+
+TEST(SimClock, AdvanceToNeverMovesBackwards) {
+  SimClock clock;
+  clock.advance_to(1000);
+  clock.advance_to(500);
+  EXPECT_EQ(clock.now(), 1000);
+}
+
+TEST(DeviceClock, OffsetApplied) {
+  DeviceClock device(250, 0.0);
+  EXPECT_EQ(device.local_time(1000), 1250);
+  EXPECT_EQ(device.global_time(1250), 1000);
+}
+
+TEST(DeviceClock, DriftScalesTime) {
+  DeviceClock device(0, 100.0);  // 100 ppm fast
+  const SimTime one_hour = 3600 * kSecond;
+  const SimTime local = device.local_time(one_hour);
+  EXPECT_NEAR(static_cast<double>(local - one_hour), 0.36 * kSecond,
+              1000.0);
+  EXPECT_NEAR(static_cast<double>(device.global_time(local)),
+              static_cast<double>(one_hour), 2.0);
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes data{0x2F, 0x09, 0x50, 0x03, 0x05, 0x01, 0x00, 0x00};
+  EXPECT_EQ(to_hex(data), "2F 09 50 03 05 01 00 00");
+  EXPECT_EQ(from_hex("2F 09 50 03 05 01 00 00"), data);
+}
+
+TEST(Hex, ParsesLowercaseAndSeparators) {
+  EXPECT_EQ(from_hex("de,ad be\tef"), (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Hex, RejectsMalformedInput) {
+  EXPECT_THROW(from_hex("2"), std::invalid_argument);
+  EXPECT_THROW(from_hex("GG"), std::invalid_argument);
+}
+
+TEST(Hex, U16Helpers) {
+  Bytes out;
+  append_u16(out, 0xF40D);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(read_u16(out, 0), 0xF40D);
+}
+
+TEST(Stats, MeanMedianOfKnownSeries) {
+  std::vector<double> xs{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(xs), 22.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Stats, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, MadRobustToOutlier) {
+  std::vector<double> xs{10, 11, 12, 11, 10, 1000};
+  EXPECT_LE(mad(xs), 1.0);
+}
+
+TEST(Stats, MaeAndMse) {
+  std::vector<double> pred{1, 2, 3};
+  std::vector<double> target{2, 2, 5};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(pred, target), 1.0);
+  EXPECT_DOUBLE_EQ(mean_squared_error(pred, target), 5.0 / 3.0);
+}
+
+TEST(Stats, PearsonPerfectAndConstant) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> constant{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, constant), 0.0);
+}
+
+}  // namespace
+}  // namespace dpr::util

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "can/bus.hpp"
+#include "isotp/endpoint.hpp"
+#include "uds/client.hpp"
+#include "vehicle/actuator.hpp"
+#include "vehicle/catalog.hpp"
+#include "vehicle/formula.hpp"
+#include "vehicle/signal.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace dpr::vehicle {
+namespace {
+
+TEST(Formula, LinearOverCombinedBytes) {
+  const auto f = PropFormula::linear(0.25, 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(util::Bytes{0x1A, 0xF8}), (0x1A * 256.0 + 0xF8) * 0.25);
+}
+
+TEST(Formula, TwoByteForm) {
+  const auto f = PropFormula::two_byte(64.1, 0.241);
+  EXPECT_NEAR(f.eval(util::Bytes{10, 100}), 64.1 * 10 + 0.241 * 100, 1e-9);
+}
+
+TEST(Formula, ProductForm) {
+  const auto f = PropFormula::product(0.2);
+  EXPECT_DOUBLE_EQ(f.eval(util::Bytes{0xF1, 0x10}), 241 * 16 * 0.2);
+}
+
+TEST(Formula, QuadraticForm) {
+  const auto f = PropFormula::quadratic(0.004, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(util::Bytes{100}), 40.0);
+}
+
+TEST(Formula, EnumPassesRawThrough) {
+  const auto f = PropFormula::enumeration();
+  EXPECT_TRUE(f.is_enum());
+  EXPECT_DOUBLE_EQ(f.eval(util::Bytes{0x02}), 2.0);
+}
+
+TEST(Formula, ReprIsReadable) {
+  EXPECT_EQ(PropFormula::linear(0.1, -40.0).repr(), "Y = 0.1*X - 40");
+  EXPECT_EQ(PropFormula::linear(1.0).repr(), "Y = X");
+}
+
+TEST(Signal, ConstantPatternNeverMoves) {
+  RawSignal sig(RawSignal::Pattern::kConstant, 50, 200, util::Rng(1));
+  const auto first = sig.sample(0);
+  for (util::SimTime t = 0; t < 10 * util::kSecond; t += 100000) {
+    EXPECT_EQ(sig.sample(t), first);
+  }
+}
+
+TEST(Signal, WalkStaysInBounds) {
+  RawSignal sig(RawSignal::Pattern::kRandomWalk, 10, 90, util::Rng(2));
+  for (util::SimTime t = 0; t < 30 * util::kSecond; t += 50000) {
+    const auto v = sig.sample(t);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 90u);
+  }
+}
+
+TEST(Signal, SineSweepsRange) {
+  RawSignal sig(RawSignal::Pattern::kSine, 0, 100, util::Rng(3), 4.0);
+  std::uint32_t lo = 100, hi = 0;
+  for (util::SimTime t = 0; t < 8 * util::kSecond; t += 50000) {
+    const auto v = sig.sample(t);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 15u);
+  EXPECT_GT(hi, 85u);
+}
+
+TEST(Signal, StableWithinRefreshTick) {
+  RawSignal sig(RawSignal::Pattern::kRandomWalk, 0, 255, util::Rng(4));
+  EXPECT_EQ(sig.sample(1000), sig.sample(2000));  // same 50 ms tick
+}
+
+TEST(Signal, RawToBytesBigEndian) {
+  EXPECT_EQ(raw_to_bytes(0x1AF8, 2), (std::vector<std::uint8_t>{0x1A, 0xF8}));
+  EXPECT_EQ(raw_to_bytes(0x21, 1), (std::vector<std::uint8_t>{0x21}));
+}
+
+TEST(Actuator, ThreeMessagePattern) {
+  Actuator act("Fog Light Left");
+  EXPECT_TRUE(act.apply(0x02, {}).has_value());  // freeze
+  EXPECT_EQ(act.phase(), Actuator::Phase::kFrozen);
+  const util::Bytes state{0x05, 0x01, 0x00, 0x00};
+  EXPECT_TRUE(act.apply(0x03, state).has_value());
+  EXPECT_TRUE(act.active());
+  EXPECT_EQ(act.control_state(), state);
+  EXPECT_TRUE(act.apply(0x00, {}).has_value());
+  EXPECT_EQ(act.phase(), Actuator::Phase::kEcuControlled);
+  EXPECT_EQ(act.activations(), 1u);
+}
+
+TEST(Actuator, AdjustmentWithoutFreezeRejected) {
+  Actuator act("Horn");
+  EXPECT_EQ(act.apply(0x03, util::Bytes{0x01}), std::nullopt);
+  EXPECT_EQ(act.activations(), 0u);
+}
+
+TEST(Actuator, UnknownParameterRejected) {
+  Actuator act("Horn");
+  EXPECT_EQ(act.apply(0x47, {}), std::nullopt);
+}
+
+TEST(Catalog, HasEighteenCars) {
+  EXPECT_EQ(catalog().size(), 18u);
+}
+
+TEST(Catalog, Table6CountsMatchPaper) {
+  // Spot checks against Table 6 / Table 3.
+  EXPECT_EQ(car_spec(CarId::kA).formula_esv_count, 28u);
+  EXPECT_EQ(car_spec(CarId::kA).model, "Skoda Octavia");
+  EXPECT_EQ(car_spec(CarId::kK).formula_esv_count, 41u);
+  EXPECT_EQ(car_spec(CarId::kG).enum_esv_count, 22u);
+  EXPECT_EQ(car_spec(CarId::kR).formula_esv_count, 40u);
+
+  std::size_t formulas = 0, enums = 0, ecrs = 0;
+  for (const auto& spec : catalog()) {
+    formulas += spec.formula_esv_count;
+    enums += spec.enum_esv_count;
+    ecrs += spec.ecr_count;
+  }
+  EXPECT_EQ(formulas, 290u);  // Table 6 total
+  EXPECT_EQ(enums, 156u);     // Table 6 total
+  EXPECT_EQ(ecrs, 124u);      // Table 11 total
+}
+
+TEST(Catalog, SignalCountsMatchDeclaredTotals) {
+  for (const auto& spec : catalog()) {
+    std::size_t formulas = 0, enums = 0, actuators = 0;
+    for (const auto& ecu : spec.ecus) {
+      for (const auto& sig : ecu.uds_signals) {
+        (sig.formula.is_enum() ? enums : formulas) += 1;
+      }
+      for (const auto& block : ecu.kwp_local_ids) {
+        for (const auto& esv : block.esvs) {
+          (esv.is_enum ? enums : formulas) += 1;
+        }
+      }
+      actuators += ecu.actuators.size();
+    }
+    EXPECT_EQ(formulas, spec.formula_esv_count) << spec.label;
+    EXPECT_EQ(enums, spec.enum_esv_count) << spec.label;
+    EXPECT_GE(actuators, spec.ecr_count) << spec.label;
+  }
+}
+
+TEST(Catalog, ProtocolAssignmentsMatchTable3) {
+  EXPECT_EQ(car_spec(CarId::kB).protocol, Protocol::kKwp2000);
+  EXPECT_EQ(car_spec(CarId::kB).transport, TransportKind::kVwTp20);
+  EXPECT_EQ(car_spec(CarId::kG).transport, TransportKind::kBmwFraming);
+  EXPECT_EQ(car_spec(CarId::kL).protocol, Protocol::kUds);
+  EXPECT_EQ(car_spec(CarId::kK).protocol, Protocol::kKwp2000);
+}
+
+TEST(Catalog, DidsUniquePerCar) {
+  for (const auto& spec : catalog()) {
+    std::set<uds::Did> seen;
+    for (const auto& ecu : spec.ecus) {
+      for (const auto& sig : ecu.uds_signals) {
+        EXPECT_TRUE(seen.insert(sig.did).second)
+            << spec.label << " duplicate DID " << sig.did;
+      }
+    }
+  }
+}
+
+TEST(Catalog, Table7DashboardSignalsPresent) {
+  // Table 7 validation signals must exist with the right formulas.
+  bool found_r = false;
+  for (const auto& ecu : car_spec(CarId::kR).ecus) {
+    for (const auto& sig : ecu.uds_signals) {
+      if (sig.name == "Engine Speed" &&
+          sig.formula.kind() == PropFormula::Kind::kTwoByte) {
+        found_r = true;
+        EXPECT_NEAR(sig.formula.a(), 64.1, 1e-9);
+        EXPECT_NEAR(sig.formula.b(), 0.241, 1e-9);
+      }
+    }
+  }
+  EXPECT_TRUE(found_r);
+}
+
+TEST(VehicleSim, RespondsToUdsReads) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  Vehicle vehicle(CarId::kA, bus, clock);
+  const auto& sig = vehicle.spec().ecus[0].uds_signals[0];
+
+  isotp::Endpoint tester(
+      bus,
+      isotp::EndpointConfig{can::CanId{vehicle.spec().ecus[0].request_id,
+                                       false},
+                            can::CanId{vehicle.spec().ecus[0].response_id,
+                                       false}});
+  uds::Client client(tester, [&] { bus.deliver_pending(); });
+  const std::vector<uds::Did> dids{sig.did};
+  const auto records = client.read_data(
+      dids, [&](uds::Did) { return std::optional<std::size_t>(sig.data_bytes); });
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 1u);
+  // The returned raw bytes decode to the ground-truth physical value.
+  const auto physical = vehicle.physical_value(sig.did);
+  ASSERT_TRUE(physical.has_value());
+  EXPECT_NEAR(sig.formula.eval((*records)[0].data), *physical, 1e-9);
+}
+
+TEST(VehicleSim, DashboardValueMatchesSignal) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  Vehicle vehicle(CarId::kL, bus, clock);
+  const auto value = vehicle.dashboard_value("Coolant Temperature");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_GE(*value, 0.0);
+  EXPECT_LE(*value, 150.0);
+}
+
+TEST(VehicleSim, FindEcuHelpers) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  Vehicle vehicle(CarId::kN, bus, clock);
+  // Kia's Table 13 actuator.
+  EXPECT_NE(vehicle.find_ecu_with_actuator(0xB003), nullptr);
+  EXPECT_EQ(vehicle.find_ecu_with_actuator(0xFFFF), nullptr);
+}
+
+}  // namespace
+}  // namespace dpr::vehicle

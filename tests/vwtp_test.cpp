@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "can/bus.hpp"
+#include "vwtp/channel.hpp"
+#include "vwtp/vwtp.hpp"
+
+namespace dpr::vwtp {
+namespace {
+
+can::CanId id(std::uint32_t v) { return can::CanId{v, false}; }
+
+util::Bytes payload_of(std::size_t n) {
+  util::Bytes p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint8_t>(i);
+  return p;
+}
+
+TEST(Classify, DataAndAckFrames) {
+  EXPECT_EQ(classify(can::CanFrame(0x300, {0x20, 0x21, 0x07})),
+            FrameKind::kData);
+  EXPECT_EQ(classify(can::CanFrame(0x300, {0x11, 0x61, 0x01})),
+            FrameKind::kData);
+  EXPECT_EQ(classify(can::CanFrame(0x300, {0x91})), FrameKind::kAck);
+  EXPECT_EQ(classify(can::CanFrame(0x300, {0xB2})), FrameKind::kAck);
+}
+
+TEST(Classify, ControlFrames) {
+  EXPECT_EQ(classify(can::CanFrame(0x300, {0xA0, 0x0F, 0x8A, 0xFF, 0x32,
+                                           0xFF})),
+            FrameKind::kChannelParamsRequest);
+  EXPECT_EQ(classify(can::CanFrame(0x300, {0xA1, 0x0F, 0x8A, 0xFF, 0x32,
+                                           0xFF})),
+            FrameKind::kChannelParamsResponse);
+  EXPECT_EQ(classify(can::CanFrame(0x300, {0xA8})), FrameKind::kDisconnect);
+  EXPECT_EQ(classify(can::CanFrame(0x300, {0xA3})), FrameKind::kBreak);
+}
+
+TEST(Classify, SetupFramesOnBroadcast) {
+  const auto request = encode_setup_request(0x01, id(0x300));
+  EXPECT_EQ(classify(request), FrameKind::kChannelSetupRequest);
+  const auto response = encode_setup_response(0x01, id(0x740), id(0x300));
+  EXPECT_EQ(classify(response), FrameKind::kChannelSetupResponse);
+}
+
+TEST(Classify, ControlScreening) {
+  EXPECT_TRUE(is_control_frame(FrameKind::kAck));
+  EXPECT_TRUE(is_control_frame(FrameKind::kChannelSetupRequest));
+  EXPECT_TRUE(is_control_frame(FrameKind::kDisconnect));
+  EXPECT_FALSE(is_control_frame(FrameKind::kData));
+}
+
+TEST(DataFrames, LastFlagSemantics) {
+  EXPECT_TRUE(is_last(DataOp::kLastExpectAck));
+  EXPECT_TRUE(is_last(DataOp::kLastNoAck));
+  EXPECT_FALSE(is_last(DataOp::kMoreNoAck));
+  EXPECT_TRUE(expects_ack(DataOp::kLastExpectAck));
+  EXPECT_FALSE(expects_ack(DataOp::kMoreNoAck));
+}
+
+TEST(SegmentMessage, LastFrameMarked) {
+  const auto frames = segment_message(id(0x740), payload_of(20));
+  ASSERT_EQ(frames.size(), 3u);
+  auto info0 = decode_data(frames[0]);
+  auto info2 = decode_data(frames[2]);
+  ASSERT_TRUE(info0 && info2);
+  EXPECT_FALSE(is_last(info0->op));
+  EXPECT_TRUE(is_last(info2->op));
+  EXPECT_EQ(info0->sequence, 0);
+  EXPECT_EQ(info2->sequence, 2);
+}
+
+TEST(SegmentMessage, RejectsEmpty) {
+  EXPECT_THROW(segment_message(id(0x740), {}), std::invalid_argument);
+}
+
+class VwtpRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VwtpRoundTrip, ReassemblesWithoutLengthField) {
+  const auto payload = payload_of(GetParam());
+  Reassembler reassembler;
+  std::optional<util::Bytes> result;
+  for (const auto& frame : segment_message(id(0x740), payload)) {
+    result = reassembler.feed(frame);
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadLengths, VwtpRoundTrip,
+                         ::testing::Values(1, 6, 7, 8, 14, 15, 50, 111,
+                                           200));
+
+TEST(Reassembler, SequenceGapDetected) {
+  const auto frames = segment_message(id(0x740), payload_of(30));
+  Reassembler reassembler;
+  reassembler.feed(frames[0]);
+  reassembler.feed(frames[2]);
+  EXPECT_EQ(reassembler.sequence_errors(), 1u);
+}
+
+TEST(Reassembler, IgnoresControlFrames) {
+  Reassembler reassembler;
+  EXPECT_EQ(reassembler.feed(can::CanFrame(0x300, {0xA8})), std::nullopt);
+  EXPECT_EQ(reassembler.feed(can::CanFrame(0x300, {0x91})), std::nullopt);
+}
+
+TEST(Setup, ResponseRoundTrip) {
+  const auto response = encode_setup_response(0x01, id(0x740), id(0x300));
+  const auto result = decode_setup_response(response);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->tester_tx.value, 0x740u);
+  EXPECT_EQ(result->tester_rx.value, 0x300u);
+}
+
+TEST(Channel, BidirectionalMessages) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  Channel tester(bus, ChannelConfig{id(0x740), id(0x300)});
+  Channel ecu(bus, ChannelConfig{id(0x300), id(0x740)});
+
+  util::Bytes at_ecu, at_tester;
+  ecu.set_message_handler([&](const util::Bytes& m) {
+    at_ecu = m;
+    util::Bytes reply(25, 0x61);
+    ecu.send(reply);
+  });
+  tester.set_message_handler([&](const util::Bytes& m) { at_tester = m; });
+
+  tester.send(payload_of(40));
+  bus.deliver_pending();
+  EXPECT_EQ(at_ecu, payload_of(40));
+  EXPECT_EQ(at_tester.size(), 25u);
+  EXPECT_GE(tester.stats().acks_received, 1u);
+  EXPECT_GE(ecu.stats().acks_sent, 1u);
+}
+
+TEST(Channel, ParamsNegotiationEchoed) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  Channel ecu(bus, ChannelConfig{id(0x300), id(0x740)});
+  std::vector<can::CanFrame> on_bus;
+  bus.attach([&](const can::CanFrame& f, util::SimTime) {
+    on_bus.push_back(f);
+  });
+  bus.send(can::CanFrame(0x740, {0xA0, 0x0F, 0x8A, 0xFF, 0x32, 0xFF}));
+  bus.deliver_pending();
+  ASSERT_EQ(on_bus.size(), 2u);
+  EXPECT_EQ(on_bus[1].byte(0), 0xA1);
+  EXPECT_EQ(on_bus[1].id().value, 0x300u);
+}
+
+TEST(Channel, SequenceNumbersContinueAcrossMessages) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  Channel tester(bus, ChannelConfig{id(0x740), id(0x300)});
+  Channel ecu(bus, ChannelConfig{id(0x300), id(0x740)});
+  std::vector<util::Bytes> received;
+  ecu.set_message_handler(
+      [&](const util::Bytes& m) { received.push_back(m); });
+  tester.send(payload_of(10));  // 2 frames: seq 0,1
+  bus.deliver_pending();
+  tester.send(payload_of(10));  // seq 2,3 — receiver must accept
+  bus.deliver_pending();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[1], payload_of(10));
+}
+
+}  // namespace
+}  // namespace dpr::vwtp

@@ -1,0 +1,145 @@
+// dpreverser — command-line front end for the reverse-engineering
+// pipeline: run a campaign against one simulated vehicle, print the
+// recovered protocol map, optionally export the raw CAN capture.
+//
+// Usage:
+//   dpreverser --car A [--window 16] [--seed N] [--no-filter]
+//              [--no-ocr-noise] [--no-baselines] [--trace capture.log]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "can/trace.hpp"
+#include "core/campaign.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dpreverser --car <A..R> [options]\n"
+               "  --window <s>     live-capture window per ECU (default 16)\n"
+               "  --seed <n>       simulation seed\n"
+               "  --no-filter      disable the two-stage ESV filter (ablation)\n"
+               "  --no-ocr-noise   perfect OCR (clean-room ablation)\n"
+               "  --no-baselines   skip linear/polynomial baselines\n"
+               "  --trace <file>   export the sniffed CAN capture\n"
+               "  --list           list the vehicle catalog and exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpr;
+
+  int car_index = -1;
+  core::CampaignOptions options;
+  options.live_window = 16 * util::kSecond;
+  options.video_fps = 10.0;
+  options.gp.population = 192;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--car") {
+      const char* value = next();
+      if (std::strlen(value) == 1 && value[0] >= 'A' && value[0] <= 'R') {
+        car_index = value[0] - 'A';
+      }
+    } else if (arg == "--window") {
+      options.live_window =
+          static_cast<util::SimTime>(std::atof(next()) * util::kSecond);
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--no-filter") {
+      options.two_stage_filter = false;
+    } else if (arg == "--no-ocr-noise") {
+      options.ocr_noise = false;
+    } else if (arg == "--no-baselines") {
+      options.run_baselines = false;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--list") {
+      for (const auto& spec : vehicle::catalog()) {
+        std::printf("%s  %-22s %-9s %-12s tool: %s\n", spec.label.c_str(),
+                    spec.model.c_str(),
+                    spec.protocol == vehicle::Protocol::kUds ? "UDS"
+                                                             : "KWP 2000",
+                    spec.transport == vehicle::TransportKind::kIsoTp
+                        ? "ISO-TP"
+                        : spec.transport == vehicle::TransportKind::kVwTp20
+                              ? "VW TP 2.0"
+                              : "BMW framing",
+                    spec.tool.c_str());
+      }
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (car_index < 0) {
+    usage();
+    return 2;
+  }
+
+  core::Campaign campaign(static_cast<vehicle::CarId>(car_index), options);
+  std::printf("collecting from %s (%s, tool %s)...\n",
+              campaign.report().car_label.c_str(),
+              campaign.vehicle().spec().model.c_str(),
+              campaign.vehicle().spec().tool.c_str());
+  campaign.collect();
+  std::printf("  %zu CAN frames, %zu video frames captured\n",
+              campaign.capture().size(), campaign.video().frames.size());
+  campaign.analyze();
+
+  const auto& report = campaign.report();
+  std::printf("\nalignment offset %lld us (%zu anchors); %zu messages "
+              "assembled\n",
+              static_cast<long long>(report.alignment_offset),
+              report.alignment_anchors, report.messages_assembled);
+
+  std::printf("\nREAD MESSAGES (%zu formula / %zu enum):\n",
+              report.formula_signals(), report.enum_signals());
+  for (const auto& s : report.signals) {
+    if (s.is_enum) {
+      std::printf("  [%s] %-34s (status/enum)\n", s.request_message.c_str(),
+                  s.semantic_name.c_str());
+    } else {
+      std::printf("  [%s] %-34s %s%s\n", s.request_message.c_str(),
+                  s.semantic_name.c_str(),
+                  s.gp ? s.gp->formula.c_str() : "(no formula)",
+                  s.gp_correct ? "" : "   [unverified]");
+    }
+  }
+  std::printf("\nCONTROL MESSAGES (%zu):\n", report.ecrs.size());
+  for (const auto& e : report.ecrs) {
+    std::printf("  [%s %04X] %-30s state %s%s\n", e.is_uds ? "2F" : "30",
+                e.id, e.semantic_name.c_str(),
+                util::to_hex(e.adjustment_state).c_str(),
+                e.three_message_pattern ? "" : "   [no 3-msg pattern]");
+  }
+  std::printf("\nGP precision: %zu/%zu", report.gp_correct(),
+              report.formula_signals());
+  if (options.run_baselines) {
+    std::printf("   (linear %zu, polynomial %zu)",
+                report.linear_correct(), report.polynomial_correct());
+  }
+  std::printf("\n");
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    can::write_trace(out, campaign.capture());
+    std::printf("capture written to %s\n", trace_path.c_str());
+  }
+  return 0;
+}
