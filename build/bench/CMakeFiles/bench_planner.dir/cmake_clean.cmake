@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_planner.dir/bench_planner.cpp.o"
+  "CMakeFiles/bench_planner.dir/bench_planner.cpp.o.d"
+  "bench_planner"
+  "bench_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

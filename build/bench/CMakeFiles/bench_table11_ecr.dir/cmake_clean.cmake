@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_ecr.dir/bench_table11_ecr.cpp.o"
+  "CMakeFiles/bench_table11_ecr.dir/bench_table11_ecr.cpp.o.d"
+  "bench_table11_ecr"
+  "bench_table11_ecr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_ecr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

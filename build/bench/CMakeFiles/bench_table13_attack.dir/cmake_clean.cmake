@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_attack.dir/bench_table13_attack.cpp.o"
+  "CMakeFiles/bench_table13_attack.dir/bench_table13_attack.cpp.o.d"
+  "bench_table13_attack"
+  "bench_table13_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

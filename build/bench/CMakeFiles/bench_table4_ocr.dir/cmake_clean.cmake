@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ocr.dir/bench_table4_ocr.cpp.o"
+  "CMakeFiles/bench_table4_ocr.dir/bench_table4_ocr.cpp.o.d"
+  "bench_table4_ocr"
+  "bench_table4_ocr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

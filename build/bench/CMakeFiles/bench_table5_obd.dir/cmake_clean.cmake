@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_obd.dir/bench_table5_obd.cpp.o"
+  "CMakeFiles/bench_table5_obd.dir/bench_table5_obd.cpp.o.d"
+  "bench_table5_obd"
+  "bench_table5_obd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_obd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_uds_kwp.dir/bench_table6_uds_kwp.cpp.o"
+  "CMakeFiles/bench_table6_uds_kwp.dir/bench_table6_uds_kwp.cpp.o.d"
+  "bench_table6_uds_kwp"
+  "bench_table6_uds_kwp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_uds_kwp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

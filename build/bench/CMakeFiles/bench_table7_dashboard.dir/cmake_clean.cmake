@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_dashboard.dir/bench_table7_dashboard.cpp.o"
+  "CMakeFiles/bench_table7_dashboard.dir/bench_table7_dashboard.cpp.o.d"
+  "bench_table7_dashboard"
+  "bench_table7_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

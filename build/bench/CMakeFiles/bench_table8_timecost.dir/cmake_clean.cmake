@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_timecost.dir/bench_table8_timecost.cpp.o"
+  "CMakeFiles/bench_table8_timecost.dir/bench_table8_timecost.cpp.o.d"
+  "bench_table8_timecost"
+  "bench_table8_timecost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_timecost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

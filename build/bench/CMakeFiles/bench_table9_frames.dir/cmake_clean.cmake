@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_frames.dir/bench_table9_frames.cpp.o"
+  "CMakeFiles/bench_table9_frames.dir/bench_table9_frames.cpp.o.d"
+  "bench_table9_frames"
+  "bench_table9_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

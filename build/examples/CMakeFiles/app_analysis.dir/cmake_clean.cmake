@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_analysis.dir/app_analysis.cpp.o"
+  "CMakeFiles/app_analysis.dir/app_analysis.cpp.o.d"
+  "app_analysis"
+  "app_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

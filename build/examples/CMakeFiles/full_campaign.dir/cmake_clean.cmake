@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_campaign.dir/full_campaign.cpp.o"
+  "CMakeFiles/full_campaign.dir/full_campaign.cpp.o.d"
+  "full_campaign"
+  "full_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

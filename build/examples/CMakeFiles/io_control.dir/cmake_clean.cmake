@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_control.dir/io_control.cpp.o"
+  "CMakeFiles/io_control.dir/io_control.cpp.o.d"
+  "io_control"
+  "io_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_tour.dir/protocol_tour.cpp.o"
+  "CMakeFiles/protocol_tour.dir/protocol_tour.cpp.o.d"
+  "protocol_tour"
+  "protocol_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("can")
+subdirs("isotp")
+subdirs("vwtp")
+subdirs("oemtp")
+subdirs("kline")
+subdirs("uds")
+subdirs("kwp")
+subdirs("obd")
+subdirs("vehicle")
+subdirs("diagtool")
+subdirs("cps")
+subdirs("frames")
+subdirs("screenshot")
+subdirs("correlate")
+subdirs("gp")
+subdirs("regress")
+subdirs("appanalysis")
+subdirs("core")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appanalysis/corpus.cpp" "src/appanalysis/CMakeFiles/dpr_appanalysis.dir/corpus.cpp.o" "gcc" "src/appanalysis/CMakeFiles/dpr_appanalysis.dir/corpus.cpp.o.d"
+  "/root/repo/src/appanalysis/ir.cpp" "src/appanalysis/CMakeFiles/dpr_appanalysis.dir/ir.cpp.o" "gcc" "src/appanalysis/CMakeFiles/dpr_appanalysis.dir/ir.cpp.o.d"
+  "/root/repo/src/appanalysis/taint.cpp" "src/appanalysis/CMakeFiles/dpr_appanalysis.dir/taint.cpp.o" "gcc" "src/appanalysis/CMakeFiles/dpr_appanalysis.dir/taint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

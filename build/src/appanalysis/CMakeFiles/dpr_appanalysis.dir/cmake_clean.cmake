@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_appanalysis.dir/corpus.cpp.o"
+  "CMakeFiles/dpr_appanalysis.dir/corpus.cpp.o.d"
+  "CMakeFiles/dpr_appanalysis.dir/ir.cpp.o"
+  "CMakeFiles/dpr_appanalysis.dir/ir.cpp.o.d"
+  "CMakeFiles/dpr_appanalysis.dir/taint.cpp.o"
+  "CMakeFiles/dpr_appanalysis.dir/taint.cpp.o.d"
+  "libdpr_appanalysis.a"
+  "libdpr_appanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_appanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

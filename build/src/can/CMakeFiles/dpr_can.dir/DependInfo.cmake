@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/can/bus.cpp" "src/can/CMakeFiles/dpr_can.dir/bus.cpp.o" "gcc" "src/can/CMakeFiles/dpr_can.dir/bus.cpp.o.d"
+  "/root/repo/src/can/frame.cpp" "src/can/CMakeFiles/dpr_can.dir/frame.cpp.o" "gcc" "src/can/CMakeFiles/dpr_can.dir/frame.cpp.o.d"
+  "/root/repo/src/can/sniffer.cpp" "src/can/CMakeFiles/dpr_can.dir/sniffer.cpp.o" "gcc" "src/can/CMakeFiles/dpr_can.dir/sniffer.cpp.o.d"
+  "/root/repo/src/can/trace.cpp" "src/can/CMakeFiles/dpr_can.dir/trace.cpp.o" "gcc" "src/can/CMakeFiles/dpr_can.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_can.dir/bus.cpp.o"
+  "CMakeFiles/dpr_can.dir/bus.cpp.o.d"
+  "CMakeFiles/dpr_can.dir/frame.cpp.o"
+  "CMakeFiles/dpr_can.dir/frame.cpp.o.d"
+  "CMakeFiles/dpr_can.dir/sniffer.cpp.o"
+  "CMakeFiles/dpr_can.dir/sniffer.cpp.o.d"
+  "CMakeFiles/dpr_can.dir/trace.cpp.o"
+  "CMakeFiles/dpr_can.dir/trace.cpp.o.d"
+  "libdpr_can.a"
+  "libdpr_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_core.dir/campaign.cpp.o"
+  "CMakeFiles/dpr_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/dpr_core.dir/obd_experiment.cpp.o"
+  "CMakeFiles/dpr_core.dir/obd_experiment.cpp.o.d"
+  "libdpr_core.a"
+  "libdpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_correlate.dir/correlate.cpp.o"
+  "CMakeFiles/dpr_correlate.dir/correlate.cpp.o.d"
+  "libdpr_correlate.a"
+  "libdpr_correlate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_correlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cps/analyzer.cpp" "src/cps/CMakeFiles/dpr_cps.dir/analyzer.cpp.o" "gcc" "src/cps/CMakeFiles/dpr_cps.dir/analyzer.cpp.o.d"
+  "/root/repo/src/cps/camera.cpp" "src/cps/CMakeFiles/dpr_cps.dir/camera.cpp.o" "gcc" "src/cps/CMakeFiles/dpr_cps.dir/camera.cpp.o.d"
+  "/root/repo/src/cps/clicker.cpp" "src/cps/CMakeFiles/dpr_cps.dir/clicker.cpp.o" "gcc" "src/cps/CMakeFiles/dpr_cps.dir/clicker.cpp.o.d"
+  "/root/repo/src/cps/ocr.cpp" "src/cps/CMakeFiles/dpr_cps.dir/ocr.cpp.o" "gcc" "src/cps/CMakeFiles/dpr_cps.dir/ocr.cpp.o.d"
+  "/root/repo/src/cps/planner.cpp" "src/cps/CMakeFiles/dpr_cps.dir/planner.cpp.o" "gcc" "src/cps/CMakeFiles/dpr_cps.dir/planner.cpp.o.d"
+  "/root/repo/src/cps/script.cpp" "src/cps/CMakeFiles/dpr_cps.dir/script.cpp.o" "gcc" "src/cps/CMakeFiles/dpr_cps.dir/script.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diagtool/CMakeFiles/dpr_diagtool.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/dpr_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/uds/CMakeFiles/dpr_uds.dir/DependInfo.cmake"
+  "/root/repo/build/src/kwp/CMakeFiles/dpr_kwp.dir/DependInfo.cmake"
+  "/root/repo/build/src/obd/CMakeFiles/dpr_obd.dir/DependInfo.cmake"
+  "/root/repo/build/src/vwtp/CMakeFiles/dpr_vwtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/oemtp/CMakeFiles/dpr_oemtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isotp/CMakeFiles/dpr_isotp.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/dpr_can.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

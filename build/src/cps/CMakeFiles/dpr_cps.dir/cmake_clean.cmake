@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_cps.dir/analyzer.cpp.o"
+  "CMakeFiles/dpr_cps.dir/analyzer.cpp.o.d"
+  "CMakeFiles/dpr_cps.dir/camera.cpp.o"
+  "CMakeFiles/dpr_cps.dir/camera.cpp.o.d"
+  "CMakeFiles/dpr_cps.dir/clicker.cpp.o"
+  "CMakeFiles/dpr_cps.dir/clicker.cpp.o.d"
+  "CMakeFiles/dpr_cps.dir/ocr.cpp.o"
+  "CMakeFiles/dpr_cps.dir/ocr.cpp.o.d"
+  "CMakeFiles/dpr_cps.dir/planner.cpp.o"
+  "CMakeFiles/dpr_cps.dir/planner.cpp.o.d"
+  "CMakeFiles/dpr_cps.dir/script.cpp.o"
+  "CMakeFiles/dpr_cps.dir/script.cpp.o.d"
+  "libdpr_cps.a"
+  "libdpr_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_diagtool.dir/profile.cpp.o"
+  "CMakeFiles/dpr_diagtool.dir/profile.cpp.o.d"
+  "CMakeFiles/dpr_diagtool.dir/tool.cpp.o"
+  "CMakeFiles/dpr_diagtool.dir/tool.cpp.o.d"
+  "CMakeFiles/dpr_diagtool.dir/ui.cpp.o"
+  "CMakeFiles/dpr_diagtool.dir/ui.cpp.o.d"
+  "libdpr_diagtool.a"
+  "libdpr_diagtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_diagtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpr_diagtool.a"
+)

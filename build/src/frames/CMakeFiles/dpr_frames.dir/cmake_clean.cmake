@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_frames.dir/analysis.cpp.o"
+  "CMakeFiles/dpr_frames.dir/analysis.cpp.o.d"
+  "CMakeFiles/dpr_frames.dir/fields.cpp.o"
+  "CMakeFiles/dpr_frames.dir/fields.cpp.o.d"
+  "libdpr_frames.a"
+  "libdpr_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

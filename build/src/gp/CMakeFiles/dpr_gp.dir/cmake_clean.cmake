@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_gp.dir/engine.cpp.o"
+  "CMakeFiles/dpr_gp.dir/engine.cpp.o.d"
+  "CMakeFiles/dpr_gp.dir/expr.cpp.o"
+  "CMakeFiles/dpr_gp.dir/expr.cpp.o.d"
+  "CMakeFiles/dpr_gp.dir/scaling.cpp.o"
+  "CMakeFiles/dpr_gp.dir/scaling.cpp.o.d"
+  "libdpr_gp.a"
+  "libdpr_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

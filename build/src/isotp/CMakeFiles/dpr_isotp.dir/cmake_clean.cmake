@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_isotp.dir/endpoint.cpp.o"
+  "CMakeFiles/dpr_isotp.dir/endpoint.cpp.o.d"
+  "CMakeFiles/dpr_isotp.dir/isotp.cpp.o"
+  "CMakeFiles/dpr_isotp.dir/isotp.cpp.o.d"
+  "libdpr_isotp.a"
+  "libdpr_isotp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_isotp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

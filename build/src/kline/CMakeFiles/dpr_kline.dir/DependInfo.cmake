@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kline/bus.cpp" "src/kline/CMakeFiles/dpr_kline.dir/bus.cpp.o" "gcc" "src/kline/CMakeFiles/dpr_kline.dir/bus.cpp.o.d"
+  "/root/repo/src/kline/endpoint.cpp" "src/kline/CMakeFiles/dpr_kline.dir/endpoint.cpp.o" "gcc" "src/kline/CMakeFiles/dpr_kline.dir/endpoint.cpp.o.d"
+  "/root/repo/src/kline/message.cpp" "src/kline/CMakeFiles/dpr_kline.dir/message.cpp.o" "gcc" "src/kline/CMakeFiles/dpr_kline.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

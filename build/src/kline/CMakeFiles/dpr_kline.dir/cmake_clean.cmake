@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_kline.dir/bus.cpp.o"
+  "CMakeFiles/dpr_kline.dir/bus.cpp.o.d"
+  "CMakeFiles/dpr_kline.dir/endpoint.cpp.o"
+  "CMakeFiles/dpr_kline.dir/endpoint.cpp.o.d"
+  "CMakeFiles/dpr_kline.dir/message.cpp.o"
+  "CMakeFiles/dpr_kline.dir/message.cpp.o.d"
+  "libdpr_kline.a"
+  "libdpr_kline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_kline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kwp/client.cpp" "src/kwp/CMakeFiles/dpr_kwp.dir/client.cpp.o" "gcc" "src/kwp/CMakeFiles/dpr_kwp.dir/client.cpp.o.d"
+  "/root/repo/src/kwp/formulas.cpp" "src/kwp/CMakeFiles/dpr_kwp.dir/formulas.cpp.o" "gcc" "src/kwp/CMakeFiles/dpr_kwp.dir/formulas.cpp.o.d"
+  "/root/repo/src/kwp/message.cpp" "src/kwp/CMakeFiles/dpr_kwp.dir/message.cpp.o" "gcc" "src/kwp/CMakeFiles/dpr_kwp.dir/message.cpp.o.d"
+  "/root/repo/src/kwp/server.cpp" "src/kwp/CMakeFiles/dpr_kwp.dir/server.cpp.o" "gcc" "src/kwp/CMakeFiles/dpr_kwp.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

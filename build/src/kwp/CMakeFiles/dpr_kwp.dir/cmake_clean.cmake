@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_kwp.dir/client.cpp.o"
+  "CMakeFiles/dpr_kwp.dir/client.cpp.o.d"
+  "CMakeFiles/dpr_kwp.dir/formulas.cpp.o"
+  "CMakeFiles/dpr_kwp.dir/formulas.cpp.o.d"
+  "CMakeFiles/dpr_kwp.dir/message.cpp.o"
+  "CMakeFiles/dpr_kwp.dir/message.cpp.o.d"
+  "CMakeFiles/dpr_kwp.dir/server.cpp.o"
+  "CMakeFiles/dpr_kwp.dir/server.cpp.o.d"
+  "libdpr_kwp.a"
+  "libdpr_kwp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_kwp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

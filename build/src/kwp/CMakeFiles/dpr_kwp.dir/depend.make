@@ -1,0 +1,2 @@
+# Empty dependencies file for dpr_kwp.
+# This may be replaced when dependencies are built.

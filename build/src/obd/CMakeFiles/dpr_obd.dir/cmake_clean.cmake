@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_obd.dir/pid.cpp.o"
+  "CMakeFiles/dpr_obd.dir/pid.cpp.o.d"
+  "libdpr_obd.a"
+  "libdpr_obd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_obd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

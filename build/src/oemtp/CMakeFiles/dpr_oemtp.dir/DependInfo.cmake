@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oemtp/bmw_framing.cpp" "src/oemtp/CMakeFiles/dpr_oemtp.dir/bmw_framing.cpp.o" "gcc" "src/oemtp/CMakeFiles/dpr_oemtp.dir/bmw_framing.cpp.o.d"
+  "/root/repo/src/oemtp/link.cpp" "src/oemtp/CMakeFiles/dpr_oemtp.dir/link.cpp.o" "gcc" "src/oemtp/CMakeFiles/dpr_oemtp.dir/link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/can/CMakeFiles/dpr_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/isotp/CMakeFiles/dpr_isotp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

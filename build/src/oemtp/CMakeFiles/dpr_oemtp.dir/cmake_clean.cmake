@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_oemtp.dir/bmw_framing.cpp.o"
+  "CMakeFiles/dpr_oemtp.dir/bmw_framing.cpp.o.d"
+  "CMakeFiles/dpr_oemtp.dir/link.cpp.o"
+  "CMakeFiles/dpr_oemtp.dir/link.cpp.o.d"
+  "libdpr_oemtp.a"
+  "libdpr_oemtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_oemtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

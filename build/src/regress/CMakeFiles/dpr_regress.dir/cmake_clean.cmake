@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_regress.dir/regress.cpp.o"
+  "CMakeFiles/dpr_regress.dir/regress.cpp.o.d"
+  "libdpr_regress.a"
+  "libdpr_regress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_regress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

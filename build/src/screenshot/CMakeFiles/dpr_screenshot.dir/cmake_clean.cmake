@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_screenshot.dir/extract.cpp.o"
+  "CMakeFiles/dpr_screenshot.dir/extract.cpp.o.d"
+  "CMakeFiles/dpr_screenshot.dir/filter.cpp.o"
+  "CMakeFiles/dpr_screenshot.dir/filter.cpp.o.d"
+  "libdpr_screenshot.a"
+  "libdpr_screenshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_screenshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uds/client.cpp" "src/uds/CMakeFiles/dpr_uds.dir/client.cpp.o" "gcc" "src/uds/CMakeFiles/dpr_uds.dir/client.cpp.o.d"
+  "/root/repo/src/uds/message.cpp" "src/uds/CMakeFiles/dpr_uds.dir/message.cpp.o" "gcc" "src/uds/CMakeFiles/dpr_uds.dir/message.cpp.o.d"
+  "/root/repo/src/uds/server.cpp" "src/uds/CMakeFiles/dpr_uds.dir/server.cpp.o" "gcc" "src/uds/CMakeFiles/dpr_uds.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isotp/CMakeFiles/dpr_isotp.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/dpr_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_uds.dir/client.cpp.o"
+  "CMakeFiles/dpr_uds.dir/client.cpp.o.d"
+  "CMakeFiles/dpr_uds.dir/message.cpp.o"
+  "CMakeFiles/dpr_uds.dir/message.cpp.o.d"
+  "CMakeFiles/dpr_uds.dir/server.cpp.o"
+  "CMakeFiles/dpr_uds.dir/server.cpp.o.d"
+  "libdpr_uds.a"
+  "libdpr_uds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_uds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_util.dir/clock.cpp.o"
+  "CMakeFiles/dpr_util.dir/clock.cpp.o.d"
+  "CMakeFiles/dpr_util.dir/hex.cpp.o"
+  "CMakeFiles/dpr_util.dir/hex.cpp.o.d"
+  "CMakeFiles/dpr_util.dir/log.cpp.o"
+  "CMakeFiles/dpr_util.dir/log.cpp.o.d"
+  "CMakeFiles/dpr_util.dir/rng.cpp.o"
+  "CMakeFiles/dpr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dpr_util.dir/stats.cpp.o"
+  "CMakeFiles/dpr_util.dir/stats.cpp.o.d"
+  "libdpr_util.a"
+  "libdpr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

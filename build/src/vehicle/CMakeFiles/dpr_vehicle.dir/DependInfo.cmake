@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vehicle/actuator.cpp" "src/vehicle/CMakeFiles/dpr_vehicle.dir/actuator.cpp.o" "gcc" "src/vehicle/CMakeFiles/dpr_vehicle.dir/actuator.cpp.o.d"
+  "/root/repo/src/vehicle/catalog.cpp" "src/vehicle/CMakeFiles/dpr_vehicle.dir/catalog.cpp.o" "gcc" "src/vehicle/CMakeFiles/dpr_vehicle.dir/catalog.cpp.o.d"
+  "/root/repo/src/vehicle/ecu.cpp" "src/vehicle/CMakeFiles/dpr_vehicle.dir/ecu.cpp.o" "gcc" "src/vehicle/CMakeFiles/dpr_vehicle.dir/ecu.cpp.o.d"
+  "/root/repo/src/vehicle/formula.cpp" "src/vehicle/CMakeFiles/dpr_vehicle.dir/formula.cpp.o" "gcc" "src/vehicle/CMakeFiles/dpr_vehicle.dir/formula.cpp.o.d"
+  "/root/repo/src/vehicle/signal.cpp" "src/vehicle/CMakeFiles/dpr_vehicle.dir/signal.cpp.o" "gcc" "src/vehicle/CMakeFiles/dpr_vehicle.dir/signal.cpp.o.d"
+  "/root/repo/src/vehicle/vehicle.cpp" "src/vehicle/CMakeFiles/dpr_vehicle.dir/vehicle.cpp.o" "gcc" "src/vehicle/CMakeFiles/dpr_vehicle.dir/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uds/CMakeFiles/dpr_uds.dir/DependInfo.cmake"
+  "/root/repo/build/src/kwp/CMakeFiles/dpr_kwp.dir/DependInfo.cmake"
+  "/root/repo/build/src/obd/CMakeFiles/dpr_obd.dir/DependInfo.cmake"
+  "/root/repo/build/src/isotp/CMakeFiles/dpr_isotp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vwtp/CMakeFiles/dpr_vwtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/oemtp/CMakeFiles/dpr_oemtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/dpr_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_vehicle.dir/actuator.cpp.o"
+  "CMakeFiles/dpr_vehicle.dir/actuator.cpp.o.d"
+  "CMakeFiles/dpr_vehicle.dir/catalog.cpp.o"
+  "CMakeFiles/dpr_vehicle.dir/catalog.cpp.o.d"
+  "CMakeFiles/dpr_vehicle.dir/ecu.cpp.o"
+  "CMakeFiles/dpr_vehicle.dir/ecu.cpp.o.d"
+  "CMakeFiles/dpr_vehicle.dir/formula.cpp.o"
+  "CMakeFiles/dpr_vehicle.dir/formula.cpp.o.d"
+  "CMakeFiles/dpr_vehicle.dir/signal.cpp.o"
+  "CMakeFiles/dpr_vehicle.dir/signal.cpp.o.d"
+  "CMakeFiles/dpr_vehicle.dir/vehicle.cpp.o"
+  "CMakeFiles/dpr_vehicle.dir/vehicle.cpp.o.d"
+  "libdpr_vehicle.a"
+  "libdpr_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vwtp/channel.cpp" "src/vwtp/CMakeFiles/dpr_vwtp.dir/channel.cpp.o" "gcc" "src/vwtp/CMakeFiles/dpr_vwtp.dir/channel.cpp.o.d"
+  "/root/repo/src/vwtp/vwtp.cpp" "src/vwtp/CMakeFiles/dpr_vwtp.dir/vwtp.cpp.o" "gcc" "src/vwtp/CMakeFiles/dpr_vwtp.dir/vwtp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/can/CMakeFiles/dpr_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

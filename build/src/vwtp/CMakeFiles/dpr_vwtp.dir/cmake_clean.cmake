@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_vwtp.dir/channel.cpp.o"
+  "CMakeFiles/dpr_vwtp.dir/channel.cpp.o.d"
+  "CMakeFiles/dpr_vwtp.dir/vwtp.cpp.o"
+  "CMakeFiles/dpr_vwtp.dir/vwtp.cpp.o.d"
+  "libdpr_vwtp.a"
+  "libdpr_vwtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_vwtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appanalysis_test.dir/appanalysis_test.cpp.o"
+  "CMakeFiles/appanalysis_test.dir/appanalysis_test.cpp.o.d"
+  "appanalysis_test"
+  "appanalysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appanalysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagtool_test.dir/diagtool_test.cpp.o"
+  "CMakeFiles/diagtool_test.dir/diagtool_test.cpp.o.d"
+  "diagtool_test"
+  "diagtool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagtool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isotp_test.dir/isotp_test.cpp.o"
+  "CMakeFiles/isotp_test.dir/isotp_test.cpp.o.d"
+  "isotp_test"
+  "isotp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isotp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

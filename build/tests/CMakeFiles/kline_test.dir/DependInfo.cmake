@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kline_test.cpp" "tests/CMakeFiles/kline_test.dir/kline_test.cpp.o" "gcc" "tests/CMakeFiles/kline_test.dir/kline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/appanalysis/CMakeFiles/dpr_appanalysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kline/CMakeFiles/dpr_kline.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/dpr_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/regress/CMakeFiles/dpr_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/correlate/CMakeFiles/dpr_correlate.dir/DependInfo.cmake"
+  "/root/repo/build/src/frames/CMakeFiles/dpr_frames.dir/DependInfo.cmake"
+  "/root/repo/build/src/screenshot/CMakeFiles/dpr_screenshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/cps/CMakeFiles/dpr_cps.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagtool/CMakeFiles/dpr_diagtool.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/dpr_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/uds/CMakeFiles/dpr_uds.dir/DependInfo.cmake"
+  "/root/repo/build/src/kwp/CMakeFiles/dpr_kwp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vwtp/CMakeFiles/dpr_vwtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/oemtp/CMakeFiles/dpr_oemtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isotp/CMakeFiles/dpr_isotp.dir/DependInfo.cmake"
+  "/root/repo/build/src/obd/CMakeFiles/dpr_obd.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/dpr_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kline_test.dir/kline_test.cpp.o"
+  "CMakeFiles/kline_test.dir/kline_test.cpp.o.d"
+  "kline_test"
+  "kline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

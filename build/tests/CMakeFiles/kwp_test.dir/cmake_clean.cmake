@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwp_test.dir/kwp_test.cpp.o"
+  "CMakeFiles/kwp_test.dir/kwp_test.cpp.o.d"
+  "kwp_test"
+  "kwp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oemtp_test.dir/oemtp_test.cpp.o"
+  "CMakeFiles/oemtp_test.dir/oemtp_test.cpp.o.d"
+  "oemtp_test"
+  "oemtp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oemtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regress_test.dir/regress_test.cpp.o"
+  "CMakeFiles/regress_test.dir/regress_test.cpp.o.d"
+  "regress_test"
+  "regress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

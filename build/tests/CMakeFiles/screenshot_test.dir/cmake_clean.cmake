@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screenshot_test.dir/screenshot_test.cpp.o"
+  "CMakeFiles/screenshot_test.dir/screenshot_test.cpp.o.d"
+  "screenshot_test"
+  "screenshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screenshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

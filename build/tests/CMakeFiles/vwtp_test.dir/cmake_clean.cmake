@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vwtp_test.dir/vwtp_test.cpp.o"
+  "CMakeFiles/vwtp_test.dir/vwtp_test.cpp.o.d"
+  "vwtp_test"
+  "vwtp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vwtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpreverser.dir/dpreverser_cli.cpp.o"
+  "CMakeFiles/dpreverser.dir/dpreverser_cli.cpp.o.d"
+  "dpreverser"
+  "dpreverser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpreverser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
