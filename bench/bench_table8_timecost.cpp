@@ -1,15 +1,26 @@
-// Table 8 — Average time cost of inferring one formula (seconds).
+// Table 8 — Average time cost of inferring one formula (seconds) — plus
+// the GP threading benchmark behind BENCH_gp.json.
 //
 // Paper result (Python gplearn, population 1000 x 30 generations):
 //   GP: UDS 201.40 s, KWP 192.19 s; linear regression and polynomial
 //   curve fitting: < 1 ms. Absolute numbers depend on the implementation;
 //   the reproduction must preserve the ordering (GP orders of magnitude
 //   slower than the closed-form baselines).
+//
+// The threading phase reruns the same fleet sample three ways — serial,
+// batch fan-out over 4 pool workers (gp::BatchRunner), and intra-GP
+// parallelism (GpConfig::n_threads = 4) — verifies all three produce
+// identical formulas, and writes the speedups plus the per-stage
+// breakdown to BENCH_gp.json so the perf trajectory is machine-readable.
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "gp/batch.hpp"
 #include "gp/engine.hpp"
 #include "regress/regress.hpp"
 
@@ -27,14 +38,24 @@ struct Timings {
   std::size_t count = 0;
 };
 
-Timings time_car(vehicle::CarId car) {
-  // Collect datasets once, then time each inference algorithm on them.
+/// Representative non-enum datasets from one car's campaign.
+std::vector<correlate::Dataset> collect_datasets(vehicle::CarId car,
+                                                 std::size_t cap = 8) {
   auto options = bench::table_options();
   options.run_inference = false;
   core::Campaign campaign(car, options);
   campaign.collect();
   campaign.analyze();
+  std::vector<correlate::Dataset> datasets;
+  for (const auto& finding : campaign.report().signals) {
+    if (finding.is_enum || finding.dataset.points.size() < 6) continue;
+    datasets.push_back(finding.dataset);
+    if (datasets.size() >= cap) break;
+  }
+  return datasets;
+}
 
+Timings time_car(const std::vector<correlate::Dataset>& datasets) {
   Timings timings;
   gp::GpConfig config;
   config.population = 1000;        // the paper's population
@@ -43,21 +64,68 @@ Timings time_car(vehicle::CarId car) {
   config.seed_templates = false;
   config.constant_tuning = false;
   config.fitness_threshold = 0.0;  // run all generations, as a worst case
-  for (const auto& finding : campaign.report().signals) {
-    if (finding.is_enum || finding.dataset.points.size() < 6) continue;
+  for (const auto& dataset : datasets) {
     auto start = Clock::now();
-    (void)gp::infer_formula(finding.dataset, config);
+    (void)gp::infer_formula(dataset, config);
     timings.gp += seconds_since(start);
     start = Clock::now();
-    (void)regress::fit_linear(finding.dataset);
+    (void)regress::fit_linear(dataset);
     timings.linear += seconds_since(start);
     start = Clock::now();
-    (void)regress::fit_polynomial(finding.dataset);
+    (void)regress::fit_polynomial(dataset);
     timings.poly += seconds_since(start);
     ++timings.count;
-    if (timings.count >= 8) break;  // a representative sample suffices
   }
   return timings;
+}
+
+struct FleetRun {
+  double wall_s = 0.0;
+  gp::GpStageTimings stages;  // summed over all inferences
+  std::vector<std::string> formulas;
+};
+
+/// Run every dataset through a BatchRunner with the given (outer, inner)
+/// thread split and collect formulas + stage totals.
+FleetRun run_fleet(const std::vector<correlate::Dataset>& datasets,
+                   std::size_t batch_threads, std::size_t gp_threads) {
+  std::vector<gp::BatchJob> jobs;
+  jobs.reserve(datasets.size());
+  gp::GpConfig config = bench::table_options().gp;
+  config.fitness_threshold = 0.0;  // full generations: stable comparison
+  config.n_threads = gp_threads;
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    gp::BatchJob job;
+    job.dataset = &datasets[i];
+    job.config = config;
+    job.config.seed ^= i * 0x9E3779B9ULL;  // one stream per dataset
+    jobs.push_back(job);
+  }
+
+  FleetRun run;
+  const auto start = Clock::now();
+  const auto results = gp::BatchRunner(batch_threads).run(jobs);
+  run.wall_s = seconds_since(start);
+  for (const auto& result : results) {
+    run.formulas.push_back(result ? result->formula : "(none)");
+    if (!result) continue;
+    run.stages.scoring_s += result->timings.scoring_s;
+    run.stages.tuning_s += result->timings.tuning_s;
+    run.stages.breeding_s += result->timings.breeding_s;
+    run.stages.total_s += result->timings.total_s;
+    run.stages.evaluations += result->timings.evaluations;
+  }
+  return run;
+}
+
+void write_stage_json(std::FILE* out, const char* name,
+                      const FleetRun& run) {
+  std::fprintf(out,
+               "    \"%s\": {\"wall_s\": %.6f, \"scoring_s\": %.6f, "
+               "\"tuning_s\": %.6f, \"breeding_s\": %.6f, "
+               "\"evaluations\": %zu}",
+               name, run.wall_s, run.stages.scoring_s, run.stages.tuning_s,
+               run.stages.breeding_s, run.stages.evaluations);
 }
 
 }  // namespace
@@ -73,11 +141,13 @@ int main() {
               "Linear Regression", "Polynomial Fitting");
   dpr::bench::print_rule(78);
 
-  const auto uds = time_car(dpr::vehicle::CarId::kA);
+  const auto uds_datasets = collect_datasets(dpr::vehicle::CarId::kA);
+  const auto kwp_datasets = collect_datasets(dpr::vehicle::CarId::kB);
+  const auto uds = time_car(uds_datasets);
   std::printf("%-10s %-22.4f %-22.6f %-22.6f\n", "UDS",
               uds.gp / uds.count, uds.linear / uds.count,
               uds.poly / uds.count);
-  const auto kwp = time_car(dpr::vehicle::CarId::kB);
+  const auto kwp = time_car(kwp_datasets);
   std::printf("%-10s %-22.4f %-22.6f %-22.6f\n", "KWP 2000",
               kwp.gp / kwp.count, kwp.linear / kwp.count,
               kwp.poly / kwp.count);
@@ -85,5 +155,60 @@ int main() {
   const double ratio =
       (uds.gp / uds.count) / std::max(1e-9, uds.linear / uds.count);
   std::printf("\nGP / LR time ratio (UDS): %.0fx  [paper: ~10^5x]\n", ratio);
+
+  // --- Threading speedup (BENCH_gp.json) ------------------------------------
+  constexpr std::size_t kThreads = 4;
+  std::vector<dpr::correlate::Dataset> fleet = uds_datasets;
+  fleet.insert(fleet.end(), kwp_datasets.begin(), kwp_datasets.end());
+
+  std::printf("\nGP threading (%zu datasets, %u hardware threads):\n",
+              fleet.size(), std::thread::hardware_concurrency());
+  const auto serial = run_fleet(fleet, 1, 1);
+  const auto batch = run_fleet(fleet, kThreads, 1);   // fleet fan-out
+  const auto intra = run_fleet(fleet, 1, kThreads);   // per-GP parallelism
+
+  const bool batch_identical = serial.formulas == batch.formulas;
+  const bool intra_identical = serial.formulas == intra.formulas;
+  const double batch_speedup = serial.wall_s / std::max(1e-9, batch.wall_s);
+  const double intra_speedup = serial.wall_s / std::max(1e-9, intra.wall_s);
+  std::printf("  serial (1 thread):         %8.3f s\n", serial.wall_s);
+  std::printf("  batch fan-out (%zu threads): %8.3f s  -> %.2fx  "
+              "(formulas %s)\n",
+              kThreads, batch.wall_s, batch_speedup,
+              batch_identical ? "identical" : "DIFFER");
+  std::printf("  intra-GP (%zu threads):      %8.3f s  -> %.2fx  "
+              "(formulas %s)\n",
+              kThreads, intra.wall_s, intra_speedup,
+              intra_identical ? "identical" : "DIFFER");
+  std::printf("  stage breakdown (serial, CPU-s): scoring %.3f, "
+              "breeding %.3f, tuning %.3f, %zu evaluations\n",
+              serial.stages.scoring_s, serial.stages.breeding_s,
+              serial.stages.tuning_s, serial.stages.evaluations);
+
+  if (std::FILE* out = std::fopen("BENCH_gp.json", "w")) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"n_threads\": %zu,\n", kThreads);
+    std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"datasets\": %zu,\n", fleet.size());
+    std::fprintf(out, "  \"batch_speedup\": %.4f,\n", batch_speedup);
+    std::fprintf(out, "  \"intra_gp_speedup\": %.4f,\n", intra_speedup);
+    std::fprintf(out, "  \"formulas_identical\": %s,\n",
+                 batch_identical && intra_identical ? "true" : "false");
+    std::fprintf(out, "  \"runs\": {\n");
+    write_stage_json(out, "serial", serial);
+    std::fprintf(out, ",\n");
+    write_stage_json(out, "batch", batch);
+    std::fprintf(out, ",\n");
+    write_stage_json(out, "intra_gp", intra);
+    std::fprintf(out, "\n  }\n}\n");
+    std::fclose(out);
+    std::printf("  wrote BENCH_gp.json\n");
+  }
+
+  // Identical formulas are a hard determinism requirement; the speedup
+  // itself depends on the host's core count, so it is reported, not
+  // asserted.
+  if (!batch_identical || !intra_identical) return 1;
   return ratio > 100.0 ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "gp/batch.hpp"
 #include "kwp/formulas.hpp"
 #include "screenshot/filter.hpp"
 #include "util/log.hpp"
@@ -434,17 +435,35 @@ void Campaign::analyze_signals(
 
     finding.dataset = correlate::build_dataset(assoc.xs, assoc.ys,
                                                report_.alignment_offset);
-    if (options_.run_inference) {
-      gp::GpConfig config = options_.gp;
-      config.seed ^= (static_cast<std::uint64_t>(assoc.did) << 16) ^
-                     assoc.local_id ^ (assoc.esv_index << 8);
-      finding.gp = gp::infer_formula(finding.dataset, config);
-      if (options_.run_baselines) {
-        finding.linear = regress::fit_linear(finding.dataset);
-        finding.polynomial = regress::fit_polynomial(finding.dataset);
-      }
-    }
     report_.signals.push_back(std::move(finding));
+  }
+
+  if (!options_.run_inference) return;
+
+  // Each non-enum signal is an independent (vehicle, DID) inference
+  // problem: fan them out over the BatchRunner pool. Seeds are derived
+  // per signal exactly as the serial loop did, so the batch results are
+  // identical regardless of thread count.
+  std::vector<gp::BatchJob> jobs;
+  std::vector<SignalFinding*> targets;
+  for (auto& finding : report_.signals) {
+    if (finding.is_enum) continue;
+    gp::BatchJob job;
+    job.dataset = &finding.dataset;
+    job.config = options_.gp;
+    job.config.seed ^= (static_cast<std::uint64_t>(finding.did) << 16) ^
+                       finding.local_id ^ (finding.esv_index << 8);
+    jobs.push_back(job);
+    targets.push_back(&finding);
+  }
+  gp::BatchRunner batch(options_.infer_threads);
+  auto results = batch.run(jobs);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    targets[i]->gp = std::move(results[i]);
+    if (options_.run_baselines) {
+      targets[i]->linear = regress::fit_linear(targets[i]->dataset);
+      targets[i]->polynomial = regress::fit_polynomial(targets[i]->dataset);
+    }
   }
 }
 

@@ -43,6 +43,10 @@ struct CampaignOptions {
   double camera_clock_drift_ppm = 40.0;
   util::SimTime sniffer_clock_offset = -25 * util::kMillisecond;
   gp::GpConfig gp;
+  /// Threads for fanning independent per-signal GP inferences over a
+  /// gp::BatchRunner pool. 0 = hardware concurrency, 1 = serial. The
+  /// recovered formulas are identical for every value.
+  std::size_t infer_threads = 1;
 };
 
 /// Reverse-engineering outcome for one readable signal.

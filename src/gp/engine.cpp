@@ -2,13 +2,63 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "regress/regress.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dpr::gp {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Offspring per breeding chunk. Fixed (never derived from the worker
+/// count) so that the chunk -> RNG-stream mapping, and therefore the
+/// evolved population, is identical for every n_threads.
+constexpr std::size_t kBreedChunk = 32;
+
+/// Runs chunked loops either inline or on a work-stealing pool. The
+/// chunk decomposition is shared between both paths, so results do not
+/// depend on which one executes.
+class Runner {
+ public:
+  explicit Runner(std::size_t n_threads) {
+    if (util::ThreadPool::resolve(n_threads) > 1) {
+      pool_ = std::make_unique<util::ThreadPool>(n_threads);
+    }
+  }
+
+  void chunks(std::size_t n, std::size_t n_chunks,
+              const std::function<void(std::size_t, std::size_t,
+                                       std::size_t)>& body) {
+    if (n == 0 || n_chunks == 0) return;
+    n_chunks = std::min(n_chunks, n);
+    if (pool_) {
+      pool_->parallel_chunks(n, n_chunks, body);
+      return;
+    }
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      body(c, c * n / n_chunks, (c + 1) * n / n_chunks);
+    }
+  }
+
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t)>& body) {
+    chunks(n, n, [&body](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+
+ private:
+  std::unique_ptr<util::ThreadPool> pool_;
+};
 
 struct Individual {
   Expr expr;
@@ -59,8 +109,11 @@ const Individual& tournament(const std::vector<Individual>& pop,
   return *best;
 }
 
-/// Swap a random subtree of `a` with a random subtree of `b` (child only).
-Expr crossover(const Expr& a, const Expr& b, util::Rng& rng, int max_depth) {
+/// Swap a random subtree of `a` with a random subtree of `b`. Returns
+/// nullopt when the offspring exceeds the depth bound — the caller keeps
+/// the parent *and its already-known fitness* instead of rescoring.
+std::optional<Expr> crossover(const Expr& a, const Expr& b, util::Rng& rng,
+                              int max_depth) {
   Expr child = a;
   auto child_nodes = child.nodes();
   Expr donor = b;
@@ -71,12 +124,12 @@ Expr crossover(const Expr& a, const Expr& b, util::Rng& rng, int max_depth) {
       0, static_cast<std::int64_t>(donor_nodes.size()) - 1))];
   auto cloned = source->clone();
   *target = std::move(*cloned);
-  if (child.depth() > max_depth) return a;  // reject oversized offspring
+  if (child.depth() > max_depth) return std::nullopt;  // oversized
   return child;
 }
 
-Expr subtree_mutation(const Expr& a, util::Rng& rng, std::size_t n_vars,
-                      int max_depth) {
+std::optional<Expr> subtree_mutation(const Expr& a, util::Rng& rng,
+                                     std::size_t n_vars, int max_depth) {
   Expr child = a;
   auto nodes = child.nodes();
   Node* target = nodes[static_cast<std::size_t>(rng.uniform_int(
@@ -84,14 +137,19 @@ Expr subtree_mutation(const Expr& a, util::Rng& rng, std::size_t n_vars,
   Expr replacement = random_expr(rng, n_vars, 2, false);
   auto cloned = replacement.root()->clone();
   *target = std::move(*cloned);
-  if (child.depth() > max_depth) return a;
+  if (child.depth() > max_depth) return std::nullopt;
   return child;
 }
 
-Expr point_mutation(const Expr& a, util::Rng& rng, std::size_t n_vars) {
+/// Returns nullopt when no node was mutated (the parent's fitness still
+/// holds).
+std::optional<Expr> point_mutation(const Expr& a, util::Rng& rng,
+                                   std::size_t n_vars) {
   Expr child = a;
+  bool mutated = false;
   for (Node* node : child.nodes()) {
     if (!rng.chance(0.15)) continue;
+    mutated = true;
     switch (arity(node->op)) {
       case 0:
         if (node->op == Op::kConst) {
@@ -116,18 +174,20 @@ Expr point_mutation(const Expr& a, util::Rng& rng, std::size_t n_vars) {
       }
     }
   }
+  if (!mutated) return std::nullopt;
   return child;
 }
 
 /// Coordinate-descent refinement of an individual's constants — part of
 /// the "improved" GP: evolution finds the shape, refinement nails the
-/// coefficients.
-void tune_constants(Individual& ind,
-                    const std::vector<std::vector<double>>& xs,
-                    const std::vector<double>& ys, double parsimony,
-                    double trim) {
+/// coefficients. Returns the number of MAE evaluations performed.
+std::size_t tune_constants(Individual& ind,
+                           const std::vector<std::vector<double>>& xs,
+                           const std::vector<double>& ys, double parsimony,
+                           double trim) {
   auto constants = ind.expr.constant_nodes();
-  if (constants.empty()) return;
+  if (constants.empty()) return 0;
+  std::size_t evaluations = 0;
   bool improved_any = true;
   for (int pass = 0; improved_any && pass < 6; ++pass) {
     improved_any = false;
@@ -140,6 +200,7 @@ void tune_constants(Individual& ind,
           for (int walk = 0; walk < 64; ++walk) {
             node->value += direction * step;
             const double mae = evaluate_mae(ind.expr, xs, ys, trim);
+            ++evaluations;
             if (mae + 1e-15 < ind.fitness) {
               ind.fitness = mae;
               improved_any = true;
@@ -154,6 +215,7 @@ void tune_constants(Individual& ind,
   }
   ind.penalized =
       ind.fitness + parsimony * static_cast<double>(ind.expr.size());
+  return evaluations;
 }
 
 /// Affine / product seed templates (improved-GP ingredient): cheap
@@ -316,6 +378,8 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
                                       const GpConfig& config) {
   if (dataset.points.size() < 6) return std::nullopt;
   const std::size_t n_vars = dataset.n_vars;
+  const auto wall_start = Clock::now();
+  Runner runner(config.n_threads);
 
   // --- Table 2 pre-processing ---------------------------------------------
   GpResult result;
@@ -374,16 +438,32 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
     ind.expr = random_expr(rng, n_vars, depth, rng.chance(0.5));
     population.push_back(std::move(ind));
   }
-  for (auto& ind : population) {
-    score(ind, xs, ys, config.parsimony, config.trim_fraction);
+  GpStageTimings timings;
+  {
+    // Initial scoring: one pure evaluation per individual, fanned over
+    // the pool. Per-index timing slots keep the accounting race-free.
+    std::vector<double> slot_s(population.size(), 0.0);
+    runner.for_each(population.size(), [&](std::size_t i) {
+      const auto t0 = Clock::now();
+      score(population[i], xs, ys, config.parsimony, config.trim_fraction);
+      slot_s[i] = seconds_since(t0);
+    });
+    for (double s : slot_s) timings.scoring_s += s;
+    timings.evaluations += population.size();
   }
-  if (config.constant_tuning) {
+  if (config.constant_tuning && seed_count > 0) {
     // Refine the seed skeletons once up front: the template *shapes* are
     // right, their random constants are not.
-    for (std::size_t i = 0; i < seed_count; ++i) {
-      tune_constants(population[i], xs, ys, config.parsimony,
-                     config.trim_fraction);
-    }
+    std::vector<double> slot_s(seed_count, 0.0);
+    std::vector<std::size_t> slot_evals(seed_count, 0);
+    runner.for_each(seed_count, [&](std::size_t i) {
+      const auto t0 = Clock::now();
+      slot_evals[i] = tune_constants(population[i], xs, ys, config.parsimony,
+                                     config.trim_fraction);
+      slot_s[i] = seconds_since(t0);
+    });
+    for (double s : slot_s) timings.tuning_s += s;
+    for (std::size_t e : slot_evals) timings.evaluations += e;
   }
 
   auto best_it = std::min_element(
@@ -406,44 +486,102 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
   for (; generation < config.max_generations; ++generation) {
     if (best.fitness <= stop_below) break;  // criterion (ii)
 
-    std::vector<Individual> next;
-    next.reserve(config.population);
-    next.push_back(best);  // elitism
+    const std::size_t offspring =
+        config.population > 0 ? config.population - 1 : 0;
+    const std::size_t n_chunks =
+        std::max<std::size_t>(1, (offspring + kBreedChunk - 1) / kBreedChunk);
 
-    while (next.size() < config.population) {
-      const double roll = rng.uniform();
-      Individual child;
-      if (roll < config.crossover_rate) {
-        child.expr = crossover(tournament(population, rng, config.tournament).expr,
-                               tournament(population, rng, config.tournament).expr,
-                               rng, config.max_depth);
-      } else if (roll < config.crossover_rate + config.subtree_mutation_rate) {
-        child.expr = subtree_mutation(
-            tournament(population, rng, config.tournament).expr, rng, n_vars,
-            config.max_depth);
-      } else if (roll < config.crossover_rate + config.subtree_mutation_rate +
-                            config.point_mutation_rate) {
-        child.expr = point_mutation(
-            tournament(population, rng, config.tournament).expr, rng, n_vars);
-      } else {
-        child.expr = tournament(population, rng, config.tournament).expr;
+    // Fork one RNG stream per breeding chunk *serially* from the master:
+    // the stream a chunk sees is a function of (seed, generation, chunk)
+    // only, so any worker may run any chunk and the evolved population is
+    // still bit-identical for every n_threads.
+    std::vector<util::Rng> chunk_rngs;
+    chunk_rngs.reserve(n_chunks);
+    for (std::size_t c = 0; c < n_chunks; ++c) chunk_rngs.push_back(rng.fork());
+
+    std::vector<Individual> next(std::max<std::size_t>(1, config.population));
+    next[0] = best;  // elitism: cached fitness, never rescored
+
+    std::vector<double> breed_s(n_chunks, 0.0), score_s(n_chunks, 0.0);
+    std::vector<std::size_t> chunk_evals(n_chunks, 0);
+    runner.chunks(offspring, n_chunks, [&](std::size_t c, std::size_t begin,
+                                           std::size_t end) {
+      util::Rng& crng = chunk_rngs[c];
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto t0 = Clock::now();
+        const double roll = crng.uniform();
+        Individual child;
+        bool fresh = false;  // does the child need scoring?
+        if (roll < config.crossover_rate) {
+          const Individual& pa = tournament(population, crng, config.tournament);
+          const Individual& pb = tournament(population, crng, config.tournament);
+          if (auto expr = crossover(pa.expr, pb.expr, crng, config.max_depth)) {
+            child.expr = std::move(*expr);
+            fresh = true;
+          } else {
+            child = pa;  // rejected oversize: parent's fitness carries over
+          }
+        } else if (roll <
+                   config.crossover_rate + config.subtree_mutation_rate) {
+          const Individual& pa = tournament(population, crng, config.tournament);
+          if (auto expr =
+                  subtree_mutation(pa.expr, crng, n_vars, config.max_depth)) {
+            child.expr = std::move(*expr);
+            fresh = true;
+          } else {
+            child = pa;
+          }
+        } else if (roll < config.crossover_rate +
+                              config.subtree_mutation_rate +
+                              config.point_mutation_rate) {
+          const Individual& pa = tournament(population, crng, config.tournament);
+          if (auto expr = point_mutation(pa.expr, crng, n_vars)) {
+            child.expr = std::move(*expr);
+            fresh = true;
+          } else {
+            child = pa;  // no site mutated: fitness unchanged
+          }
+        } else {
+          child = tournament(population, crng, config.tournament);  // reproduce
+        }
+        breed_s[c] += seconds_since(t0);
+        if (fresh) {
+          const auto s0 = Clock::now();
+          score(child, xs, ys, config.parsimony, config.trim_fraction);
+          score_s[c] += seconds_since(s0);
+          ++chunk_evals[c];
+        }
+        next[1 + i] = std::move(child);
       }
-      score(child, xs, ys, config.parsimony, config.trim_fraction);
-      next.push_back(std::move(child));
+    });
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      timings.breeding_s += breed_s[c];
+      timings.scoring_s += score_s[c];
+      timings.evaluations += chunk_evals[c];
     }
     population = std::move(next);
 
     // Refine the constants of the few fittest individuals, then promote
     // the overall champion.
     if (config.constant_tuning) {
-      std::partial_sort(population.begin(), population.begin() + 3,
+      const std::size_t top = std::min<std::size_t>(3, population.size());
+      std::partial_sort(population.begin(),
+                        population.begin() + static_cast<std::ptrdiff_t>(top),
                         population.end(),
                         [](const Individual& a, const Individual& b) {
                           return a.penalized < b.penalized;
                         });
-      for (std::size_t k = 0; k < 3 && k < population.size(); ++k) {
-        tune_constants(population[k], xs, ys, config.parsimony,
-                       config.trim_fraction);
+      std::vector<double> tune_s(top, 0.0);
+      std::vector<std::size_t> tune_evals(top, 0);
+      runner.for_each(top, [&](std::size_t k) {
+        const auto t0 = Clock::now();
+        tune_evals[k] = tune_constants(population[k], xs, ys, config.parsimony,
+                                       config.trim_fraction);
+        tune_s[k] = seconds_since(t0);
+      });
+      for (std::size_t k = 0; k < top; ++k) {
+        timings.tuning_s += tune_s[k];
+        timings.evaluations += tune_evals[k];
       }
     }
     auto it = std::min_element(population.begin(), population.end(),
@@ -458,6 +596,8 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
   result.fitness = best.fitness;
   result.generations_run = generation;
   result.converged = best.fitness <= stop_below;
+  timings.total_s = seconds_since(wall_start);
+  result.timings = timings;
 
   // --- Table 2 post-processing: substitute the scale factors back ------------
   std::string body = result.best.to_string(n_vars);

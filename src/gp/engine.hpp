@@ -42,6 +42,22 @@ struct GpConfig {
   bool constant_tuning = true;        // per-generation constant refinement
   bool use_scaling = true;            // Table 2 pre/post processing
   std::uint64_t seed = 0x6B5;
+  /// Worker threads for fitness scoring, constant tuning and offspring
+  /// breeding. 0 = hardware concurrency, 1 = fully serial. The evolved
+  /// population is decomposed into fixed chunks with per-chunk forked RNG
+  /// streams, so the result is bit-identical for every thread count.
+  std::size_t n_threads = 1;
+};
+
+/// Where the inference time went. The per-stage fields are CPU-seconds
+/// summed across workers (so they can exceed total_s when n_threads > 1);
+/// total_s is the wall clock for the whole call.
+struct GpStageTimings {
+  double scoring_s = 0.0;   // fitness evaluation of fresh offspring
+  double tuning_s = 0.0;    // coordinate-descent constant refinement
+  double breeding_s = 0.0;  // selection + crossover/mutation
+  double total_s = 0.0;     // wall clock, end to end
+  std::size_t evaluations = 0;  // trimmed-MAE evaluations performed
 };
 
 struct GpResult {
@@ -53,6 +69,7 @@ struct GpResult {
   std::vector<SeriesScale> x_scales;
   SeriesScale y_scale;
   std::string formula;            // substituted form, e.g. "Y/1000 = X/100"
+  GpStageTimings timings;
 
   /// Predict the displayed value from raw operands (applies scaling).
   double predict(std::span<const double> raw_xs) const;

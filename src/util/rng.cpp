@@ -46,9 +46,30 @@ double Rng::uniform() {
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Unsigned subtraction: hi - lo would overflow std::int64_t for the
+  // full-range request (and UBSan rightly objects).
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
-  return lo + static_cast<std::int64_t>((*this)() % span);
+  // Lemire multiply-shift with rejection: `x % span` over-weights the low
+  // residues whenever span does not divide 2^64, which skews exactly the
+  // small-range draws the GP engine leans on (tournament selection,
+  // mutation-site picks). Rejecting the partial final interval makes every
+  // residue equally likely; the expected number of extra draws is < 1 even
+  // in the worst case.
+  std::uint64_t x = (*this)();
+  auto product = static_cast<unsigned __int128>(x) * span;
+  auto low = static_cast<std::uint64_t>(product);
+  if (low < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (low < threshold) {
+      x = (*this)();
+      product = static_cast<unsigned __int128>(x) * span;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   static_cast<std::uint64_t>(product >> 64));
 }
 
 double Rng::normal() {

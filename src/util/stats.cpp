@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 
 namespace dpr::util {
 
@@ -45,7 +46,13 @@ double mad(std::vector<double> xs) {
 
 double mean_absolute_error(std::span<const double> pred,
                            std::span<const double> target) {
-  if (pred.empty() || pred.size() != target.size()) return 0.0;
+  // A size mismatch is a caller bug, and 0.0 would read as a *perfect*
+  // score; NaN poisons downstream comparisons instead of silently winning
+  // them.
+  if (pred.size() != target.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (pred.empty()) return 0.0;
   double s = 0.0;
   for (std::size_t i = 0; i < pred.size(); ++i) {
     s += std::abs(pred[i] - target[i]);
@@ -55,7 +62,10 @@ double mean_absolute_error(std::span<const double> pred,
 
 double mean_squared_error(std::span<const double> pred,
                           std::span<const double> target) {
-  if (pred.empty() || pred.size() != target.size()) return 0.0;
+  if (pred.size() != target.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (pred.empty()) return 0.0;
   double s = 0.0;
   for (std::size_t i = 0; i < pred.size(); ++i) {
     const double d = pred[i] - target[i];

@@ -16,10 +16,11 @@ double median(std::vector<double> xs);          // by value: sorts a copy
 double mad(std::vector<double> xs);
 
 /// Mean absolute error between predictions and targets (GP fitness, §3.5).
+/// Mismatched sizes return NaN (never 0.0, which would read as perfect).
 double mean_absolute_error(std::span<const double> pred,
                            std::span<const double> target);
 
-/// Mean squared error.
+/// Mean squared error. Mismatched sizes return NaN.
 double mean_squared_error(std::span<const double> pred,
                           std::span<const double> target);
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gp/batch.hpp"
 #include "gp/engine.hpp"
 #include "gp/expr.hpp"
 #include "gp/scaling.hpp"
@@ -230,6 +231,68 @@ TEST(Infer, DeterministicForFixedSeed) {
   const auto b = infer_formula(dataset, fast_config());
   ASSERT_TRUE(a && b);
   EXPECT_EQ(a->formula, b->formula);
+}
+
+TEST(Infer, IdenticalResultForEveryThreadCount) {
+  // The deterministic-replay contract: breeding is decomposed into fixed
+  // chunks with per-chunk forked RNG streams, so the evolved population —
+  // and therefore the whole GpResult — is bit-identical no matter how
+  // many workers execute it.
+  const auto dataset = make_dataset(
+      2, [](double x0, double x1) { return 0.4 * x0 + 0.1 * x1 + 7.0; }, 5,
+      250);
+  GpConfig serial = fast_config();
+  serial.n_threads = 1;
+  const auto a = infer_formula(dataset, serial);
+  GpConfig parallel = fast_config();
+  parallel.n_threads = 4;
+  const auto b = infer_formula(dataset, parallel);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->formula, b->formula);
+  EXPECT_EQ(a->fitness, b->fitness);  // bitwise, not approximate
+  EXPECT_EQ(a->generations_run, b->generations_run);
+  EXPECT_EQ(a->converged, b->converged);
+  EXPECT_EQ(a->best.to_string(2), b->best.to_string(2));
+}
+
+TEST(Infer, TimingsAccountForTheRun) {
+  const auto dataset = make_dataset(
+      1, [](double x, double) { return 3.0 * x + 11.0; }, 0, 255);
+  const auto result = infer_formula(dataset, fast_config());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->timings.total_s, 0.0);
+  EXPECT_GT(result->timings.evaluations, 0u);
+  // Initial scoring alone evaluates the whole population once.
+  EXPECT_GE(result->timings.evaluations, fast_config().population);
+  EXPECT_GE(result->timings.scoring_s, 0.0);
+}
+
+TEST(Batch, RunnerMatchesSerialInference) {
+  const auto d0 = make_dataset(
+      1, [](double x, double) { return 1.5 * x; }, 0, 255);
+  const auto d1 = make_dataset(
+      1, [](double x, double) { return 0.25 * x + 9.0; }, 0, 255);
+  const auto d2 = make_dataset(
+      2, [](double x0, double x1) { return x0 * x1 / 5.0; }, 30, 250);
+
+  std::vector<BatchJob> jobs;
+  for (const auto* d : {&d0, &d1, &d2}) {
+    BatchJob job;
+    job.dataset = d;
+    job.config = fast_config();
+    job.config.seed ^= jobs.size() * 0x1234567ULL;
+    jobs.push_back(job);
+  }
+  const auto serial = BatchRunner(1).run(jobs);
+  const auto parallel = BatchRunner(4).run(jobs);
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(parallel.size(), 3u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(serial[i].has_value());
+    ASSERT_TRUE(parallel[i].has_value());
+    EXPECT_EQ(serial[i]->formula, parallel[i]->formula) << "job " << i;
+    EXPECT_EQ(serial[i]->fitness, parallel[i]->fitness) << "job " << i;
+  }
 }
 
 TEST(Infer, StopsEarlyWhenConverged) {

@@ -22,6 +22,8 @@ void usage() {
                "usage: dpreverser --car <A..R> [options]\n"
                "  --window <s>     live-capture window per ECU (default 16)\n"
                "  --seed <n>       simulation seed\n"
+               "  --threads <n>    GP inference threads (0 = all cores,\n"
+               "                   default 0; results identical for any n)\n"
                "  --no-filter      disable the two-stage ESV filter (ablation)\n"
                "  --no-ocr-noise   perfect OCR (clean-room ablation)\n"
                "  --no-baselines   skip linear/polynomial baselines\n"
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
   options.live_window = 16 * util::kSecond;
   options.video_fps = 10.0;
   options.gp.population = 192;
+  options.infer_threads = 0;  // fan per-signal GP over all cores
   std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -60,6 +63,9 @@ int main(int argc, char** argv) {
           static_cast<util::SimTime>(std::atof(next()) * util::kSecond);
     } else if (arg == "--seed") {
       options.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      options.infer_threads =
+          static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--no-filter") {
       options.two_stage_filter = false;
     } else if (arg == "--no-ocr-noise") {
