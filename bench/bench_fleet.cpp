@@ -1,0 +1,140 @@
+// Fleet threading benchmark behind BENCH_fleet.json: the 18-car Table 3
+// reproduction run twice — once as the legacy serial loop (FleetRunner
+// with 1 thread) and once fanned over the shared-budget pool — verifying
+// the reports are bit-identical and recording the speedup plus the
+// per-car, per-phase wall-time breakdown.
+//
+// Flags (all optional, for CI smoke runs on small machines):
+//   --cars N        first N catalog cars (default: all 18)
+//   --threads N     fleet threads for the parallel run (default 4, 0 = all)
+//   --window S      per-ECU live window seconds (default 12)
+//   --population P  GP population (default 160)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fleet.hpp"
+
+namespace {
+
+using namespace dpr;
+
+void write_phase_json(std::FILE* out, const core::PhaseTimings& phases) {
+  std::fprintf(out,
+               "{\"collect_s\": %.6f, \"assemble_s\": %.6f, "
+               "\"ocr_extract_s\": %.6f, \"align_s\": %.6f, "
+               "\"associate_s\": %.6f, \"infer_s\": %.6f, "
+               "\"score_s\": %.6f, \"total_s\": %.6f}",
+               phases.collect_s, phases.assemble_s, phases.ocr_extract_s,
+               phases.align_s, phases.associate_s, phases.infer_s,
+               phases.score_s, phases.total_s());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_cars = vehicle::catalog().size();
+  std::size_t n_threads = 4;
+  double window_s = 12.0;
+  std::size_t population = 160;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--cars") == 0) {
+      n_cars = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      n_threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--window") == 0) {
+      window_s = std::atof(next());
+    } else if (std::strcmp(argv[i], "--population") == 0) {
+      population = static_cast<std::size_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  n_cars = std::min(n_cars, vehicle::catalog().size());
+
+  std::vector<vehicle::CarId> cars;
+  for (std::size_t i = 0; i < n_cars; ++i) {
+    cars.push_back(vehicle::catalog()[i].id);
+  }
+
+  core::FleetOptions options;
+  options.campaign.live_window =
+      static_cast<util::SimTime>(window_s * util::kSecond);
+  options.campaign.gp.population = population;
+
+  std::printf("Fleet threading benchmark: %zu cars, %u hardware threads\n\n",
+              cars.size(), std::thread::hardware_concurrency());
+
+  options.fleet_threads = 1;
+  const auto serial = core::FleetRunner(options).run(cars);
+
+  options.fleet_threads = n_threads;
+  const core::FleetRunner parallel_runner(options);
+  const auto parallel = parallel_runner.run(cars);
+
+  const bool identical =
+      core::fleet_signature(serial) == core::fleet_signature(parallel);
+  const double speedup = serial.wall_s / std::max(1e-9, parallel.wall_s);
+
+  std::printf("%-8s %-10s %-10s %-10s %-10s %-10s %-10s %-10s\n", "Car",
+              "collect", "assemble", "ocr/extr", "align", "assoc", "infer",
+              "score");
+  dpr::bench::print_rule(86);
+  for (const auto& report : parallel.reports) {
+    std::printf("%-8s %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f "
+                "%-10.3f\n",
+                report.car_label.c_str(), report.phases.collect_s,
+                report.phases.assemble_s, report.phases.ocr_extract_s,
+                report.phases.align_s, report.phases.associate_s,
+                report.phases.infer_s, report.phases.score_s);
+  }
+  std::printf("\nserial   (1 thread):  %8.3f s\n", serial.wall_s);
+  std::printf("parallel (%zu threads): %8.3f s  -> %.2fx  (reports %s)\n",
+              parallel.threads_used, parallel.wall_s, speedup,
+              identical ? "identical" : "DIFFER");
+  std::printf("fleet totals: %zu signals (%zu formula, %zu enum), "
+              "%zu ECRs, GP %zu/%zu\n",
+              parallel.total_signals(), parallel.total_formula_signals(),
+              parallel.total_enum_signals(), parallel.total_ecrs(),
+              parallel.total_gp_correct(),
+              parallel.total_formula_signals());
+
+  if (std::FILE* out = std::fopen("BENCH_fleet.json", "w")) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"cars\": %zu,\n", cars.size());
+    std::fprintf(out, "  \"fleet_threads\": %zu,\n", parallel.threads_used);
+    std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"serial_wall_s\": %.6f,\n", serial.wall_s);
+    std::fprintf(out, "  \"parallel_wall_s\": %.6f,\n", parallel.wall_s);
+    std::fprintf(out, "  \"speedup\": %.4f,\n", speedup);
+    std::fprintf(out, "  \"reports_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(out, "  \"phase_totals\": ");
+    write_phase_json(out, parallel.phase_totals);
+    std::fprintf(out, ",\n  \"per_car\": {\n");
+    for (std::size_t i = 0; i < parallel.reports.size(); ++i) {
+      std::fprintf(out, "    \"%s\": ",
+                   parallel.reports[i].car_label.c_str());
+      write_phase_json(out, parallel.reports[i].phases);
+      std::fprintf(out, i + 1 < parallel.reports.size() ? ",\n" : "\n");
+    }
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_fleet.json\n");
+  }
+
+  // Determinism is the hard requirement; the speedup depends on the
+  // host's core count, so it is reported, not asserted.
+  return identical ? 0 : 1;
+}

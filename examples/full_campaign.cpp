@@ -2,47 +2,59 @@
 // printing a compact summary of everything recovered — the end-to-end
 // equivalent of the paper's headline result (570 messages: 446 reads +
 // 124 controls).
+//
+// The campaigns are independent, so they fan out over the shared-budget
+// fleet pool (core::FleetRunner); the table below is identical for every
+// thread count. Usage: full_campaign [fleet_threads]  (default 0 = all
+// cores; 1 = the legacy serial loop).
 
 #include <cstdio>
+#include <cstdlib>
 
-#include "core/campaign.hpp"
+#include "core/fleet.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpr;
-  core::CampaignOptions options;
-  options.live_window = 12 * util::kSecond;
-  options.gp.population = 160;
+  core::FleetOptions options;
+  options.campaign.live_window = 12 * util::kSecond;
+  options.campaign.gp.population = 160;
+  options.fleet_threads =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 0;
 
-  std::size_t total_signals = 0, total_formulas = 0, total_correct = 0;
-  std::size_t total_enums = 0, total_ecrs = 0;
+  const core::FleetRunner runner(options);
+  const auto summary = runner.run_catalog();
 
   std::printf("%-8s %-22s %-10s %-9s %-8s %-7s %-6s\n", "Car", "Model",
               "Protocol", "#signals", "#formula", "GP ok", "#ECR");
-  for (const auto& spec : vehicle::catalog()) {
-    core::Campaign campaign(spec.id, options);
-    campaign.collect();
-    campaign.analyze();
-    const auto& report = campaign.report();
+  const auto& catalog = vehicle::catalog();
+  for (std::size_t i = 0; i < summary.reports.size(); ++i) {
+    const auto& report = summary.reports[i];
+    const auto& spec = catalog[i];
     std::printf("%-8s %-22s %-10s %-9zu %-8zu %-7zu %-6zu\n",
                 report.car_label.c_str(), spec.model.c_str(),
                 spec.protocol == vehicle::Protocol::kUds ? "UDS" : "KWP",
                 report.signals.size(), report.formula_signals(),
                 report.gp_correct(), report.ecrs.size());
-    total_signals += report.signals.size();
-    total_formulas += report.formula_signals();
-    total_correct += report.gp_correct();
-    total_enums += report.enum_signals();
-    total_ecrs += report.ecrs.size();
   }
   std::printf("\nFleet totals: %zu read messages (%zu with formulas, %zu "
               "enum) + %zu control messages = %zu reverse-engineered "
               "messages\n",
-              total_signals, total_formulas, total_enums, total_ecrs,
-              total_signals + total_ecrs);
-  std::printf("GP formula precision: %zu/%zu\n", total_correct,
-              total_formulas);
+              summary.total_signals(), summary.total_formula_signals(),
+              summary.total_enum_signals(), summary.total_ecrs(),
+              summary.total_signals() + summary.total_ecrs());
+  std::printf("GP formula precision: %zu/%zu\n", summary.total_gp_correct(),
+              summary.total_formula_signals());
   std::printf("(paper: 446 reads + 124 controls = 570 messages, GP "
               "285/290; our control count\n includes the extra Table 13 "
               "attack-demo actuators of Cars G and L)\n");
+  std::printf("\nwall time %.2f s on %zu fleet threads (per-phase CPU-s: "
+              "collect %.1f, assemble %.1f, ocr/extract %.1f, align %.1f, "
+              "associate %.1f, infer %.1f, score %.1f)\n",
+              summary.wall_s, summary.threads_used,
+              summary.phase_totals.collect_s, summary.phase_totals.assemble_s,
+              summary.phase_totals.ocr_extract_s,
+              summary.phase_totals.align_s,
+              summary.phase_totals.associate_s, summary.phase_totals.infer_s,
+              summary.phase_totals.score_s);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -10,10 +11,29 @@
 #include "kwp/formulas.hpp"
 #include "screenshot/filter.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dpr::core {
 
 namespace {
+
+/// Accumulates wall-clock seconds into a PhaseTimings field while alive.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    slot_ += std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& slot_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 frames::TransportHint hint_for(vehicle::TransportKind kind) {
   switch (kind) {
@@ -232,6 +252,7 @@ void Campaign::collect_ecu(std::size_t index) {
 }
 
 void Campaign::collect() {
+  PhaseTimer timer(report_.phases.collect_s);
   if (options_.obd_alignment) collect_obd_phase();
 
   if (!click_button("Diagnos")) return;
@@ -260,58 +281,109 @@ void Campaign::analyze() {
   const auto hint = hint_for(vehicle_->spec().transport);
   const auto& capture = sniffer_->capture();
 
-  report_.census = frames::census(capture, hint);
-  auto messages = frames::assemble(capture, hint);
-  report_.messages_assembled = messages.size();
-
-  // --- Clock alignment (§9.4) -----------------------------------------------
-  util::SimTime offset = 0;
-  bool aligned = false;
-  if (options_.obd_alignment && obd_phase_end_ > 0) {
-    const util::SimTime obd_cutoff =
-        obd_phase_end_ + 100 * util::kMillisecond;
-    std::vector<frames::DiagMessage> obd_messages;
-    for (const auto& msg : messages) {
-      if (msg.timestamp <= obd_cutoff) obd_messages.push_back(msg);
-    }
-    auto obd_samples = screenshot::extract_samples(obd_video_, *ocr_);
-    if (const auto alignment =
-            correlate::align_with_obd(obd_messages, obd_samples)) {
-      offset = alignment->offset;
-      report_.alignment_anchors = alignment->matched;
-      aligned = alignment->matched >= 8;
-    }
-  }
-  report_.alignment_offset = offset;
-
-  // --- Screenshot analysis ----------------------------------------------------
-  auto samples = screenshot::extract_samples(video_, *ocr_);
-  if (options_.two_stage_filter) {
-    samples = screenshot::filter_samples(std::move(samples));
+  std::vector<frames::DiagMessage> messages;
+  {
+    PhaseTimer timer(report_.phases.assemble_s);
+    report_.census = frames::census(capture, hint);
+    messages = frames::assemble(capture, hint);
+    report_.messages_assembled = messages.size();
   }
 
-  if (!aligned) {
-    // NTP-only vehicles (§9.4 method 1): estimate the end-to-end
-    // request->display latency from value changes in the diagnostic
-    // traffic itself, then treat it as the pairing offset.
-    const auto series = build_alignment_series(messages, samples);
-    if (const auto estimate = correlate::estimate_offset_by_changes(series)) {
-      report_.alignment_offset = estimate->offset;
-      report_.alignment_anchors = estimate->matched;
+  // --- Screenshot analysis + field extraction --------------------------------
+  // Both the alignment fallback and the signal/ECR analyses consume the
+  // extracted fields and the traffic<->UI associations; compute each once
+  // here (unless the legacy recompute path is requested for ablation).
+  std::vector<screenshot::UiSample> samples;
+  std::vector<screenshot::UiSample> obd_samples;
+  frames::ExtractionResult extraction;
+  {
+    PhaseTimer timer(report_.phases.ocr_extract_s);
+    if (options_.obd_alignment && obd_phase_end_ > 0) {
+      obd_samples = screenshot::extract_samples(obd_video_, *ocr_);
+    }
+    samples = screenshot::extract_samples(video_, *ocr_);
+    if (options_.two_stage_filter) {
+      samples = screenshot::filter_samples(std::move(samples));
+    }
+    extraction = frames::extract_fields(messages);
+  }
+
+  std::vector<Association> associations;
+  {
+    PhaseTimer timer(report_.phases.associate_s);
+    associations = build_associations(extraction, samples);
+  }
+
+  {
+    // --- Clock alignment (§9.4) ---------------------------------------------
+    PhaseTimer timer(report_.phases.align_s);
+    util::SimTime offset = 0;
+    bool aligned = false;
+    if (options_.obd_alignment && obd_phase_end_ > 0) {
+      const util::SimTime obd_cutoff =
+          obd_phase_end_ + 100 * util::kMillisecond;
+      std::vector<frames::DiagMessage> obd_messages;
+      for (const auto& msg : messages) {
+        if (msg.timestamp <= obd_cutoff) obd_messages.push_back(msg);
+      }
+      if (const auto alignment =
+              correlate::align_with_obd(obd_messages, obd_samples)) {
+        offset = alignment->offset;
+        report_.alignment_anchors = alignment->matched;
+        aligned = alignment->matched >= 8;
+      }
+    }
+    report_.alignment_offset = offset;
+
+    if (!aligned) {
+      // NTP-only vehicles (§9.4 method 1): estimate the end-to-end
+      // request->display latency from value changes in the diagnostic
+      // traffic itself, then treat it as the pairing offset.
+      const auto series =
+          options_.cache_analysis
+              ? build_alignment_series(associations)
+              : build_alignment_series(build_associations(
+                    frames::extract_fields(messages), samples));
+      if (const auto estimate =
+              correlate::estimate_offset_by_changes(series)) {
+        report_.alignment_offset = estimate->offset;
+        report_.alignment_anchors = estimate->matched;
+      }
     }
   }
 
-  analyze_signals(messages, samples);
-  analyze_ecrs(messages);
-  score_findings();
+  {
+    PhaseTimer timer(report_.phases.associate_s);
+    if (options_.cache_analysis) {
+      analyze_signals(std::move(associations));
+    } else {
+      analyze_signals(
+          build_associations(frames::extract_fields(messages), samples));
+    }
+  }
+  {
+    PhaseTimer timer(report_.phases.infer_s);
+    infer_signals();
+  }
+  {
+    PhaseTimer timer(report_.phases.associate_s);
+    if (options_.cache_analysis) {
+      analyze_ecrs(extraction);
+    } else {
+      analyze_ecrs(frames::extract_fields(messages));
+    }
+  }
+  {
+    PhaseTimer timer(report_.phases.score_s);
+    score_findings();
+  }
   report_.ocr_stats = ocr_->stats();
 }
 
 std::vector<Campaign::Association> Campaign::build_associations(
-    const std::vector<frames::DiagMessage>& messages,
+    const frames::ExtractionResult& extraction,
     const std::vector<screenshot::UiSample>& samples) const {
   std::vector<Association> associations;
-  const auto extraction = frames::extract_fields(messages);
   const util::SimTime margin = 1 * util::kSecond;
 
   for (const auto& session : sessions_) {
@@ -362,6 +434,8 @@ std::vector<Campaign::Association> Campaign::build_associations(
     // The r-th populated row corresponds to the r-th signal key in the
     // session's traffic order (§3.4 association via the UI layout).
     std::size_t key_index = 0;
+    associations.reserve(associations.size() +
+                         std::min(by_row.size(), key_order.size()));
     for (const auto& [row, row_samples] : by_row) {
       if (key_index >= key_order.size()) break;
       const Key& key = key_order[key_index++];
@@ -371,7 +445,10 @@ std::vector<Campaign::Association> Campaign::build_associations(
       assoc.did = key.did;
       assoc.local_id = key.local_id;
       assoc.esv_index = key.esv_index;
-      assoc.xs = xs_by_key[key];
+      // Each key is consumed by exactly one association: steal the series.
+      assoc.xs = std::move(xs_by_key[key]);
+      assoc.names.reserve(row_samples.size());
+      assoc.ys.reserve(row_samples.size());
       for (const auto* sample : row_samples) {
         assoc.names.push_back(sample->name);
         if (sample->value) {
@@ -390,23 +467,23 @@ std::vector<Campaign::Association> Campaign::build_associations(
 std::vector<std::pair<std::vector<correlate::XSample>,
                       std::vector<correlate::YSample>>>
 Campaign::build_alignment_series(
-    const std::vector<frames::DiagMessage>& messages,
-    const std::vector<screenshot::UiSample>& samples) const {
+    const std::vector<Association>& associations) {
   std::vector<std::pair<std::vector<correlate::XSample>,
                         std::vector<correlate::YSample>>>
       series;
-  for (auto& assoc : build_associations(messages, samples)) {
+  // Copies (rather than moves) so the cached associations stay intact for
+  // the signal analysis that follows.
+  for (const auto& assoc : associations) {
     if (assoc.ys.size() >= 6) {
-      series.emplace_back(std::move(assoc.xs), std::move(assoc.ys));
+      series.emplace_back(assoc.xs, assoc.ys);
     }
   }
   return series;
 }
 
-void Campaign::analyze_signals(
-    const std::vector<frames::DiagMessage>& messages,
-    const std::vector<screenshot::UiSample>& samples) {
-  for (auto& assoc : build_associations(messages, samples)) {
+void Campaign::analyze_signals(std::vector<Association> associations) {
+  report_.signals.reserve(report_.signals.size() + associations.size());
+  for (auto& assoc : associations) {
     SignalFinding finding;
     finding.is_kwp = assoc.is_kwp;
     finding.did = assoc.did;
@@ -437,7 +514,9 @@ void Campaign::analyze_signals(
                                                report_.alignment_offset);
     report_.signals.push_back(std::move(finding));
   }
+}
 
+void Campaign::infer_signals() {
   if (!options_.run_inference) return;
 
   // Each non-enum signal is an independent (vehicle, DID) inference
@@ -456,8 +535,12 @@ void Campaign::analyze_signals(
     jobs.push_back(job);
     targets.push_back(&finding);
   }
-  gp::BatchRunner batch(options_.infer_threads);
-  auto results = batch.run(jobs);
+  // A fleet-injected pool wins over the local thread knob: the whole
+  // machine then runs on one shared budget, with this batch's jobs
+  // interleaved among the other campaigns' work.
+  auto results = options_.infer_pool
+                     ? gp::BatchRunner(*options_.infer_pool).run(jobs)
+                     : gp::BatchRunner(options_.infer_threads).run(jobs);
   for (std::size_t i = 0; i < targets.size(); ++i) {
     targets[i]->gp = std::move(results[i]);
     if (options_.run_baselines) {
@@ -467,9 +550,7 @@ void Campaign::analyze_signals(
   }
 }
 
-void Campaign::analyze_ecrs(
-    const std::vector<frames::DiagMessage>& messages) {
-  const auto extraction = frames::extract_fields(messages);
+void Campaign::analyze_ecrs(const frames::ExtractionResult& extraction) {
   const util::SimTime margin = 1 * util::kSecond;
 
   for (const auto& session : sessions_) {
@@ -501,30 +582,49 @@ void Campaign::analyze_ecrs(
 void Campaign::score_findings() {
   const auto& spec = vehicle_->spec();
 
+  // Ground-truth lookup tables, built once per campaign instead of
+  // rescanning every ECU's signal inventory for every finding
+  // (O(findings + ecus*signals) instead of O(findings * ecus * signals)).
+  // The legacy scan kept the *last* catalog match, so later entries
+  // overwrite earlier ones here too.
+  std::map<std::uint16_t, const vehicle::UdsSignalSpec*> uds_truth;
+  std::map<std::uint8_t, std::vector<const vehicle::KwpLocalIdSpec*>>
+      kwp_blocks;
+  std::set<std::uint16_t> actuator_ids;
+  for (const auto& ecu : spec.ecus) {
+    for (const auto& sig : ecu.uds_signals) uds_truth[sig.did] = &sig;
+    for (const auto& block : ecu.kwp_local_ids) {
+      kwp_blocks[block.local_id].push_back(&block);
+    }
+    for (const auto& act : ecu.actuators) actuator_ids.insert(act.id);
+  }
+
   for (auto& finding : report_.signals) {
     // Locate the ground truth in the catalog.
     std::function<double(std::span<const double>)> truth;
     if (!finding.is_kwp) {
-      for (const auto& ecu : spec.ecus) {
-        for (const auto& sig : ecu.uds_signals) {
-          if (sig.did != finding.did) continue;
-          finding.truth_is_enum = sig.formula.is_enum();
-          finding.truth_formula = sig.formula.repr();
-          const vehicle::PropFormula formula = sig.formula;
-          truth = [formula](std::span<const double> xs) {
-            std::vector<std::uint8_t> bytes;
-            bytes.reserve(xs.size());
-            for (double x : xs) bytes.push_back(static_cast<std::uint8_t>(x));
-            return formula.eval(bytes);
-          };
-        }
+      if (const auto it = uds_truth.find(finding.did);
+          it != uds_truth.end()) {
+        const auto& sig = *it->second;
+        finding.truth_is_enum = sig.formula.is_enum();
+        finding.truth_formula = sig.formula.repr();
+        const vehicle::PropFormula formula = sig.formula;
+        truth = [formula](std::span<const double> xs) {
+          std::vector<std::uint8_t> bytes;
+          bytes.reserve(xs.size());
+          for (double x : xs) bytes.push_back(static_cast<std::uint8_t>(x));
+          return formula.eval(bytes);
+        };
       }
     } else {
-      for (const auto& ecu : spec.ecus) {
-        for (const auto& block : ecu.kwp_local_ids) {
-          if (block.local_id != finding.local_id) continue;
-          if (finding.esv_index >= block.esvs.size()) continue;
-          const auto& esv = block.esvs[finding.esv_index];
+      const auto it = kwp_blocks.find(finding.local_id);
+      if (it != kwp_blocks.end()) {
+        // The esv_index range check depends on the finding, so walk this
+        // local id's (few) blocks in catalog order, last match winning —
+        // exactly the legacy scan's behavior.
+        for (const auto* block : it->second) {
+          if (finding.esv_index >= block->esvs.size()) continue;
+          const auto& esv = block->esvs[finding.esv_index];
           finding.truth_is_enum = esv.is_enum;
           const auto kwp_spec = kwp::find_formula(esv.formula_type);
           finding.truth_formula = kwp_spec ? kwp_spec->expression : "?";
@@ -569,11 +669,7 @@ void Campaign::score_findings() {
   }
 
   for (auto& finding : report_.ecrs) {
-    for (const auto& ecu : spec.ecus) {
-      for (const auto& act : ecu.actuators) {
-        if (act.id == finding.id) finding.matches_truth = true;
-      }
-    }
+    finding.matches_truth = actuator_ids.count(finding.id) > 0;
   }
 }
 

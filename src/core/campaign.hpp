@@ -26,6 +26,10 @@
 #include "screenshot/extract.hpp"
 #include "vehicle/vehicle.hpp"
 
+namespace dpr::util {
+class ThreadPool;
+}
+
 namespace dpr::core {
 
 struct CampaignOptions {
@@ -47,6 +51,47 @@ struct CampaignOptions {
   /// gp::BatchRunner pool. 0 = hardware concurrency, 1 = serial. The
   /// recovered formulas are identical for every value.
   std::size_t infer_threads = 1;
+  /// Non-owning: when set, per-signal GP inferences run on this existing
+  /// pool instead of spawning one (`infer_threads` is ignored). This is
+  /// how core::FleetRunner enforces a single machine-wide thread budget —
+  /// fleet tasks and inner GP batches share the same workers, and the
+  /// caller-participating pool makes the nesting deadlock-free.
+  util::ThreadPool* infer_pool = nullptr;
+  /// Compute the field extraction and the traffic<->UI associations once
+  /// per analyze() and reuse them across alignment, signal analysis and
+  /// ECR analysis. `false` restores the legacy recompute-per-consumer
+  /// path (kept as an ablation / equivalence-test switch; the findings
+  /// are identical either way).
+  bool cache_analysis = true;
+};
+
+/// Wall-clock seconds spent in each pipeline phase of one campaign.
+/// Purely observational: the timings never feed back into the analysis,
+/// so reports stay bit-identical across runs and thread counts (compare
+/// them with report_signature(), which excludes timings).
+struct PhaseTimings {
+  double collect_s = 0.0;      // CPS loop: drive tool, record CAN + video
+  double assemble_s = 0.0;     // frame census + message assembly
+  double ocr_extract_s = 0.0;  // screenshot OCR + filtering + field extraction
+  double align_s = 0.0;        // clock alignment (OBD anchors / change latency)
+  double associate_s = 0.0;    // §3.4 association + dataset construction
+  double infer_s = 0.0;        // GP + baseline regressions
+  double score_s = 0.0;        // ground-truth scoring
+
+  double total_s() const {
+    return collect_s + assemble_s + ocr_extract_s + align_s + associate_s +
+           infer_s + score_s;
+  }
+  PhaseTimings& operator+=(const PhaseTimings& other) {
+    collect_s += other.collect_s;
+    assemble_s += other.assemble_s;
+    ocr_extract_s += other.ocr_extract_s;
+    align_s += other.align_s;
+    associate_s += other.associate_s;
+    infer_s += other.infer_s;
+    score_s += other.score_s;
+    return *this;
+  }
 };
 
 /// Reverse-engineering outcome for one readable signal.
@@ -92,6 +137,7 @@ struct CampaignReport {
   std::vector<SignalFinding> signals;
   std::vector<EcrFinding> ecrs;
   cps::OcrStats ocr_stats;
+  PhaseTimings phases;
 
   std::size_t formula_signals() const;
   std::size_t enum_signals() const;
@@ -158,16 +204,14 @@ class Campaign {
     std::size_t non_numeric = 0;
   };
   std::vector<Association> build_associations(
-      const std::vector<frames::DiagMessage>& messages,
+      const frames::ExtractionResult& extraction,
       const std::vector<screenshot::UiSample>& samples) const;
-  std::vector<std::pair<std::vector<correlate::XSample>,
-                        std::vector<correlate::YSample>>>
-  build_alignment_series(const std::vector<frames::DiagMessage>& messages,
-                         const std::vector<screenshot::UiSample>& samples)
-      const;
-  void analyze_signals(const std::vector<frames::DiagMessage>& messages,
-                       const std::vector<screenshot::UiSample>& samples);
-  void analyze_ecrs(const std::vector<frames::DiagMessage>& messages);
+  static std::vector<std::pair<std::vector<correlate::XSample>,
+                               std::vector<correlate::YSample>>>
+  build_alignment_series(const std::vector<Association>& associations);
+  void analyze_signals(std::vector<Association> associations);
+  void infer_signals();
+  void analyze_ecrs(const frames::ExtractionResult& extraction);
   void score_findings();
 
   CampaignOptions options_;

@@ -1,0 +1,154 @@
+#include "core/fleet.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "util/thread_pool.hpp"
+
+namespace dpr::core {
+
+namespace {
+
+std::size_t sum_over(const std::vector<CampaignReport>& reports,
+                     std::size_t (CampaignReport::*fn)() const) {
+  std::size_t total = 0;
+  for (const auto& report : reports) total += (report.*fn)();
+  return total;
+}
+
+}  // namespace
+
+std::size_t FleetSummary::total_signals() const {
+  std::size_t total = 0;
+  for (const auto& report : reports) total += report.signals.size();
+  return total;
+}
+
+std::size_t FleetSummary::total_formula_signals() const {
+  return sum_over(reports, &CampaignReport::formula_signals);
+}
+
+std::size_t FleetSummary::total_enum_signals() const {
+  return sum_over(reports, &CampaignReport::enum_signals);
+}
+
+std::size_t FleetSummary::total_gp_correct() const {
+  return sum_over(reports, &CampaignReport::gp_correct);
+}
+
+std::size_t FleetSummary::total_ecrs() const {
+  std::size_t total = 0;
+  for (const auto& report : reports) total += report.ecrs.size();
+  return total;
+}
+
+FleetRunner::FleetRunner(FleetOptions options)
+    : options_(std::move(options)),
+      threads_(options_.fleet_threads == 1
+                   ? 1
+                   : util::ThreadPool::resolve(options_.fleet_threads)) {}
+
+FleetSummary FleetRunner::run(const std::vector<vehicle::CarId>& cars) const {
+  FleetSummary summary;
+  summary.reports.resize(cars.size());
+  summary.threads_used = cars.size() <= 1 ? 1 : threads_;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto run_one = [&](std::size_t i, util::ThreadPool* pool) {
+    CampaignOptions campaign_options = options_.campaign;
+    if (pool != nullptr && options_.share_thread_budget) {
+      campaign_options.infer_pool = pool;
+    }
+    Campaign campaign(cars[i], campaign_options);
+    campaign.collect();
+    campaign.analyze();
+    summary.reports[i] = campaign.report();
+  };
+
+  if (summary.threads_used <= 1) {
+    for (std::size_t i = 0; i < cars.size(); ++i) run_one(i, nullptr);
+  } else {
+    util::ThreadPool pool(summary.threads_used);
+    pool.parallel_for(cars.size(),
+                      [&](std::size_t i) { run_one(i, &pool); });
+  }
+  summary.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  for (const auto& report : summary.reports) {
+    summary.phase_totals += report.phases;
+  }
+  return summary;
+}
+
+FleetSummary FleetRunner::run_catalog() const {
+  std::vector<vehicle::CarId> cars;
+  cars.reserve(vehicle::catalog().size());
+  for (const auto& spec : vehicle::catalog()) cars.push_back(spec.id);
+  return run(cars);
+}
+
+std::string report_signature(const CampaignReport& report) {
+  std::ostringstream out;
+  out << std::hexfloat;  // doubles round-trip bit-exactly
+
+  out << "car=" << report.car_label << ";census=" << report.census.single_frames
+      << ',' << report.census.first_frames << ','
+      << report.census.consecutive_frames << ','
+      << report.census.flow_control_frames << ','
+      << report.census.vwtp_data_last << ',' << report.census.vwtp_data_more
+      << ',' << report.census.vwtp_control << ',' << report.census.other
+      << ";messages=" << report.messages_assembled
+      << ";offset=" << report.alignment_offset
+      << ";anchors=" << report.alignment_anchors << '\n';
+
+  for (const auto& s : report.signals) {
+    out << "sig " << s.is_kwp << ' ' << s.did << ' '
+        << static_cast<int>(s.local_id) << ' ' << s.esv_index << " '"
+        << s.semantic_name << "' '" << s.request_message
+        << "' enum=" << s.is_enum << " n=" << s.dataset.points.size()
+        << " vars=" << s.dataset.n_vars;
+    for (const auto& point : s.dataset.points) {
+      out << " (";
+      for (double x : point.xs) out << x << ',';
+      out << point.y << '@' << point.x_time << '/' << point.y_time << ')';
+    }
+    if (s.gp) {
+      out << " gp='" << s.gp->formula << "' fit=" << s.gp->fitness
+          << " gen=" << s.gp->generations_run << " conv=" << s.gp->converged;
+    }
+    const auto fit_sig = [&out](const char* tag,
+                                const regress::FitResult& fit) {
+      out << ' ' << tag << "='" << fit.formula << "'";
+      for (double c : fit.coefficients) out << ' ' << c;
+    };
+    if (s.linear) fit_sig("lin", *s.linear);
+    if (s.polynomial) fit_sig("poly", *s.polynomial);
+    out << " truth='" << s.truth_formula << "' tenum=" << s.truth_is_enum
+        << " ok=" << s.gp_correct << s.linear_correct << s.polynomial_correct
+        << '\n';
+  }
+  for (const auto& e : report.ecrs) {
+    out << "ecr " << e.is_uds << ' ' << e.id << " '" << e.semantic_name
+        << "' seq=";
+    for (auto p : e.param_sequence) out << static_cast<int>(p) << ',';
+    out << " state=" << util::to_hex(e.adjustment_state)
+        << " p3=" << e.three_message_pattern << " ok=" << e.matches_truth
+        << '\n';
+  }
+  out << "ocr=" << report.ocr_stats.strings_read << '/'
+      << report.ocr_stats.strings_correct << '/'
+      << report.ocr_stats.char_errors << '/'
+      << report.ocr_stats.decimal_drops << '\n';
+  return out.str();
+}
+
+std::string fleet_signature(const FleetSummary& summary) {
+  std::string signature;
+  for (const auto& report : summary.reports) {
+    signature += report_signature(report);
+  }
+  return signature;
+}
+
+}  // namespace dpr::core

@@ -55,6 +55,24 @@ std::optional<AlignmentResult> align_with_obd(
   // post-repaint frame can display a new one.
   std::map<std::uint8_t, double> previous;
 
+  // Index the numeric samples by displayed name, time-sorted, so each
+  // anchor binary-searches its first candidate at/after the message
+  // instead of rescanning every sample (O((m+s) log s), not O(m*s)).
+  // stable_sort keeps the original order among equal timestamps — the
+  // legacy scan kept the first-seen sample on ties.
+  std::map<std::string, std::vector<const screenshot::UiSample*>> by_name;
+  for (const auto& sample : samples) {
+    if (!sample.value) continue;
+    by_name[sample.name].push_back(&sample);
+  }
+  for (auto& [name, bucket] : by_name) {
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [](const screenshot::UiSample* a,
+                        const screenshot::UiSample* b) {
+                       return a->timestamp < b->timestamp;
+                     });
+  }
+
   for (const auto& msg : messages) {
     // Only positive mode-01 responses anchor the alignment.
     if (msg.payload.size() < 3 || msg.payload[0] != 0x41) continue;
@@ -75,17 +93,22 @@ std::optional<AlignmentResult> align_with_obd(
     previous[msg.payload[1]] = real_value;
     if (!changed) continue;
 
-    // First frame at/after the message that shows the *new* value.
+    // First frame at/after the message that shows the *new* value:
+    // jump to the message's timestamp, then walk forward to the first
+    // value match.
+    const auto bucket_it = by_name.find(spec->name);
+    if (bucket_it == by_name.end()) continue;
+    const auto& bucket = bucket_it->second;
+    auto it = std::lower_bound(
+        bucket.begin(), bucket.end(), msg.timestamp,
+        [](const screenshot::UiSample* s, util::SimTime t) {
+          return s->timestamp < t;
+        });
     const screenshot::UiSample* best = nullptr;
-    for (const auto& sample : samples) {
-      if (!sample.value) continue;
-      if (sample.name != spec->name) continue;
-      if (sample.timestamp < msg.timestamp) continue;
-      if (std::abs(*sample.value - real_value) > value_tolerance * scale) {
-        continue;
-      }
-      if (best == nullptr || sample.timestamp < best->timestamp) {
-        best = &sample;
+    for (; it != bucket.end(); ++it) {
+      if (std::abs(*(*it)->value - real_value) <= value_tolerance * scale) {
+        best = *it;
+        break;
       }
     }
     if (best == nullptr) continue;

@@ -11,6 +11,10 @@
 #include "correlate/correlate.hpp"
 #include "gp/engine.hpp"
 
+namespace dpr::util {
+class ThreadPool;
+}
+
 namespace dpr::gp {
 
 /// One unit of work: a dataset plus the fully-resolved config (including
@@ -25,6 +29,14 @@ class BatchRunner {
   /// `n_threads`: 0 = hardware concurrency, 1 = serial (no pool spawned).
   explicit BatchRunner(std::size_t n_threads = 0);
 
+  /// Fan jobs over an existing pool instead of spawning one (non-owning;
+  /// `pool` must outlive the runner). This is the shared-thread-budget
+  /// mode: when campaigns themselves run as tasks of a fleet pool, their
+  /// inner batches re-enter the same pool — parallel_for is
+  /// caller-participating, so the nesting cannot deadlock and the machine
+  /// never runs more workers than the fleet budget.
+  explicit BatchRunner(util::ThreadPool& pool);
+
   std::size_t n_threads() const { return n_threads_; }
 
   /// Infer every job; results[i] corresponds to jobs[i]. Independent of
@@ -34,6 +46,7 @@ class BatchRunner {
 
  private:
   std::size_t n_threads_ = 1;
+  util::ThreadPool* shared_pool_ = nullptr;
 };
 
 }  // namespace dpr::gp

@@ -1,0 +1,163 @@
+// Fleet-level parallelism tests: a multi-threaded core::FleetRunner must
+// be bit-identical to the plain serial campaign loop for every thread
+// count (campaigns are fully independent and internally seeded), and the
+// analyze-phase caching must not change any finding.
+
+#include <gtest/gtest.h>
+
+#include "core/fleet.hpp"
+#include "gp/batch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dpr::core {
+namespace {
+
+/// Small-but-real settings: enough traffic for stable findings, GP small
+/// enough that the 3-car x 3-run matrix stays fast.
+CampaignOptions small_options() {
+  CampaignOptions options;
+  options.live_window = 6 * util::kSecond;
+  options.gp.population = 64;
+  options.gp.max_generations = 10;
+  return options;
+}
+
+/// One UDS car, one KWP-over-VWTP car, one BMW-framing car.
+std::vector<vehicle::CarId> small_fleet() {
+  return {vehicle::CarId::kA, vehicle::CarId::kB, vehicle::CarId::kE};
+}
+
+TEST(Fleet, ParallelRunMatchesSerialLoopBitExactly) {
+  const auto cars = small_fleet();
+
+  // Reference: the plain serial loop full_campaign.cpp used to run.
+  std::string serial_signature;
+  for (const auto car : cars) {
+    Campaign campaign(car, small_options());
+    campaign.collect();
+    campaign.analyze();
+    serial_signature += report_signature(campaign.report());
+  }
+
+  FleetOptions one;
+  one.fleet_threads = 1;
+  one.campaign = small_options();
+  const auto serial_summary = FleetRunner(one).run(cars);
+  EXPECT_EQ(serial_summary.threads_used, 1u);
+  EXPECT_EQ(fleet_signature(serial_summary), serial_signature);
+
+  FleetOptions four;
+  four.fleet_threads = 4;
+  four.campaign = small_options();
+  const auto parallel_summary = FleetRunner(four).run(cars);
+  EXPECT_EQ(parallel_summary.threads_used, 4u);
+  EXPECT_EQ(fleet_signature(parallel_summary), serial_signature);
+
+  // Results come back in input order regardless of completion order.
+  ASSERT_EQ(parallel_summary.reports.size(), cars.size());
+  EXPECT_EQ(parallel_summary.reports[0].car_label, "Car A");
+  EXPECT_EQ(parallel_summary.reports[1].car_label, "Car B");
+  EXPECT_EQ(parallel_summary.reports[2].car_label, "Car E");
+}
+
+TEST(Fleet, SharedBudgetOffStillDeterministic) {
+  const auto cars = small_fleet();
+  FleetOptions shared;
+  shared.fleet_threads = 3;
+  shared.campaign = small_options();
+  FleetOptions owned = shared;
+  owned.share_thread_budget = false;
+  EXPECT_EQ(fleet_signature(FleetRunner(shared).run(cars)),
+            fleet_signature(FleetRunner(owned).run(cars)));
+}
+
+TEST(Fleet, SummaryAggregatesPhaseTimingsAndTotals) {
+  FleetOptions options;
+  options.fleet_threads = 2;
+  options.campaign = small_options();
+  const auto summary =
+      FleetRunner(options).run({vehicle::CarId::kA, vehicle::CarId::kB});
+
+  EXPECT_GT(summary.wall_s, 0.0);
+  EXPECT_GT(summary.phase_totals.collect_s, 0.0);
+  EXPECT_GT(summary.phase_totals.assemble_s, 0.0);
+  EXPECT_GT(summary.phase_totals.ocr_extract_s, 0.0);
+  EXPECT_GT(summary.phase_totals.align_s, 0.0);
+  EXPECT_GT(summary.phase_totals.associate_s, 0.0);
+  EXPECT_GT(summary.phase_totals.infer_s, 0.0);
+  EXPECT_GT(summary.phase_totals.score_s, 0.0);
+  EXPECT_GT(summary.phase_totals.total_s(), 0.0);
+  for (const auto& report : summary.reports) {
+    EXPECT_GT(report.phases.collect_s, 0.0);
+    EXPECT_GT(report.phases.infer_s, 0.0);
+  }
+
+  EXPECT_EQ(summary.total_signals(),
+            summary.reports[0].signals.size() +
+                summary.reports[1].signals.size());
+  EXPECT_EQ(summary.total_formula_signals() + summary.total_enum_signals(),
+            summary.total_signals());
+  EXPECT_GT(summary.total_gp_correct(), 0u);
+  EXPECT_GT(summary.total_ecrs(), 0u);
+}
+
+TEST(Fleet, CachedAnalysisMatchesLegacyRecomputePath) {
+  // Car A: OBD-aligned (IsoTp); Car B: alignment falls back to the
+  // change-latency estimator, the path where build_associations used to
+  // run twice. Both must be unaffected by the caching.
+  for (const auto car : {vehicle::CarId::kA, vehicle::CarId::kB}) {
+    CampaignOptions cached = small_options();
+    cached.cache_analysis = true;
+    Campaign with_cache(car, cached);
+    with_cache.collect();
+    with_cache.analyze();
+
+    CampaignOptions legacy = small_options();
+    legacy.cache_analysis = false;
+    Campaign without_cache(car, legacy);
+    without_cache.collect();
+    without_cache.analyze();
+
+    EXPECT_EQ(report_signature(with_cache.report()),
+              report_signature(without_cache.report()))
+        << "car " << static_cast<int>(car);
+  }
+}
+
+TEST(Fleet, BatchRunnerSharedPoolMatchesOwnedPool) {
+  correlate::Dataset dataset;
+  dataset.n_vars = 1;
+  for (int i = 0; i < 40; ++i) {
+    correlate::DataPoint point;
+    point.xs = {static_cast<double>(i * 5)};
+    point.y = 0.4 * point.xs[0] + 3.0;
+    dataset.points.push_back(point);
+  }
+  gp::GpConfig config;
+  config.population = 48;
+  config.max_generations = 8;
+
+  std::vector<gp::BatchJob> jobs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    gp::BatchJob job;
+    job.dataset = &dataset;
+    job.config = config;
+    job.config.seed ^= i * 0x9E3779B9ULL;
+    jobs.push_back(job);
+  }
+
+  const auto owned = gp::BatchRunner(2).run(jobs);
+  util::ThreadPool pool(2);
+  const auto shared = gp::BatchRunner(pool).run(jobs);
+  ASSERT_EQ(owned.size(), shared.size());
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    ASSERT_EQ(owned[i].has_value(), shared[i].has_value());
+    if (owned[i]) {
+      EXPECT_EQ(owned[i]->formula, shared[i]->formula);
+      EXPECT_EQ(owned[i]->fitness, shared[i]->fitness);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpr::core

@@ -1,10 +1,12 @@
 // dpreverser — command-line front end for the reverse-engineering
-// pipeline: run a campaign against one simulated vehicle, print the
-// recovered protocol map, optionally export the raw CAN capture.
+// pipeline: run a campaign against one simulated vehicle (or the whole
+// fleet), print the recovered protocol map, optionally export the raw
+// CAN capture.
 //
 // Usage:
 //   dpreverser --car A [--window 16] [--seed N] [--no-filter]
 //              [--no-ocr-noise] [--no-baselines] [--trace capture.log]
+//   dpreverser --fleet [--fleet-threads N] [common options]
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,13 +15,19 @@
 #include <string>
 
 #include "can/trace.hpp"
-#include "core/campaign.hpp"
+#include "core/fleet.hpp"
 
 namespace {
 
 void usage() {
   std::fprintf(stderr,
                "usage: dpreverser --car <A..R> [options]\n"
+               "       dpreverser --fleet [options]\n"
+               "  --fleet          run every catalog car (campaigns fan out\n"
+               "                   over a shared-budget pool; results are\n"
+               "                   identical to the serial loop)\n"
+               "  --fleet-threads <n>  concurrent campaigns in --fleet mode\n"
+               "                   (0 = all cores, default 0; 1 = serial)\n"
                "  --window <s>     live-capture window per ECU (default 16)\n"
                "  --seed <n>       simulation seed\n"
                "  --threads <n>    GP inference threads (0 = all cores,\n"
@@ -31,12 +39,54 @@ void usage() {
                "  --list           list the vehicle catalog and exit\n");
 }
 
+int run_fleet(dpr::core::CampaignOptions campaign_options,
+              std::size_t fleet_threads) {
+  using namespace dpr;
+  core::FleetOptions options;
+  options.campaign = campaign_options;
+  options.fleet_threads = fleet_threads;
+
+  const core::FleetRunner runner(options);
+  std::printf("running %zu campaigns on %zu fleet threads...\n",
+              vehicle::catalog().size(), runner.threads());
+  const auto summary = runner.run_catalog();
+
+  std::printf("\n%-8s %-22s %-10s %-9s %-8s %-7s %-6s %-9s\n", "Car",
+              "Model", "Protocol", "#signals", "#formula", "GP ok", "#ECR",
+              "infer s");
+  for (std::size_t i = 0; i < summary.reports.size(); ++i) {
+    const auto& report = summary.reports[i];
+    const auto& spec = vehicle::catalog()[i];
+    std::printf("%-8s %-22s %-10s %-9zu %-8zu %-7zu %-6zu %-9.2f\n",
+                report.car_label.c_str(), spec.model.c_str(),
+                spec.protocol == vehicle::Protocol::kUds ? "UDS" : "KWP",
+                report.signals.size(), report.formula_signals(),
+                report.gp_correct(), report.ecrs.size(),
+                report.phases.infer_s);
+  }
+  std::printf("\nfleet totals: %zu reads + %zu controls = %zu messages, "
+              "GP %zu/%zu\n",
+              summary.total_signals(), summary.total_ecrs(),
+              summary.total_signals() + summary.total_ecrs(),
+              summary.total_gp_correct(), summary.total_formula_signals());
+  std::printf("wall time %.2f s (%zu threads); phase CPU-s: collect %.1f, "
+              "infer %.1f, other %.1f\n",
+              summary.wall_s, summary.threads_used,
+              summary.phase_totals.collect_s, summary.phase_totals.infer_s,
+              summary.phase_totals.total_s() -
+                  summary.phase_totals.collect_s -
+                  summary.phase_totals.infer_s);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dpr;
 
   int car_index = -1;
+  bool fleet = false;
+  std::size_t fleet_threads = 0;
   core::CampaignOptions options;
   options.live_window = 16 * util::kSecond;
   options.video_fps = 10.0;
@@ -58,6 +108,10 @@ int main(int argc, char** argv) {
       if (std::strlen(value) == 1 && value[0] >= 'A' && value[0] <= 'R') {
         car_index = value[0] - 'A';
       }
+    } else if (arg == "--fleet") {
+      fleet = true;
+    } else if (arg == "--fleet-threads") {
+      fleet_threads = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--window") {
       options.live_window =
           static_cast<util::SimTime>(std::atof(next()) * util::kSecond);
@@ -93,6 +147,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (fleet) return run_fleet(options, fleet_threads);
   if (car_index < 0) {
     usage();
     return 2;
