@@ -1,0 +1,244 @@
+// Fault-resilience benchmark behind BENCH_faults.json: sweep the bus /
+// server fault rate over a small fleet and record how much of the
+// reverse-engineering result the retry/timeout transaction stack
+// preserves — GP accuracy, retries spent, exhausted transactions,
+// per-car ok/failed status and raw bus fault counters per rate.
+//
+// Two properties are asserted (nonzero exit on violation):
+//   1. Determinism: a faulty run replays bit-identically (same
+//      fleet_signature) across 1, 2 and 8 fleet threads.
+//   2. Graceful degradation: every campaign in the sweep completes —
+//      faults degrade accuracy, they never abort a car.
+//
+// Flags (all optional, for CI smoke runs on small machines):
+//   --cars N        first N catalog cars (default 3)
+//   --threads N     fleet threads for the sweep runs (default 2)
+//   --window S      per-ECU live window seconds (default 8)
+//   --population P  GP population (default 96)
+//   --seed N        fault stream seed (default FaultConfig's)
+//   --rates a,b,..  comma-separated fault rates
+//                   (default 0,0.002,0.005,0.01,0.02)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fleet.hpp"
+
+namespace {
+
+using namespace dpr;
+
+struct SweepPoint {
+  double rate = 0.0;
+  double gp_accuracy = 0.0;        // gp_correct / formula_signals
+  std::size_t signals = 0;
+  std::size_t formula_signals = 0;
+  std::size_t gp_correct = 0;
+  std::size_t cars_ok = 0;
+  std::size_t cars_failed = 0;
+  util::TransactStats tx;
+  util::FaultStats bus;
+  double wall_s = 0.0;
+};
+
+SweepPoint summarize(double rate, const core::FleetSummary& summary) {
+  SweepPoint point;
+  point.rate = rate;
+  point.signals = summary.total_signals();
+  point.formula_signals = summary.total_formula_signals();
+  point.gp_correct = summary.total_gp_correct();
+  point.gp_accuracy =
+      point.formula_signals == 0
+          ? 1.0
+          : static_cast<double>(point.gp_correct) /
+                static_cast<double>(point.formula_signals);
+  point.cars_ok = summary.cars_ok();
+  point.cars_failed = summary.cars_failed();
+  point.tx = summary.total_transactions();
+  for (const auto& report : summary.reports) {
+    point.bus += report.bus_faults;
+  }
+  point.wall_s = summary.wall_s;
+  return point;
+}
+
+void write_point_json(std::FILE* out, const SweepPoint& p) {
+  std::fprintf(
+      out,
+      "{\"rate\": %.6f, \"gp_accuracy\": %.6f, \"signals\": %zu, "
+      "\"formula_signals\": %zu, \"gp_correct\": %zu, \"cars_ok\": %zu, "
+      "\"cars_failed\": %zu, \"transactions\": %llu, \"retries\": %llu, "
+      "\"busy_retries\": %llu, \"pending_waits\": %llu, "
+      "\"tx_failures\": %llu, \"bus_delivered\": %llu, "
+      "\"bus_dropped\": %llu, \"bus_corrupted\": %llu, "
+      "\"bus_duplicated\": %llu, \"bus_jittered\": %llu, "
+      "\"bus_bursts\": %llu, \"wall_s\": %.6f}",
+      p.rate, p.gp_accuracy, p.signals, p.formula_signals, p.gp_correct,
+      p.cars_ok, p.cars_failed,
+      static_cast<unsigned long long>(p.tx.transactions),
+      static_cast<unsigned long long>(p.tx.retries),
+      static_cast<unsigned long long>(p.tx.busy_retries),
+      static_cast<unsigned long long>(p.tx.pending_waits),
+      static_cast<unsigned long long>(p.tx.failures),
+      static_cast<unsigned long long>(p.bus.delivered),
+      static_cast<unsigned long long>(p.bus.dropped),
+      static_cast<unsigned long long>(p.bus.corrupted),
+      static_cast<unsigned long long>(p.bus.duplicated),
+      static_cast<unsigned long long>(p.bus.jittered),
+      static_cast<unsigned long long>(p.bus.bursts), p.wall_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_cars = 3;
+  std::size_t n_threads = 2;
+  double window_s = 8.0;
+  std::size_t population = 96;
+  util::FaultConfig base_faults;
+  std::vector<double> rates = {0.0, 0.002, 0.005, 0.01, 0.02};
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--cars") == 0) {
+      n_cars = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      n_threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--window") == 0) {
+      window_s = std::atof(next());
+    } else if (std::strcmp(argv[i], "--population") == 0) {
+      population = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      base_faults.fault_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--rates") == 0) {
+      rates.clear();
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty()) rates.push_back(std::atof(item.c_str()));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  n_cars = std::min(std::max<std::size_t>(n_cars, 1),
+                    vehicle::catalog().size());
+
+  std::vector<vehicle::CarId> cars;
+  for (std::size_t i = 0; i < n_cars; ++i) {
+    cars.push_back(vehicle::catalog()[i].id);
+  }
+
+  core::FleetOptions options;
+  options.fleet_threads = n_threads;
+  options.campaign.live_window =
+      static_cast<util::SimTime>(window_s * util::kSecond);
+  options.campaign.gp.population = population;
+  options.campaign.faults = base_faults;
+
+  std::printf("Fault-resilience sweep: %zu cars, %zu fleet threads, "
+              "fault seed %llu\n\n",
+              cars.size(), core::FleetRunner(options).threads(),
+              static_cast<unsigned long long>(base_faults.fault_seed));
+  std::printf("%-8s %-8s %-9s %-8s %-8s %-9s %-9s %-9s %-9s\n", "rate",
+              "GP acc", "ok/fail", "retries", "busy", "pending", "txfail",
+              "dropped", "corrupt");
+  dpr::bench::print_rule(82);
+
+  std::vector<SweepPoint> points;
+  bool all_completed = true;
+  for (const double rate : rates) {
+    options.campaign.faults.rate = rate;
+    const auto summary = core::FleetRunner(options).run(cars);
+    const auto point = summarize(rate, summary);
+    if (point.cars_failed != 0) all_completed = false;
+    points.push_back(point);
+    std::printf("%-8.4f %-8.3f %zu/%-6zu %-8llu %-8llu %-9llu %-9llu "
+                "%-9llu %-9llu\n",
+                point.rate, point.gp_accuracy, point.cars_ok,
+                point.cars_failed,
+                static_cast<unsigned long long>(point.tx.retries),
+                static_cast<unsigned long long>(point.tx.busy_retries),
+                static_cast<unsigned long long>(point.tx.pending_waits),
+                static_cast<unsigned long long>(point.tx.failures),
+                static_cast<unsigned long long>(point.bus.dropped),
+                static_cast<unsigned long long>(point.bus.corrupted));
+  }
+
+  // Determinism check: the heaviest nonzero rate must replay
+  // bit-identically across thread counts.
+  double check_rate = 0.0;
+  for (const double rate : rates) {
+    if (rate > check_rate) check_rate = rate;
+  }
+  bool deterministic = true;
+  if (check_rate > 0.0) {
+    options.campaign.faults.rate = check_rate;
+    std::string reference;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      options.fleet_threads = threads;
+      const auto signature =
+          core::fleet_signature(core::FleetRunner(options).run(cars));
+      if (reference.empty()) {
+        reference = signature;
+      } else if (signature != reference) {
+        deterministic = false;
+        std::printf("\nDETERMINISM VIOLATION: rate %.4f differs at %zu "
+                    "threads\n",
+                    check_rate, threads);
+      }
+    }
+  }
+
+  // Accuracy floor: worst GP accuracy observed across the sweep — the
+  // acceptance bar future runs are compared against.
+  double accuracy_floor = 1.0;
+  for (const auto& point : points) {
+    if (point.gp_accuracy < accuracy_floor) accuracy_floor = point.gp_accuracy;
+  }
+
+  std::printf("\ndeterminism across {1,2,8} threads at rate %.4f: %s\n",
+              check_rate, deterministic ? "identical" : "DIFFER");
+  std::printf("all campaigns completed: %s\n",
+              all_completed ? "yes" : "NO (per-car failure recorded)");
+  std::printf("GP accuracy floor across sweep: %.3f\n", accuracy_floor);
+
+  if (std::FILE* out = std::fopen("BENCH_faults.json", "w")) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"cars\": %zu,\n", cars.size());
+    std::fprintf(out, "  \"fleet_threads\": %zu,\n", n_threads);
+    std::fprintf(out, "  \"fault_seed\": %llu,\n",
+                 static_cast<unsigned long long>(base_faults.fault_seed));
+    std::fprintf(out, "  \"deterministic_across_threads\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(out, "  \"determinism_check_rate\": %.6f,\n", check_rate);
+    std::fprintf(out, "  \"all_campaigns_completed\": %s,\n",
+                 all_completed ? "true" : "false");
+    std::fprintf(out, "  \"gp_accuracy_floor\": %.6f,\n", accuracy_floor);
+    std::fprintf(out, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(out, "    ");
+      write_point_json(out, points[i]);
+      std::fprintf(out, i + 1 < points.size() ? ",\n" : "\n");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_faults.json\n");
+  }
+
+  return (deterministic && all_completed) ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "can/bus.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace dpr::can {
 
@@ -14,6 +15,10 @@ std::size_t CanBus::attach(FrameListener listener) {
 
 void CanBus::send(const CanFrame& frame) {
   queue_.emplace_back(next_seq_++, frame);
+}
+
+void CanBus::set_faults(const util::FaultPlan& plan, util::Rng rng) {
+  injector_.emplace(plan, rng);
 }
 
 util::SimTime CanBus::frame_time(const CanFrame& frame) const {
@@ -35,14 +40,35 @@ std::size_t CanBus::deliver_some(std::size_t max_frames) {
           }
           return a.first < b.first;
         });
-    const CanFrame frame = winner->second;
+    CanFrame frame = winner->second;
     queue_.erase(winner);
 
-    clock_.advance(frame_time(frame));
-    const util::SimTime ts = clock_.now();
-    for (const auto& listener : listeners_) listener(frame, ts);
-    ++delivered;
-    ++frames_delivered_;
+    std::size_t copies = 1;
+    if (injector_ && injector_->enabled()) {
+      const auto decision = injector_->decide(clock_.now());
+      if (decision.drop) {
+        // The frame still occupied the wire before being lost.
+        clock_.advance(frame_time(frame));
+        continue;
+      }
+      if (decision.extra_delay > 0) clock_.advance(decision.extra_delay);
+      if (decision.corrupt && frame.dlc() > 0) {
+        const std::uint32_t bit =
+            decision.corrupt_bit % (8u * frame.dlc());
+        std::array<std::uint8_t, 8> data{};
+        std::copy(frame.data().begin(), frame.data().end(), data.begin());
+        data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        frame = CanFrame(frame.id(), {data.data(), frame.dlc()});
+      }
+      if (decision.duplicate) copies = 2;
+    }
+    for (std::size_t c = 0; c < copies; ++c) {
+      clock_.advance(frame_time(frame));
+      const util::SimTime ts = clock_.now();
+      for (const auto& listener : listeners_) listener(frame, ts);
+      ++delivered;
+      ++frames_delivered_;
+    }
   }
   return delivered;
 }

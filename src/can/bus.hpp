@@ -10,10 +10,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "can/frame.hpp"
 #include "util/clock.hpp"
+#include "util/fault.hpp"
 
 namespace dpr::can {
 
@@ -44,6 +46,16 @@ class CanBus {
   std::size_t frames_delivered() const { return frames_delivered_; }
   util::SimClock& clock() { return clock_; }
 
+  /// Install a fault injector consulted once per frame in delivery order.
+  /// Without an injector (or with a disabled plan) delivery is lossless.
+  void set_faults(const util::FaultPlan& plan, util::Rng rng);
+  void clear_faults() { injector_.reset(); }
+
+  /// Accumulated fault counters, or nullptr when no injector is installed.
+  const util::FaultStats* fault_stats() const {
+    return injector_ ? &injector_->stats() : nullptr;
+  }
+
   /// Wire time for one frame: worst-case stuffed classical CAN frame
   /// overhead plus data bits, at the configured bitrate.
   util::SimTime frame_time(const CanFrame& frame) const;
@@ -56,6 +68,7 @@ class CanBus {
   std::deque<std::pair<std::uint64_t, CanFrame>> queue_;
   std::uint64_t next_seq_ = 0;
   std::size_t frames_delivered_ = 0;
+  std::optional<util::FaultInjector> injector_;
 };
 
 }  // namespace dpr::can

@@ -97,11 +97,20 @@ std::size_t CampaignReport::polynomial_correct() const {
 Campaign::Campaign(vehicle::CarId car, CampaignOptions options)
     : options_(options) {
   bus_ = std::make_unique<can::CanBus>(clock_);
+  if (options_.faults.enabled()) {
+    // Per-campaign injector stream, salted by the car id: each car's bus
+    // replays its faults bit-identically at any fleet thread count.
+    bus_->set_faults(options_.faults.bus_plan(),
+                     options_.faults.rng_for(static_cast<std::uint64_t>(car)));
+  }
   vehicle_ = std::make_unique<vehicle::Vehicle>(car, *bus_, clock_,
-                                                options_.seed);
+                                                options_.seed,
+                                                options_.faults);
   tool_ = std::make_unique<diagtool::DiagnosticTool>(
       diagtool::profile_by_name(vehicle_->spec().tool), *vehicle_, *bus_,
-      clock_);
+      clock_,
+      options_.faults.enabled() ? util::TransactPolicy::resilient()
+                                : util::TransactPolicy{});
   sniffer_ = std::make_unique<can::Sniffer>(
       *bus_,
       util::DeviceClock(options_.sniffer_clock_offset, /*drift_ppm=*/0.0));
@@ -378,6 +387,18 @@ void Campaign::analyze() {
     score_findings();
   }
   report_.ocr_stats = ocr_->stats();
+
+  // Robustness bookkeeping: retry counters, exhausted identifiers, and
+  // the bus injector's tally (empty in fault-free runs).
+  report_.transactions = tool_->transact_stats();
+  report_.failed_transactions.clear();
+  for (const auto& [key, count] : tool_->failed_reads()) {
+    report_.failed_transactions.push_back(
+        TransactionFailure{key.first, key.second, count});
+  }
+  if (const auto* fault_stats = bus_->fault_stats()) {
+    report_.bus_faults = *fault_stats;
+  }
 }
 
 std::vector<Campaign::Association> Campaign::build_associations(

@@ -24,6 +24,8 @@
 #include "gp/engine.hpp"
 #include "regress/regress.hpp"
 #include "screenshot/extract.hpp"
+#include "util/fault.hpp"
+#include "util/transact.hpp"
 #include "vehicle/vehicle.hpp"
 
 namespace dpr::util {
@@ -63,6 +65,11 @@ struct CampaignOptions {
   /// path (kept as an ablation / equivalence-test switch; the findings
   /// are identical either way).
   bool cache_analysis = true;
+  /// Deterministic fault injection (bus drops/corruption/duplication,
+  /// server 0x78/0x21 stalls) plus the resilient client policy that rides
+  /// it out. Disabled by default; a disabled config performs zero RNG
+  /// draws, so fault-free runs are bit-identical to pre-fault builds.
+  util::FaultConfig faults;
 };
 
 /// Wall-clock seconds spent in each pipeline phase of one campaign.
@@ -127,6 +134,14 @@ struct EcrFinding {
   bool matches_truth = false;     // id + name pair exists in the catalog
 };
 
+/// One identifier whose transactions exhausted every retry during the
+/// campaign (graceful degradation: recorded, never fatal).
+struct TransactionFailure {
+  bool is_kwp = false;
+  std::uint16_t id = 0;      // DID / local id (OBD PIDs as 0xF400+pid)
+  std::size_t failures = 0;  // failed transactions on this id
+};
+
 struct CampaignReport {
   vehicle::CarId car = vehicle::CarId::kA;
   std::string car_label;
@@ -138,6 +153,15 @@ struct CampaignReport {
   std::vector<EcrFinding> ecrs;
   cps::OcrStats ocr_stats;
   PhaseTimings phases;
+
+  // Robustness bookkeeping (all deterministic for a given fault seed).
+  util::TransactStats transactions;
+  std::vector<TransactionFailure> failed_transactions;
+  util::FaultStats bus_faults;
+  /// False when the campaign aborted with an exception (captured by
+  /// core::FleetRunner); `failure_reason` then carries the what() text.
+  bool completed = true;
+  std::string failure_reason;
 
   std::size_t formula_signals() const;
   std::size_t enum_signals() const;

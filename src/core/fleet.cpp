@@ -1,7 +1,9 @@
 #include "core/fleet.hpp"
 
 #include <chrono>
+#include <exception>
 #include <sstream>
+#include <string>
 
 #include "util/thread_pool.hpp"
 
@@ -42,6 +44,22 @@ std::size_t FleetSummary::total_ecrs() const {
   return total;
 }
 
+std::size_t FleetSummary::cars_ok() const {
+  std::size_t total = 0;
+  for (const auto& report : reports) total += report.completed ? 1 : 0;
+  return total;
+}
+
+std::size_t FleetSummary::cars_failed() const {
+  return reports.size() - cars_ok();
+}
+
+util::TransactStats FleetSummary::total_transactions() const {
+  util::TransactStats total;
+  for (const auto& report : reports) total += report.transactions;
+  return total;
+}
+
 FleetRunner::FleetRunner(FleetOptions options)
     : options_(std::move(options)),
       threads_(options_.fleet_threads == 1
@@ -59,10 +77,29 @@ FleetSummary FleetRunner::run(const std::vector<vehicle::CarId>& cars) const {
     if (pool != nullptr && options_.share_thread_budget) {
       campaign_options.infer_pool = pool;
     }
-    Campaign campaign(cars[i], campaign_options);
-    campaign.collect();
-    campaign.analyze();
-    summary.reports[i] = campaign.report();
+    // Graceful degradation: one bad vehicle must never kill the fleet (or
+    // escape into a ThreadPool worker, which would terminate the process).
+    // A throwing campaign becomes a failed per-car report slot.
+    try {
+      Campaign campaign(cars[i], campaign_options);
+      campaign.collect();
+      campaign.analyze();
+      summary.reports[i] = campaign.report();
+    } catch (const std::exception& e) {
+      summary.reports[i] = CampaignReport{};
+      summary.reports[i].car = cars[i];
+      summary.reports[i].car_label =
+          "car#" + std::to_string(static_cast<int>(cars[i]));
+      summary.reports[i].completed = false;
+      summary.reports[i].failure_reason = e.what();
+    } catch (...) {
+      summary.reports[i] = CampaignReport{};
+      summary.reports[i].car = cars[i];
+      summary.reports[i].car_label =
+          "car#" + std::to_string(static_cast<int>(cars[i]));
+      summary.reports[i].completed = false;
+      summary.reports[i].failure_reason = "unknown exception";
+    }
   };
 
   if (summary.threads_used <= 1) {
@@ -140,6 +177,20 @@ std::string report_signature(const CampaignReport& report) {
       << report.ocr_stats.strings_correct << '/'
       << report.ocr_stats.char_errors << '/'
       << report.ocr_stats.decimal_drops << '\n';
+  out << "ok=" << report.completed << " reason='" << report.failure_reason
+      << "' tx=" << report.transactions.transactions << '/'
+      << report.transactions.retries << '/'
+      << report.transactions.busy_retries << '/'
+      << report.transactions.pending_waits << '/'
+      << report.transactions.failures;
+  for (const auto& f : report.failed_transactions) {
+    out << " fail(" << f.is_kwp << ',' << f.id << ")=" << f.failures;
+  }
+  out << " bus=" << report.bus_faults.delivered << '/'
+      << report.bus_faults.dropped << '/' << report.bus_faults.corrupted
+      << '/' << report.bus_faults.duplicated << '/'
+      << report.bus_faults.jittered << '/' << report.bus_faults.bursts
+      << '\n';
   return out.str();
 }
 

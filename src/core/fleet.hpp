@@ -53,6 +53,13 @@ struct FleetSummary {
   std::size_t total_enum_signals() const;
   std::size_t total_gp_correct() const;
   std::size_t total_ecrs() const;
+
+  // Per-car ok/failed status: a campaign that threw is captured into its
+  // report slot (completed = false) instead of killing the fleet.
+  std::size_t cars_ok() const;
+  std::size_t cars_failed() const;
+  /// Summed retry/timeout counters over every campaign.
+  util::TransactStats total_transactions() const;
 };
 
 class FleetRunner {

@@ -30,12 +30,28 @@ std::string fixed1(double v) {
 
 DiagnosticTool::DiagnosticTool(ToolProfile profile,
                                vehicle::Vehicle& vehicle, can::CanBus& bus,
-                               util::SimClock& clock)
+                               util::SimClock& clock,
+                               util::TransactPolicy policy)
     : profile_(std::move(profile)),
       vehicle_(vehicle),
       bus_(bus),
-      clock_(clock) {
+      clock_(clock),
+      policy_(policy) {
   build_screen();
+}
+
+util::TransactStats DiagnosticTool::transact_stats() const {
+  util::TransactStats total;
+  for (const auto& [index, conn] : connections_) {
+    if (conn.uds) total += conn.uds->stats();
+    if (conn.kwp) total += conn.kwp->stats();
+  }
+  if (obd_client_) total += obd_client_->stats();
+  return total;
+}
+
+void DiagnosticTool::record_failure(bool is_kwp, std::uint16_t id) {
+  ++failed_reads_[{is_kwp, id}];
 }
 
 std::size_t DiagnosticTool::selected_rows() const {
@@ -53,10 +69,12 @@ DiagnosticTool::Connection& DiagnosticTool::connection(
   Connection conn;
   switch (vehicle_.spec().transport) {
     case vehicle::TransportKind::kIsoTp: {
-      conn.link = std::make_unique<isotp::Endpoint>(
-          bus_, isotp::EndpointConfig{
-                    can::CanId{ecu_spec.request_id, false},
-                    can::CanId{ecu_spec.response_id, false}});
+      isotp::EndpointConfig config{can::CanId{ecu_spec.request_id, false},
+                                   can::CanId{ecu_spec.response_id, false}};
+      // A lost flow control must not wedge the connection for good: let a
+      // later request reap the stale transfer (no-op on a lossless bus).
+      config.stall_policy = isotp::StallPolicy::kAbortStale;
+      conn.link = std::make_unique<isotp::Endpoint>(bus_, config);
       break;
     }
     case vehicle::TransportKind::kVwTp20: {
@@ -95,10 +113,12 @@ DiagnosticTool::Connection& DiagnosticTool::connection(
   };
   if (vehicle_.spec().protocol == vehicle::Protocol::kKwp2000 ||
       vehicle_.spec().io_service == vehicle::IoService::kKwp30) {
-    conn.kwp = std::make_unique<kwp::Client>(*conn.link, pump);
+    conn.kwp =
+        std::make_unique<kwp::Client>(*conn.link, pump, policy_, &clock_);
   }
   if (vehicle_.spec().protocol == vehicle::Protocol::kUds) {
-    conn.uds = std::make_unique<uds::Client>(*conn.link, pump);
+    conn.uds =
+        std::make_unique<uds::Client>(*conn.link, pump, policy_, &clock_);
   }
   auto [inserted, ok] = connections_.emplace(ecu_index, std::move(conn));
   return inserted->second;
@@ -190,7 +210,10 @@ void DiagnosticTool::poll_live_rows() {
     std::vector<uds::Did> dids;
     for (Row* row : rows) dids.push_back(row->did);
     const auto records = conn.uds->read_data(dids, length_of);
-    if (!records) return;
+    if (!records) {
+      for (uds::Did did : dids) record_failure(false, did);
+      return;
+    }
     for (std::size_t k = 0; k < rows.size(); ++k) {
       const double physical = rows[k]->formula.eval((*records)[k].data);
       rows[k]->pending_text = format_value(*rows[k], physical);
@@ -238,7 +261,10 @@ void DiagnosticTool::poll_live_rows() {
   }
   for (std::uint8_t local_id : local_ids) {
     const auto resp = conn.kwp->read_local_id(local_id);
-    if (!resp) continue;
+    if (!resp) {
+      record_failure(true, local_id);
+      continue;
+    }
     for (Row* row : live) {
       if (!row->is_kwp || row->local_id != local_id) continue;
       if (row->esv_index >= resp->records.size()) continue;
@@ -260,19 +286,27 @@ void DiagnosticTool::poll_live_rows() {
 
 void DiagnosticTool::poll_obd() {
   if (!obd_link_) {
-    obd_link_ = std::make_unique<isotp::Endpoint>(
-        bus_, isotp::EndpointConfig{can::CanId{0x7DF, false},
-                                    can::CanId{0x7E8, false}});
-    obd_client_ = std::make_unique<uds::Client>(*obd_link_, [this] {
-      clock_.advance(2 * util::kMillisecond);
-      bus_.deliver_pending();
-    });
+    isotp::EndpointConfig config{can::CanId{0x7DF, false},
+                                 can::CanId{0x7E8, false}};
+    config.stall_policy = isotp::StallPolicy::kAbortStale;
+    obd_link_ = std::make_unique<isotp::Endpoint>(bus_, config);
+    obd_client_ = std::make_unique<uds::Client>(
+        *obd_link_,
+        [this] {
+          clock_.advance(2 * util::kMillisecond);
+          bus_.deliver_pending();
+        },
+        policy_, &clock_);
   }
   const util::SimTime lag = static_cast<util::SimTime>(
       profile_.ui_lag_s * static_cast<double>(util::kSecond));
   for (auto& row : obd_rows_) {
     const auto resp = obd_client_->transact(obd::encode_request(row.pid));
-    if (!resp) continue;
+    if (!resp) {
+      // Mode-01 PIDs mirror to DID 0xF400+pid in ISO 14229 terms.
+      record_failure(false, static_cast<std::uint16_t>(0xF400 + row.pid));
+      continue;
+    }
     if (const auto value = obd::decode_value(*resp)) {
       row.pending_text = fixed1(*value);
       row.pending_at = clock_.now() + lag;
@@ -324,6 +358,10 @@ void DiagnosticTool::run_active_test(std::size_t ecu_index,
     clock_.advance(1 * util::kSecond);
     util::Bytes ret{0x00};
     ok = ok && conn.kwp->io_control_local(local_id, ret).has_value();
+  }
+  if (!ok) {
+    record_failure(vehicle_.spec().io_service != vehicle::IoService::kUds2F,
+                   act.id);
   }
   status_text_ = std::string(ok ? "Test OK: " : "Test FAILED: ") + act.name;
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "can/bus.hpp"
@@ -22,6 +23,7 @@
 #include "oemtp/link.hpp"
 #include "uds/client.hpp"
 #include "util/clock.hpp"
+#include "util/transact.hpp"
 #include "vehicle/vehicle.hpp"
 #include "vwtp/channel.hpp"
 
@@ -29,8 +31,12 @@ namespace dpr::diagtool {
 
 class DiagnosticTool {
  public:
+  /// `policy` governs every protocol client the tool creates; the default
+  /// single-shot policy reproduces the legacy lossless-bus behaviour,
+  /// campaigns pass TransactPolicy::resilient() when faults are enabled.
   DiagnosticTool(ToolProfile profile, vehicle::Vehicle& vehicle,
-                 can::CanBus& bus, util::SimClock& clock);
+                 can::CanBus& bus, util::SimClock& clock,
+                 util::TransactPolicy policy = {});
 
   DiagnosticTool(const DiagnosticTool&) = delete;
   DiagnosticTool& operator=(const DiagnosticTool&) = delete;
@@ -63,6 +69,18 @@ class DiagnosticTool {
 
   /// Number of data-stream rows currently selected for live view.
   std::size_t selected_rows() const;
+
+  /// Retry/timeout counters summed over every protocol client the tool
+  /// has opened (per-ECU UDS/KWP clients plus the OBD scanner).
+  util::TransactStats transact_stats() const;
+
+  /// Identifiers whose reads/controls exhausted all retries, with the
+  /// number of failed transactions each. OBD PIDs are keyed under their
+  /// ISO 14229 mirror DID 0xF400+pid.
+  const std::map<std::pair<bool, std::uint16_t>, std::size_t>&
+  failed_reads() const {
+    return failed_reads_;
+  }
 
  private:
   /// One displayed signal.
@@ -103,11 +121,14 @@ class DiagnosticTool {
   void clear_trouble_codes(std::size_t ecu_index);
   void poll_obd();
   std::string format_value(const Row& row, double physical) const;
+  void record_failure(bool is_kwp, std::uint16_t id);
 
   ToolProfile profile_;
   vehicle::Vehicle& vehicle_;
   can::CanBus& bus_;
   util::SimClock& clock_;
+  util::TransactPolicy policy_;
+  std::map<std::pair<bool, std::uint16_t>, std::size_t> failed_reads_;
 
   Mode mode_ = Mode::kMainMenu;
   util::SimTime next_poll_at_ = 0;

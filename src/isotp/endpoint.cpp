@@ -13,7 +13,20 @@ Endpoint::Endpoint(can::CanBus& bus, EndpointConfig config)
 
 void Endpoint::send(std::span<const std::uint8_t> payload) {
   if (tx_.active) {
-    throw std::logic_error("ISO-TP send while previous message in flight");
+    if (config_.stall_policy == StallPolicy::kThrow) {
+      throw std::logic_error("ISO-TP send while previous message in flight");
+    }
+    if (tx_.awaiting_fc && bus_.clock().now() >= tx_.fc_deadline) {
+      // The peer's flow control never arrived (N_Bs expired): reap the
+      // stale transfer so this transaction can proceed.
+      ++stats_.tx_aborted;
+      tx_ = TxState{};
+    } else {
+      // Still legitimately in flight; refuse and let the transaction
+      // layer retry after its own timeout.
+      ++stats_.tx_rejected;
+      return;
+    }
   }
   if (payload.empty() || payload.size() > kMaxMessageLength) {
     throw std::invalid_argument("ISO-TP payload must be 1..4095 bytes");
@@ -29,6 +42,7 @@ void Endpoint::send(std::span<const std::uint8_t> payload) {
   tx_.offset = 6;
   tx_.sequence = 1;
   tx_.frames_in_block = 0;
+  tx_.fc_deadline = bus_.clock().now() + config_.n_bs_timeout;
   bus_.send(encode_first(config_.tx_id, payload));
 }
 
@@ -42,6 +56,7 @@ void Endpoint::handle_flow_control(const FlowControl& fc) {
     case FlowStatus::kWait:
       ++stats_.fc_wait_received;
       tx_.awaiting_fc = true;
+      tx_.fc_deadline = bus_.clock().now() + config_.n_bs_timeout;
       return;
     case FlowStatus::kContinueToSend:
       tx_.awaiting_fc = false;
@@ -67,6 +82,7 @@ void Endpoint::stream_block() {
     tx_.sequence = static_cast<std::uint8_t>((tx_.sequence + 1) & 0x0F);
     if (tx_.block_size != 0 && ++tx_.frames_in_block >= tx_.block_size) {
       tx_.awaiting_fc = true;  // peer must re-authorize with another FC
+      tx_.fc_deadline = bus_.clock().now() + config_.n_bs_timeout;
     }
   }
   if (tx_.offset >= tx_.payload.size()) {
@@ -120,10 +136,19 @@ void Endpoint::on_frame(const can::CanFrame& frame) {
       auto info = decode_consecutive(frame);
       if (!info) return;
       if (info->sequence != rx_.next_sequence) {
+        // A retransmitted copy of the CF we just consumed is harmless —
+        // ignore it instead of tearing the transfer down.
+        const std::uint8_t prev_sequence =
+            static_cast<std::uint8_t>((rx_.next_sequence + 15) & 0x0F);
+        if (rx_.any_cf && info->sequence == prev_sequence) {
+          ++stats_.duplicate_frames;
+          return;
+        }
         ++stats_.sequence_errors;
         rx_ = RxState{};
         return;
       }
+      rx_.any_cf = true;
       rx_.next_sequence =
           static_cast<std::uint8_t>((rx_.next_sequence + 1) & 0x0F);
       const std::size_t remaining = rx_.total_length - rx_.buffer.size();

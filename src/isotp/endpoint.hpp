@@ -20,6 +20,13 @@ namespace dpr::isotp {
 /// Invoked with each fully reassembled incoming message.
 using MessageHandler = util::MessageLink::Handler;
 
+/// What send() does when a previous segmented send is still waiting for
+/// flow control that never arrived (e.g. the FC frame was dropped).
+enum class StallPolicy {
+  kThrow,       ///< legacy: logic_error — a stuck tx is a programming bug
+  kAbortStale,  ///< abort the stale tx once N_Bs expired; reject otherwise
+};
+
 struct EndpointConfig {
   can::CanId tx_id;        // id this endpoint transmits on
   can::CanId rx_id;        // id this endpoint listens to
@@ -27,6 +34,10 @@ struct EndpointConfig {
   std::uint8_t st_min_ms = 0;    // advertised separation time
   std::size_t max_rx_length = kMaxMessageLength;  // overflow above this
   bool pad_frames = true;
+  StallPolicy stall_policy = StallPolicy::kThrow;
+  /// N_Bs: how long a segmented send may wait for the peer's FC before a
+  /// later send() may abort it (only with StallPolicy::kAbortStale).
+  util::SimTime n_bs_timeout = util::kSecond;
 };
 
 class Endpoint : public util::MessageLink {
@@ -54,6 +65,9 @@ class Endpoint : public util::MessageLink {
     std::size_t fc_wait_received = 0;
     std::size_t overflows = 0;
     std::size_t sequence_errors = 0;
+    std::size_t duplicate_frames = 0;  // retransmitted CFs ignored
+    std::size_t tx_aborted = 0;        // stale sends reaped after N_Bs
+    std::size_t tx_rejected = 0;       // sends refused while tx in flight
   };
   const Stats& stats() const { return stats_; }
 
@@ -77,6 +91,7 @@ class Endpoint : public util::MessageLink {
     std::uint8_t block_size = 0;     // from peer FC; 0 = unlimited
     std::uint8_t st_min_ms = 0;      // from peer FC
     std::size_t frames_in_block = 0;
+    util::SimTime fc_deadline = 0;   // N_Bs expiry while awaiting FC
   } tx_;
 
   // Receive state.
@@ -85,6 +100,7 @@ class Endpoint : public util::MessageLink {
     std::size_t total_length = 0;
     std::uint8_t next_sequence = 1;
     std::size_t frames_since_fc = 0;
+    bool any_cf = false;  // a retransmitted CF is only recognizable after 1
     util::Bytes buffer;
   } rx_;
 };

@@ -133,6 +133,7 @@ void Reassembler::fail(Error e) {
   last_error_ = e;
   ++error_count_;
   expecting_ = false;
+  any_consecutive_ = false;
   buffer_.clear();
 }
 
@@ -140,6 +141,7 @@ void Reassembler::reset() {
   expecting_ = false;
   total_length_ = 0;
   next_sequence_ = 0;
+  any_consecutive_ = false;
   buffer_.clear();
   last_error_ = Error::kNone;
 }
@@ -161,19 +163,30 @@ std::optional<util::Bytes> Reassembler::feed(const can::CanFrame& frame) {
       total_length_ = info->total_length;
       buffer_ = std::move(info->initial_payload);
       next_sequence_ = 1;
+      any_consecutive_ = false;
       return std::nullopt;
     }
     case FrameType::kConsecutive: {
+      auto info = decode_consecutive(frame);
+      if (!info) return std::nullopt;
+      // Tolerate a retransmitted copy of the CF just consumed (a bus
+      // duplicating frames must not cost the sniffer the message); this
+      // also covers a duplicated final CF arriving after completion.
+      const std::uint8_t prev_sequence =
+          static_cast<std::uint8_t>((next_sequence_ + 15) & 0x0F);
+      if (any_consecutive_ && info->sequence == prev_sequence) {
+        ++duplicate_frames_;
+        return std::nullopt;
+      }
       if (!expecting_) {
         fail(Error::kUnexpectedConsecutive);
         return std::nullopt;
       }
-      auto info = decode_consecutive(frame);
-      if (!info) return std::nullopt;
       if (info->sequence != next_sequence_) {
         fail(Error::kSequenceMismatch);
         return std::nullopt;
       }
+      any_consecutive_ = true;
       next_sequence_ = static_cast<std::uint8_t>((next_sequence_ + 1) & 0x0F);
       const std::size_t remaining = total_length_ - buffer_.size();
       const std::size_t take = std::min(remaining, info->payload.size());

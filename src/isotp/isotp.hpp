@@ -115,12 +115,16 @@ class Reassembler {
   bool in_progress() const { return expecting_; }
   Error last_error() const { return last_error_; }
   std::size_t errors() const { return error_count_; }
+  /// Retransmitted copies of the just-consumed CF, ignored without error.
+  std::size_t duplicate_frames() const { return duplicate_frames_; }
   void reset();
 
  private:
   bool expecting_ = false;
   std::size_t total_length_ = 0;
   std::uint8_t next_sequence_ = 0;
+  bool any_consecutive_ = false;
+  std::size_t duplicate_frames_ = 0;
   util::Bytes buffer_;
   Error last_error_ = Error::kNone;
   std::size_t error_count_ = 0;

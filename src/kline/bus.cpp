@@ -25,6 +25,10 @@ void KLineBus::send_wakeup(Wakeup kind) {
   queue_.push_back(Item{true, kind, 0});
 }
 
+void KLineBus::set_faults(const util::FaultPlan& plan, util::Rng rng) {
+  injector_.emplace(plan, rng);
+}
+
 util::SimTime KLineBus::byte_time() const {
   // 10 UART bits per byte.
   return static_cast<util::SimTime>(10.0 / static_cast<double>(baud_) *
@@ -47,12 +51,29 @@ std::size_t KLineBus::deliver_pending() {
       }
       continue;
     }
-    clock_.advance(byte_time());
-    // P4 inter-byte spacing (tester side) is folded into the byte time.
-    for (const auto& listener : listeners_) {
-      listener(item.byte, clock_.now());
+    std::uint8_t byte = item.byte;
+    std::size_t copies = 1;
+    if (injector_ && injector_->enabled()) {
+      const auto decision = injector_->decide(clock_.now());
+      if (decision.drop) {
+        // The byte still occupied the line before being lost.
+        clock_.advance(byte_time());
+        continue;
+      }
+      if (decision.extra_delay > 0) clock_.advance(decision.extra_delay);
+      if (decision.corrupt) {
+        byte ^= static_cast<std::uint8_t>(1u << (decision.corrupt_bit % 8));
+      }
+      if (decision.duplicate) copies = 2;
     }
-    ++delivered;
+    for (std::size_t c = 0; c < copies; ++c) {
+      clock_.advance(byte_time());
+      // P4 inter-byte spacing (tester side) is folded into the byte time.
+      for (const auto& listener : listeners_) {
+        listener(byte, clock_.now());
+      }
+      ++delivered;
+    }
   }
   return delivered;
 }

@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "util/clock.hpp"
+#include "util/fault.hpp"
 
 namespace dpr::kline {
 
@@ -45,6 +47,17 @@ class KLineBus {
   bool idle() const { return queue_.empty(); }
   util::SimClock& clock() { return clock_; }
 
+  /// Install a fault injector consulted once per data byte in delivery
+  /// order (wakeup patterns are never faulted — they model line levels,
+  /// not payload). Without an injector delivery is lossless.
+  void set_faults(const util::FaultPlan& plan, util::Rng rng);
+  void clear_faults() { injector_.reset(); }
+
+  /// Accumulated fault counters, or nullptr when no injector is installed.
+  const util::FaultStats* fault_stats() const {
+    return injector_ ? &injector_->stats() : nullptr;
+  }
+
   /// UART frame time for one byte (start + 8 data + stop bits).
   util::SimTime byte_time() const;
 
@@ -60,6 +73,7 @@ class KLineBus {
   std::vector<ByteListener> listeners_;
   std::vector<WakeupListener> wakeup_listeners_;
   std::deque<Item> queue_;
+  std::optional<util::FaultInjector> injector_;
 };
 
 }  // namespace dpr::kline

@@ -1,17 +1,23 @@
 #pragma once
-// KWP 2000 client (tester side), mirroring uds::Client.
+// KWP 2000 client (tester side), mirroring uds::Client — including the
+// bounded retry/timeout/pending-wait loop of util::TransactPolicy. The
+// default policy is the legacy single send-and-pump.
 
+#include <deque>
 #include <functional>
 #include <optional>
 
 #include "kwp/message.hpp"
+#include "util/clock.hpp"
 #include "util/link.hpp"
+#include "util/transact.hpp"
 
 namespace dpr::kwp {
 
 class Client {
  public:
-  Client(util::MessageLink& link, std::function<void()> pump);
+  Client(util::MessageLink& link, std::function<void()> pump,
+         util::TransactPolicy policy = {}, util::SimClock* clock = nullptr);
 
   std::optional<util::Bytes> transact(std::span<const std::uint8_t> request);
 
@@ -28,10 +34,17 @@ class Client {
   std::optional<util::Bytes> io_control_common(
       std::uint16_t common_id, std::span<const std::uint8_t> ecr);
 
+  const util::TransactStats& stats() const { return stats_; }
+
  private:
+  void backoff(util::SimTime delay);
+
   util::MessageLink& link_;
   std::function<void()> pump_;
-  std::optional<util::Bytes> inbox_;
+  util::TransactPolicy policy_;
+  util::SimClock* clock_ = nullptr;
+  std::deque<util::Bytes> inbox_;
+  util::TransactStats stats_;
 };
 
 }  // namespace dpr::kwp

@@ -25,6 +25,10 @@ constexpr std::uint8_t kIoControlByLocalId = 0x30;
 constexpr std::uint8_t kNegativeResponseSid = 0x7F;
 constexpr std::uint8_t kPositiveOffset = 0x40;
 
+/// Negative response codes shared with ISO 14229 (same byte values).
+constexpr std::uint8_t kNrcBusyRepeatRequest = 0x21;
+constexpr std::uint8_t kNrcResponsePending = 0x78;
+
 /// One ECU signal value record of a 0x61 response (Fig. 3): the formula
 /// type byte and the two operand bytes.
 struct EsvRecord {

@@ -1,5 +1,7 @@
 #include "kwp/server.hpp"
 
+#include <algorithm>
+
 namespace dpr::kwp {
 
 namespace {
@@ -27,9 +29,41 @@ void Server::add_dtc(std::uint16_t code, std::uint8_t status) {
 
 void Server::bind(util::MessageLink& link) {
   link.set_message_handler([this, &link](const util::Bytes& request) {
-    const util::Bytes response = handle(request);
-    if (!response.empty()) link.send(response);
+    for (const util::Bytes& response : respond(request)) {
+      link.send(response);
+    }
   });
+}
+
+void Server::enable_faults(const FaultProfile& profile, util::Rng rng) {
+  faults_ = profile;
+  fault_rng_ = rng;
+}
+
+std::vector<util::Bytes> Server::respond(
+    std::span<const std::uint8_t> request) {
+  if (request.empty()) return {};
+  std::vector<util::Bytes> responses;
+  if (faults_.enabled()) {
+    if (faults_.busy_rate > 0.0 && fault_rng_.chance(faults_.busy_rate)) {
+      // Busy ECUs refuse without processing; the tester must resend.
+      responses.push_back(
+          encode_negative_response(request[0], kNrcBusyRepeatRequest));
+      return responses;
+    }
+    if (faults_.pending_rate > 0.0 &&
+        fault_rng_.chance(faults_.pending_rate)) {
+      const auto n = fault_rng_.uniform_int(
+          1, std::max(1, faults_.max_pending));
+      for (std::int64_t i = 0; i < n; ++i) {
+        responses.push_back(
+            encode_negative_response(request[0], kNrcResponsePending));
+      }
+    }
+  }
+  util::Bytes answer = handle(request);
+  if (!answer.empty()) responses.push_back(std::move(answer));
+  return responses;
 }
 
 util::Bytes Server::handle(std::span<const std::uint8_t> request) {

@@ -9,6 +9,7 @@
 
 #include "kwp/message.hpp"
 #include "util/link.hpp"
+#include "util/rng.hpp"
 
 namespace dpr::kwp {
 
@@ -43,7 +44,23 @@ class Server {
   /// Process one request, producing exactly one response message.
   util::Bytes handle(std::span<const std::uint8_t> request);
 
-  /// Bind to a transport (request in, response out on the same link).
+  /// Server-side fault behaviour, mirroring uds::Server::FaultProfile:
+  /// 0x78 responsePending stalls before the answer, 0x21 busyRepeatRequest
+  /// refusals instead of it (same ISO 14230 byte values).
+  struct FaultProfile {
+    double pending_rate = 0.0;
+    int max_pending = 2;
+    double busy_rate = 0.0;
+
+    bool enabled() const { return pending_rate > 0.0 || busy_rate > 0.0; }
+  };
+  void enable_faults(const FaultProfile& profile, util::Rng rng);
+
+  /// Full response sequence for one request; exactly {handle(request)}
+  /// unless faults are enabled.
+  std::vector<util::Bytes> respond(std::span<const std::uint8_t> request);
+
+  /// Bind to a transport (request in, responses out on the same link).
   void bind(util::MessageLink& link);
 
   bool session_started() const { return session_started_; }
@@ -55,6 +72,8 @@ class Server {
   util::Bytes identification_;
   std::vector<Dtc> dtcs_;
   bool session_started_ = false;
+  FaultProfile faults_;
+  util::Rng fault_rng_;
 };
 
 }  // namespace dpr::kwp

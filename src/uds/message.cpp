@@ -180,6 +180,10 @@ std::string nrc_name(Nrc nrc) {
       return "securityAccessDenied";
     case Nrc::kInvalidKey:
       return "invalidKey";
+    case Nrc::kBusyRepeatRequest:
+      return "busyRepeatRequest";
+    case Nrc::kResponsePending:
+      return "requestCorrectlyReceived-ResponsePending";
   }
   return "unknownNrc";
 }

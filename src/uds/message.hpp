@@ -35,11 +35,13 @@ enum class Nrc : std::uint8_t {
   kServiceNotSupported = 0x11,
   kSubFunctionNotSupported = 0x12,
   kIncorrectMessageLength = 0x13,
+  kBusyRepeatRequest = 0x21,
   kConditionsNotCorrect = 0x22,
   kRequestSequenceError = 0x24,
   kRequestOutOfRange = 0x31,
   kSecurityAccessDenied = 0x33,
   kInvalidKey = 0x35,
+  kResponsePending = 0x78,  // requestCorrectlyReceived-ResponsePending
 };
 
 /// IO-control parameters (first ECR byte, §4.5).

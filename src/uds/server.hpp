@@ -10,6 +10,7 @@
 
 #include "uds/message.hpp"
 #include "util/link.hpp"
+#include "util/rng.hpp"
 
 namespace dpr::uds {
 
@@ -46,8 +47,27 @@ class Server {
   /// Process one request, producing exactly one response message.
   util::Bytes handle(std::span<const std::uint8_t> request);
 
+  /// Server-side fault behaviour: with probability `pending_rate` the ECU
+  /// stalls with 1..max_pending NRC 0x78 responsePending messages before
+  /// the real answer; with probability `busy_rate` it refuses with NRC
+  /// 0x21 busyRepeatRequest (the request is NOT processed). Draw order is
+  /// fixed (busy, then pending count) and per-request.
+  struct FaultProfile {
+    double pending_rate = 0.0;
+    int max_pending = 2;
+    double busy_rate = 0.0;
+
+    bool enabled() const { return pending_rate > 0.0 || busy_rate > 0.0; }
+  };
+  void enable_faults(const FaultProfile& profile, util::Rng rng);
+
+  /// Process one request, producing the full response sequence: the real
+  /// answer, possibly preceded by fault-injected 0x78 markers or replaced
+  /// by an 0x21 refusal. Without faults this is exactly {handle(request)}.
+  std::vector<util::Bytes> respond(std::span<const std::uint8_t> request);
+
   /// Bind to a transport: incoming messages are handled and the response
-  /// is sent back on the same link.
+  /// sequence is sent back on the same link.
   void bind(util::MessageLink& link);
 
   std::uint8_t active_session() const { return session_; }
@@ -85,6 +105,8 @@ class Server {
   bool unlocked_ = false;
   std::uint8_t session_ = 0x01;  // defaultSession
   std::map<std::uint8_t, std::size_t> request_counts_;
+  FaultProfile faults_;
+  util::Rng fault_rng_;
 };
 
 }  // namespace dpr::uds

@@ -1,0 +1,86 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+
+namespace dpr::util {
+
+FaultPlan FaultPlan::scaled(double rate) {
+  rate = std::clamp(rate, 0.0, 1.0);
+  FaultPlan plan;
+  plan.drop_rate = rate;
+  plan.corrupt_rate = rate * 0.5;
+  plan.duplicate_rate = rate * 0.25;
+  plan.jitter_rate = std::min(1.0, rate * 2.0);
+  plan.burst_rate = rate * 0.02;
+  return plan;
+}
+
+FaultStats& FaultStats::operator+=(const FaultStats& other) {
+  delivered += other.delivered;
+  dropped += other.dropped;
+  corrupted += other.corrupted;
+  duplicated += other.duplicated;
+  jittered += other.jittered;
+  bursts += other.bursts;
+  return *this;
+}
+
+FaultInjector::Decision FaultInjector::decide(SimTime now) {
+  Decision decision;
+  if (!plan_.enabled()) {
+    ++stats_.delivered;
+    return decision;  // no draws: fault-free runs stay bit-identical
+  }
+  // Units inside an active burst window are swallowed without draws, so a
+  // burst consumes the same RNG state regardless of how many units it eats.
+  if (now < burst_until_) {
+    decision.drop = true;
+    ++stats_.dropped;
+    return decision;
+  }
+  if (plan_.burst_rate > 0.0 && rng_.chance(plan_.burst_rate)) {
+    burst_until_ = now + plan_.burst_duration;
+    ++stats_.bursts;
+    decision.drop = true;
+    ++stats_.dropped;
+    return decision;
+  }
+  if (plan_.drop_rate > 0.0 && rng_.chance(plan_.drop_rate)) {
+    decision.drop = true;
+    ++stats_.dropped;
+    return decision;
+  }
+  if (plan_.corrupt_rate > 0.0 && rng_.chance(plan_.corrupt_rate)) {
+    decision.corrupt = true;
+    decision.corrupt_bit =
+        static_cast<std::uint32_t>(rng_.uniform_int(0, 63));
+    ++stats_.corrupted;
+  }
+  if (plan_.duplicate_rate > 0.0 && rng_.chance(plan_.duplicate_rate)) {
+    decision.duplicate = true;
+    ++stats_.duplicated;
+  }
+  if (plan_.jitter_rate > 0.0 && rng_.chance(plan_.jitter_rate)) {
+    decision.extra_delay = rng_.uniform_int(0, plan_.max_jitter);
+    ++stats_.jittered;
+  }
+  ++stats_.delivered;
+  return decision;
+}
+
+double FaultConfig::server_pending_rate() const {
+  return std::min(1.0, rate * 4.0);
+}
+
+double FaultConfig::server_busy_rate() const {
+  return std::min(1.0, rate * 2.0);
+}
+
+Rng FaultConfig::rng_for(std::uint64_t salt) const {
+  // SplitMix-style mix keeps nearby salts (car 0, car 1, ...) decorrelated.
+  std::uint64_t mixed = fault_seed ^ (salt * 0x9E3779B97F4A7C15ULL +
+                                      0x632BE59BD9B4E019ULL);
+  return Rng(mixed);
+}
+
+}  // namespace dpr::util

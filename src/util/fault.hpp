@@ -1,0 +1,106 @@
+#pragma once
+// Deterministic fault injection for the simulated buses.
+//
+// The paper's pipeline runs against a hostile physical world: lossy CAN
+// wiring, ECUs that stall with `responsePending`, bursts of bus-off time.
+// FaultPlan describes a fault mix, FaultInjector turns it into per-unit
+// (frame or byte) delivery decisions driven by a forked util::Rng stream.
+// Every campaign owns its own bus and injector, and decisions are drawn in
+// wire-delivery order, so any (seed, fault-rate) pair replays bit-identically
+// at any thread count. A disabled plan performs no RNG draws at all, which
+// keeps fault-free runs bit-identical to a build without the injector.
+
+#include <cstdint>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace dpr::util {
+
+/// Per-delivery fault probabilities and magnitudes. All rates are in [0, 1]
+/// and evaluated per delivered unit (CAN frame or K-Line byte).
+struct FaultPlan {
+  double drop_rate = 0.0;       ///< unit vanishes from the wire
+  double corrupt_rate = 0.0;    ///< one payload bit is flipped
+  double duplicate_rate = 0.0;  ///< unit is delivered twice
+  double jitter_rate = 0.0;     ///< extra delivery latency is inserted
+  SimTime max_jitter = 5 * kMillisecond;  ///< upper bound for jitter delay
+  double burst_rate = 0.0;      ///< a bus-off burst starts at this unit
+  SimTime burst_duration = 20 * kMillisecond;  ///< burst outage length
+
+  bool enabled() const {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || duplicate_rate > 0.0 ||
+           jitter_rate > 0.0 || burst_rate > 0.0;
+  }
+
+  /// Map the single CLI knob `--fault-rate r` onto the full taxonomy:
+  /// drops dominate, corruption/duplication follow at fixed fractions,
+  /// jitter is common but harmless, bursts are rare and long.
+  static FaultPlan scaled(double rate);
+};
+
+/// Counters accumulated by a FaultInjector; deterministic per (plan, seed).
+struct FaultStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;    ///< includes units swallowed by bursts
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t jittered = 0;
+  std::uint64_t bursts = 0;
+
+  FaultStats& operator+=(const FaultStats& other);
+};
+
+/// Draws one fault decision per delivered unit. The draw order is fixed
+/// (burst window check, burst start, drop, corrupt, duplicate, jitter) and
+/// is part of the determinism contract: buses consult the injector exactly
+/// once per unit, in delivery order.
+class FaultInjector {
+ public:
+  struct Decision {
+    bool drop = false;
+    bool corrupt = false;
+    bool duplicate = false;
+    SimTime extra_delay = 0;
+    std::uint32_t corrupt_bit = 0;  ///< caller reduces modulo payload bits
+  };
+
+  FaultInjector(FaultPlan plan, Rng rng) : plan_(plan), rng_(rng) {}
+
+  bool enabled() const { return plan_.enabled(); }
+
+  /// Decide the fate of the unit about to be delivered at sim time `now`.
+  Decision decide(SimTime now);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  SimTime burst_until_ = -1;  ///< exclusive end of the active burst window
+};
+
+/// Campaign-level fault configuration: one rate knob plus an independent
+/// seed. Derives the bus plan and the server-side NRC fault rates so a
+/// single `--fault-rate` exercises every layer of the retry stack.
+struct FaultConfig {
+  double rate = 0.0;
+  std::uint64_t fault_seed = 0xFA017D0DULL;
+
+  bool enabled() const { return rate > 0.0; }
+
+  FaultPlan bus_plan() const { return FaultPlan::scaled(rate); }
+
+  /// Probability that a server prepends 0x78 responsePending message(s).
+  double server_pending_rate() const;
+  /// Probability that a server answers 0x21 busyRepeatRequest instead.
+  double server_busy_rate() const;
+
+  /// Independent child stream for one component (bus, ECU, ...). `salt`
+  /// must be stable across runs (car index, request id) — never an address.
+  Rng rng_for(std::uint64_t salt) const;
+};
+
+}  // namespace dpr::util

@@ -1,0 +1,52 @@
+#pragma once
+// Shared retry/timeout policy for the diagnostic transaction layer.
+//
+// ISO 14229-2 names the timing parameters we model: P2 (how long a tester
+// waits for the first response) and P2* (the extended wait granted by NRC
+// 0x78 responsePending). uds::Client and kwp::Client both run the same
+// bounded-retry loop on top of these; TransactStats rolls the per-client
+// counters up into CampaignReport.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace dpr::util {
+
+/// Retry/timeout knobs for one diagnostic client. The default policy is
+/// the legacy single-shot behaviour (no retries, no clock advancement) so
+/// fault-free runs stay bit-identical to pre-fault builds; `resilient()`
+/// is what campaigns use whenever fault injection is enabled.
+struct TransactPolicy {
+  int max_retries = 0;        ///< extra attempts after the first send
+  int max_pending_waits = 16; ///< 0x78 messages absorbed per transaction
+  SimTime p2 = 50 * kMillisecond;        ///< backoff before a timeout retry
+  SimTime p2_star = 500 * kMillisecond;  ///< backoff after 0x21 busy
+
+  static TransactPolicy resilient() {
+    TransactPolicy policy;
+    policy.max_retries = 3;
+    return policy;
+  }
+};
+
+/// Deterministic per-client transaction counters.
+struct TransactStats {
+  std::uint64_t transactions = 0;   ///< transact() calls
+  std::uint64_t retries = 0;        ///< resends after a response timeout
+  std::uint64_t busy_retries = 0;   ///< resends after 0x21 busyRepeatRequest
+  std::uint64_t pending_waits = 0;  ///< 0x78 responsePending absorbed
+  std::uint64_t failures = 0;       ///< transactions with no usable answer
+
+  TransactStats& operator+=(const TransactStats& other) {
+    transactions += other.transactions;
+    retries += other.retries;
+    busy_retries += other.busy_retries;
+    pending_waits += other.pending_waits;
+    failures += other.failures;
+    return *this;
+  }
+};
+
+}  // namespace dpr::util

@@ -6,7 +6,8 @@
 namespace dpr::vehicle {
 
 EcuSim::EcuSim(const EcuSpec& spec, const CarSpec& car, can::CanBus& bus,
-               util::SimClock& clock, util::Rng rng)
+               util::SimClock& clock, util::Rng rng,
+               const util::FaultConfig& faults)
     : spec_(spec), car_(car), clock_(clock) {
   if (car_.protocol == Protocol::kUds) {
     install_uds_signals(rng);
@@ -28,6 +29,18 @@ EcuSim::EcuSim(const EcuSpec& spec, const CarSpec& car, can::CanBus& bus,
   install_actuators();
   if (spec_.supports_obd && car_.transport == TransportKind::kIsoTp) {
     install_obd(rng);
+  }
+  if (faults.enabled()) {
+    // Stream salts derive from the stable request id, so server faults
+    // replay identically regardless of vehicle seed or build order.
+    const double pending = faults.server_pending_rate();
+    const double busy = faults.server_busy_rate();
+    uds_server_.enable_faults(
+        uds::Server::FaultProfile{pending, 2, busy},
+        faults.rng_for(0x0D000000ULL + spec_.request_id));
+    kwp_server_.enable_faults(
+        kwp::Server::FaultProfile{pending, 2, busy},
+        faults.rng_for(0x0E000000ULL + spec_.request_id));
   }
   attach_transport(bus);
 }
@@ -155,10 +168,12 @@ void EcuSim::install_obd(util::Rng& rng) {
 void EcuSim::attach_transport(can::CanBus& bus) {
   switch (car_.transport) {
     case TransportKind::kIsoTp: {
-      isotp_link_ = std::make_unique<isotp::Endpoint>(
-          bus, isotp::EndpointConfig{
-                   can::CanId{spec_.response_id, false},
-                   can::CanId{spec_.request_id, false}});
+      isotp::EndpointConfig config{can::CanId{spec_.response_id, false},
+                                   can::CanId{spec_.request_id, false}};
+      // Reap segmented responses whose flow control got lost instead of
+      // throwing out of the ECU; a no-op on a lossless bus.
+      config.stall_policy = isotp::StallPolicy::kAbortStale;
+      isotp_link_ = std::make_unique<isotp::Endpoint>(bus, config);
       link_ = isotp_link_.get();
       break;
     }
@@ -188,9 +203,10 @@ void EcuSim::attach_transport(can::CanBus& bus) {
 
   // Engine ECUs additionally answer OBD-II requests on the functional id.
   if (!obd_signals_.empty()) {
-    obd_link_ = std::make_unique<isotp::Endpoint>(
-        bus, isotp::EndpointConfig{can::CanId{0x7E8, false},
-                                   can::CanId{0x7DF, false}});
+    isotp::EndpointConfig obd_config{can::CanId{0x7E8, false},
+                                     can::CanId{0x7DF, false}};
+    obd_config.stall_policy = isotp::StallPolicy::kAbortStale;
+    obd_link_ = std::make_unique<isotp::Endpoint>(bus, obd_config);
     obd_link_->set_message_handler([this](const util::Bytes& request) {
       if (request.size() < 2 || request[0] != obd::kModeCurrentData) return;
       for (const auto& sig : obd_signals_) {
@@ -208,9 +224,9 @@ void EcuSim::attach_transport(can::CanBus& bus) {
 
 void EcuSim::dispatch(const util::Bytes& request) {
   if (request.empty()) return;
-  util::Bytes response;
+  std::vector<util::Bytes> responses;
   if (car_.protocol == Protocol::kKwp2000) {
-    response = kwp_server_.handle(request);
+    responses = kwp_server_.respond(request);
   } else if (request[0] == kwp::kIoControlByLocalId ||
              request[0] == kwp::kStartDiagnosticSession) {
     // UDS vehicles whose IO control runs over the local-identifier
@@ -219,14 +235,16 @@ void EcuSim::dispatch(const util::Bytes& request) {
     // reply is compatible, but prefer UDS if this car is pure 0x2F.
     if (request[0] == kwp::kIoControlByLocalId &&
         car_.io_service == IoService::kKwp30) {
-      response = kwp_server_.handle(request);
+      responses = kwp_server_.respond(request);
     } else {
-      response = uds_server_.handle(request);
+      responses = uds_server_.respond(request);
     }
   } else {
-    response = uds_server_.handle(request);
+    responses = uds_server_.respond(request);
   }
-  if (!response.empty()) link_->send(response);
+  for (const util::Bytes& response : responses) {
+    if (!response.empty()) link_->send(response);
+  }
 }
 
 std::optional<double> EcuSim::physical_value(uds::Did did) const {

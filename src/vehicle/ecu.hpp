@@ -16,6 +16,7 @@
 #include "oemtp/link.hpp"
 #include "uds/server.hpp"
 #include "util/clock.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "vehicle/actuator.hpp"
 #include "vehicle/catalog.hpp"
@@ -26,8 +27,11 @@ namespace dpr::vehicle {
 class EcuSim {
  public:
   /// `spec` describes this ECU; `car` supplies protocol/transport context.
+  /// `faults`, when enabled, arms the protocol servers with 0x78/0x21
+  /// fault behaviour on an independent stream derived from the fault seed.
   EcuSim(const EcuSpec& spec, const CarSpec& car, can::CanBus& bus,
-         util::SimClock& clock, util::Rng rng);
+         util::SimClock& clock, util::Rng rng,
+         const util::FaultConfig& faults = {});
 
   EcuSim(const EcuSim&) = delete;
   EcuSim& operator=(const EcuSim&) = delete;

@@ -3,12 +3,12 @@
 namespace dpr::vehicle {
 
 Vehicle::Vehicle(CarId id, can::CanBus& bus, util::SimClock& clock,
-                 std::uint64_t seed)
+                 std::uint64_t seed, const util::FaultConfig& faults)
     : spec_(car_spec(id)), clock_(clock) {
   util::Rng rng(seed ^ (0xBEEF0000ULL + static_cast<std::uint64_t>(id)));
   for (const auto& ecu_spec : spec_.ecus) {
-    ecus_.push_back(
-        std::make_unique<EcuSim>(ecu_spec, spec_, bus, clock, rng.fork()));
+    ecus_.push_back(std::make_unique<EcuSim>(ecu_spec, spec_, bus, clock,
+                                             rng.fork(), faults));
   }
 }
 

@@ -16,9 +16,11 @@ namespace dpr::vehicle {
 
 class Vehicle {
  public:
-  /// Builds the car's ECUs on `bus`. `seed` controls all signal dynamics.
+  /// Builds the car's ECUs on `bus`. `seed` controls all signal dynamics;
+  /// `faults`, when enabled, arms every ECU's servers with deterministic
+  /// 0x78/0x21 fault behaviour (signal dynamics are unaffected).
   Vehicle(CarId id, can::CanBus& bus, util::SimClock& clock,
-          std::uint64_t seed = 0xCA7);
+          std::uint64_t seed = 0xCA7, const util::FaultConfig& faults = {});
 
   Vehicle(const Vehicle&) = delete;
   Vehicle& operator=(const Vehicle&) = delete;

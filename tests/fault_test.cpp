@@ -1,0 +1,395 @@
+// Deterministic fault injection and the resilient transaction stack:
+// injector determinism, per-fault bus behaviour on CAN and K-Line, the
+// server-side 0x78/0x21 envelope, the client retry/timeout loop, the
+// endpoint stall policy, and a faulty-campaign smoke run.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "core/campaign.hpp"
+#include "isotp/endpoint.hpp"
+#include "kline/bus.hpp"
+#include "uds/client.hpp"
+#include "uds/server.hpp"
+#include "util/fault.hpp"
+#include "util/transact.hpp"
+
+namespace dpr {
+namespace {
+
+using can::CanFrame;
+
+can::CanId id(std::uint32_t v) { return can::CanId{v, false}; }
+
+// --- FaultInjector --------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSamePlanReplaysBitIdentically) {
+  util::FaultPlan plan = util::FaultPlan::scaled(0.2);
+  util::FaultInjector a(plan, util::Rng(42));
+  util::FaultInjector b(plan, util::Rng(42));
+  for (int i = 0; i < 500; ++i) {
+    const util::SimTime now = i * 100;
+    const auto da = a.decide(now);
+    const auto db = b.decide(now);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.corrupt, db.corrupt);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_EQ(da.extra_delay, db.extra_delay);
+    EXPECT_EQ(da.corrupt_bit, db.corrupt_bit);
+  }
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().corrupted, b.stats().corrupted);
+}
+
+TEST(FaultInjector, DisabledPlanNeverFaults) {
+  util::FaultInjector injector(util::FaultPlan{}, util::Rng(7));
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    const auto d = injector.decide(i);
+    EXPECT_FALSE(d.drop || d.corrupt || d.duplicate);
+    EXPECT_EQ(d.extra_delay, 0);
+  }
+  EXPECT_EQ(injector.stats().dropped, 0u);
+}
+
+TEST(FaultInjector, BurstSwallowsAWindow) {
+  util::FaultPlan plan;
+  plan.burst_rate = 1.0;  // first decision starts a burst
+  plan.burst_duration = 10 * util::kMillisecond;
+  util::FaultInjector injector(plan, util::Rng(1));
+  EXPECT_TRUE(injector.decide(0).drop);  // burst starts and swallows
+  EXPECT_TRUE(injector.decide(5 * util::kMillisecond).drop);
+  EXPECT_GE(injector.stats().bursts, 1u);
+  EXPECT_EQ(injector.stats().dropped, 2u);
+}
+
+TEST(FaultConfig, ScaledPlanTracksTheKnob) {
+  EXPECT_FALSE(util::FaultConfig{}.enabled());
+  util::FaultConfig config;
+  config.rate = 0.01;
+  EXPECT_TRUE(config.enabled());
+  const auto plan = config.bus_plan();
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.01);
+  EXPECT_GT(plan.corrupt_rate, 0.0);
+  EXPECT_GT(config.server_pending_rate(), 0.0);
+  EXPECT_GT(config.server_busy_rate(), 0.0);
+  // Stable salts give reproducible, distinct child streams.
+  EXPECT_EQ(config.rng_for(3)(), config.rng_for(3)());
+  EXPECT_NE(config.rng_for(3)(), config.rng_for(4)());
+}
+
+// --- CAN bus faults -------------------------------------------------------
+
+struct CaptureLog {
+  std::vector<std::pair<util::SimTime, CanFrame>> frames;
+};
+
+CaptureLog run_can(const util::FaultPlan* plan, std::uint64_t seed,
+                   std::size_t n_frames) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  CaptureLog log;
+  bus.attach([&](const CanFrame& frame, util::SimTime t) {
+    log.frames.emplace_back(t, frame);
+  });
+  if (plan != nullptr) bus.set_faults(*plan, util::Rng(seed));
+  for (std::size_t i = 0; i < n_frames; ++i) {
+    bus.send(CanFrame(id(0x100 + static_cast<std::uint32_t>(i)),
+                      util::Bytes{static_cast<std::uint8_t>(i), 0xAA, 0x55}));
+  }
+  bus.deliver_pending();
+  return log;
+}
+
+TEST(CanBusFaults, ZeroRateInjectorMatchesNoInjectorBitExactly) {
+  const auto clean = run_can(nullptr, 0, 32);
+  const util::FaultPlan zero;  // all rates 0 -> no RNG draws
+  const auto with_injector = run_can(&zero, 99, 32);
+  ASSERT_EQ(clean.frames.size(), with_injector.frames.size());
+  for (std::size_t i = 0; i < clean.frames.size(); ++i) {
+    EXPECT_EQ(clean.frames[i].first, with_injector.frames[i].first);
+    EXPECT_EQ(clean.frames[i].second, with_injector.frames[i].second);
+  }
+}
+
+TEST(CanBusFaults, FullDropRateDeliversNothingButTimeAdvances) {
+  util::FaultPlan plan;
+  plan.drop_rate = 1.0;
+  const auto log = run_can(&plan, 5, 10);
+  EXPECT_TRUE(log.frames.empty());
+
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  bus.set_faults(plan, util::Rng(5));
+  bus.send(CanFrame(id(0x100), util::Bytes{0x01}));
+  bus.deliver_pending();
+  EXPECT_GT(clock.now(), 0);  // a dropped frame still occupied the wire
+  ASSERT_NE(bus.fault_stats(), nullptr);
+  EXPECT_EQ(bus.fault_stats()->dropped, 1u);
+  EXPECT_EQ(bus.fault_stats()->delivered, 0u);
+}
+
+TEST(CanBusFaults, FullDuplicateRateDeliversEveryFrameTwice) {
+  util::FaultPlan plan;
+  plan.duplicate_rate = 1.0;
+  const auto log = run_can(&plan, 6, 8);
+  ASSERT_EQ(log.frames.size(), 16u);
+  for (std::size_t i = 0; i < log.frames.size(); i += 2) {
+    EXPECT_EQ(log.frames[i].second, log.frames[i + 1].second);
+    EXPECT_LT(log.frames[i].first, log.frames[i + 1].first);
+  }
+}
+
+TEST(CanBusFaults, FullCorruptRateFlipsExactlyOneBit) {
+  util::FaultPlan plan;
+  plan.corrupt_rate = 1.0;
+  const auto clean = run_can(nullptr, 0, 8);
+  const auto faulty = run_can(&plan, 7, 8);
+  ASSERT_EQ(faulty.frames.size(), clean.frames.size());
+  for (std::size_t i = 0; i < clean.frames.size(); ++i) {
+    const auto& a = clean.frames[i].second;
+    const auto& b = faulty.frames[i].second;
+    ASSERT_EQ(a.dlc(), b.dlc());
+    int flipped = 0;
+    for (std::size_t k = 0; k < a.dlc(); ++k) {
+      flipped += __builtin_popcount(a.byte(k) ^ b.byte(k));
+    }
+    EXPECT_EQ(flipped, 1) << "frame " << i;
+  }
+}
+
+TEST(CanBusFaults, JitterDelaysDelivery) {
+  util::FaultPlan plan;
+  plan.jitter_rate = 1.0;
+  const auto clean = run_can(nullptr, 0, 8);
+  const auto jittered = run_can(&plan, 8, 8);
+  ASSERT_EQ(jittered.frames.size(), clean.frames.size());
+  EXPECT_GT(jittered.frames.back().first, clean.frames.back().first);
+}
+
+// --- K-Line faults --------------------------------------------------------
+
+TEST(KLineFaults, FullDropRateLosesBytesButNotWakeups) {
+  util::SimClock clock;
+  kline::KLineBus bus(clock);
+  std::vector<std::uint8_t> bytes;
+  int wakeups = 0;
+  bus.attach([&](std::uint8_t b, util::SimTime) { bytes.push_back(b); });
+  bus.attach_wakeup([&](kline::Wakeup, util::SimTime) { ++wakeups; });
+  util::FaultPlan plan;
+  plan.drop_rate = 1.0;
+  bus.set_faults(plan, util::Rng(11));
+  bus.send_wakeup(kline::Wakeup::kFastInit);
+  bus.send({0x81, 0x10, 0xF1, 0x81, 0x03});
+  bus.deliver_pending();
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_EQ(wakeups, 1);
+  ASSERT_NE(bus.fault_stats(), nullptr);
+  EXPECT_EQ(bus.fault_stats()->dropped, 5u);
+}
+
+TEST(KLineFaults, CorruptionFlipsOneBitPerByte) {
+  util::SimClock clock;
+  kline::KLineBus bus(clock);
+  std::vector<std::uint8_t> bytes;
+  bus.attach([&](std::uint8_t b, util::SimTime) { bytes.push_back(b); });
+  util::FaultPlan plan;
+  plan.corrupt_rate = 1.0;
+  bus.set_faults(plan, util::Rng(12));
+  const std::vector<std::uint8_t> sent{0x00, 0xFF, 0xA5};
+  bus.send(sent);
+  bus.deliver_pending();
+  ASSERT_EQ(bytes.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(__builtin_popcount(bytes[i] ^ sent[i]), 1);
+  }
+}
+
+// --- Server-side NRC faults ----------------------------------------------
+
+TEST(ServerFaults, PendingRateEmitsResponsePendingBeforeAnswer) {
+  uds::Server server;
+  server.add_did(0xF40D, 1, [] { return util::Bytes{0x21}; });
+  uds::Server::FaultProfile profile;
+  profile.pending_rate = 1.0;
+  profile.max_pending = 2;
+  server.enable_faults(profile, util::Rng(21));
+  const auto responses = server.respond(util::from_hex("22 F4 0D"));
+  ASSERT_GE(responses.size(), 2u);
+  for (std::size_t i = 0; i + 1 < responses.size(); ++i) {
+    EXPECT_EQ(util::to_hex(responses[i]), "7F 22 78");
+  }
+  EXPECT_EQ(util::to_hex(responses.back()), "62 F4 0D 21");
+}
+
+TEST(ServerFaults, BusyRefusesWithoutProcessing) {
+  uds::Server server;
+  uds::Server::FaultProfile profile;
+  profile.busy_rate = 1.0;
+  server.enable_faults(profile, util::Rng(22));
+  const auto responses = server.respond(util::from_hex("10 03"));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(util::to_hex(responses[0]), "7F 10 21");
+  // The session switch must NOT have happened.
+  EXPECT_EQ(server.active_session(), 0x01);
+}
+
+TEST(ServerFaults, NoFaultsMeansExactlyOneHandleResponse) {
+  uds::Server server;
+  server.add_did(0xF40D, 1, [] { return util::Bytes{0x21}; });
+  const auto responses = server.respond(util::from_hex("22 F4 0D"));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(util::to_hex(responses[0]), "62 F4 0D 21");
+}
+
+// --- Client retry loop ----------------------------------------------------
+
+/// Scripted MessageLink: each send() delivers the next scripted batch of
+/// responses straight to the handler (the pump is a no-op).
+class ScriptedLink : public util::MessageLink {
+ public:
+  void send(std::span<const std::uint8_t> payload) override {
+    ++sends;
+    last_request.assign(payload.begin(), payload.end());
+    if (script.empty()) return;
+    auto batch = std::move(script.front());
+    script.pop_front();
+    for (const auto& message : batch) handler_(message);
+  }
+  void set_message_handler(Handler handler) override {
+    handler_ = std::move(handler);
+  }
+
+  std::deque<std::vector<util::Bytes>> script;
+  util::Bytes last_request;
+  int sends = 0;
+
+ private:
+  Handler handler_;
+};
+
+TEST(ClientRetry, PendingWaitAbsorbsResponsePending) {
+  ScriptedLink link;
+  link.script.push_back({util::from_hex("7F 22 78"),
+                         util::from_hex("7F 22 78"),
+                         util::from_hex("62 F4 0D 21")});
+  uds::Client client(link, [] {}, util::TransactPolicy::resilient());
+  const auto resp = client.transact(util::from_hex("22 F4 0D"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(util::to_hex(*resp), "62 F4 0D 21");
+  EXPECT_EQ(client.stats().pending_waits, 2u);
+  EXPECT_EQ(client.stats().retries, 0u);
+  EXPECT_EQ(link.sends, 1);
+}
+
+TEST(ClientRetry, BusyRepeatRequestTriggersResend) {
+  util::SimClock clock;
+  ScriptedLink link;
+  link.script.push_back({util::from_hex("7F 22 21")});
+  link.script.push_back({util::from_hex("62 F4 0D 21")});
+  uds::Client client(link, [] {}, util::TransactPolicy::resilient(), &clock);
+  const auto resp = client.transact(util::from_hex("22 F4 0D"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(client.stats().busy_retries, 1u);
+  EXPECT_EQ(link.sends, 2);
+  // The busy backoff advanced simulated time by P2*.
+  EXPECT_GE(clock.now(), util::TransactPolicy{}.p2_star);
+}
+
+TEST(ClientRetry, LostResponseRetriedThenRecovered) {
+  ScriptedLink link;
+  link.script.push_back({});  // response lost on the wire
+  link.script.push_back({util::from_hex("62 F4 0D 21")});
+  uds::Client client(link, [] {}, util::TransactPolicy::resilient());
+  const auto resp = client.transact(util::from_hex("22 F4 0D"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(client.stats().retries, 1u);
+  EXPECT_EQ(client.stats().failures, 0u);
+}
+
+TEST(ClientRetry, ExhaustedRetriesRecordAFailure) {
+  ScriptedLink link;  // empty script: every attempt times out
+  uds::Client client(link, [] {}, util::TransactPolicy::resilient());
+  const auto resp = client.transact(util::from_hex("22 F4 0D"));
+  EXPECT_FALSE(resp.has_value());
+  EXPECT_EQ(link.sends, util::TransactPolicy::resilient().max_retries + 1);
+  EXPECT_EQ(client.stats().failures, 1u);
+}
+
+TEST(ClientRetry, DefaultPolicyIsSingleShot) {
+  ScriptedLink link;
+  uds::Client client(link, [] {});
+  EXPECT_FALSE(client.transact(util::from_hex("22 F4 0D")).has_value());
+  EXPECT_EQ(link.sends, 1);
+  EXPECT_EQ(client.stats().retries, 0u);
+}
+
+// --- Endpoint stall policy ------------------------------------------------
+
+TEST(EndpointStall, AbortStaleReapsAfterNbsTimeout) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  isotp::EndpointConfig config{id(0x7E0), id(0x7E8)};
+  config.stall_policy = isotp::StallPolicy::kAbortStale;
+  config.n_bs_timeout = 100 * util::kMillisecond;
+  isotp::Endpoint endpoint(bus, config);  // no peer: FC never arrives
+
+  util::Bytes long_payload(50, 0x11);
+  endpoint.send(long_payload);
+  bus.deliver_pending();
+  EXPECT_TRUE(endpoint.send_in_progress());
+
+  // Before N_Bs expires the new send is rejected, not a crash.
+  endpoint.send(long_payload);
+  EXPECT_EQ(endpoint.stats().tx_rejected, 1u);
+  EXPECT_EQ(endpoint.stats().tx_aborted, 0u);
+
+  // After N_Bs the stale transmission is reaped and the send proceeds.
+  clock.advance(200 * util::kMillisecond);
+  endpoint.send(long_payload);
+  EXPECT_EQ(endpoint.stats().tx_aborted, 1u);
+  EXPECT_TRUE(endpoint.send_in_progress());
+}
+
+// --- Campaign smoke -------------------------------------------------------
+
+core::CampaignOptions smoke_options() {
+  core::CampaignOptions options;
+  options.live_window = 4 * util::kSecond;
+  options.gp.population = 48;
+  options.gp.max_generations = 8;
+  return options;
+}
+
+TEST(CampaignFaults, FaultyCampaignCompletesAndRecordsFaultStats) {
+  auto options = smoke_options();
+  options.faults.rate = 0.02;
+  core::Campaign campaign(vehicle::CarId::kA, options);
+  campaign.collect();
+  campaign.analyze();
+  const auto& report = campaign.report();
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.transactions.transactions, 0u);
+  EXPECT_GT(report.bus_faults.dropped, 0u);
+  EXPECT_FALSE(report.signals.empty());
+}
+
+TEST(CampaignFaults, CleanCampaignSpendsNoRetries) {
+  core::Campaign campaign(vehicle::CarId::kA, smoke_options());
+  campaign.collect();
+  campaign.analyze();
+  const auto& report = campaign.report();
+  EXPECT_EQ(report.transactions.retries, 0u);
+  EXPECT_EQ(report.transactions.busy_retries, 0u);
+  EXPECT_EQ(report.transactions.pending_waits, 0u);
+  EXPECT_EQ(report.transactions.failures, 0u);
+  EXPECT_TRUE(report.failed_transactions.empty());
+  EXPECT_EQ(report.bus_faults.delivered, 0u);  // no injector installed
+}
+
+}  // namespace
+}  // namespace dpr

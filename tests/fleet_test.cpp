@@ -124,6 +124,55 @@ TEST(Fleet, CachedAnalysisMatchesLegacyRecomputePath) {
   }
 }
 
+TEST(Fleet, FaultyFleetBitIdenticalAcrossThreadCounts) {
+  // The determinism contract must survive fault injection: every fault
+  // draw happens on campaign-owned state in wire-delivery order, so a
+  // faulty fleet replays bit-identically at any thread count.
+  const auto cars = small_fleet();
+  FleetOptions options;
+  options.campaign = small_options();
+  options.campaign.live_window = 4 * util::kSecond;
+  options.campaign.gp.population = 48;
+  options.campaign.faults.rate = 0.01;
+  options.campaign.faults.fault_seed = 0xBADC0FFEULL;
+
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    options.fleet_threads = threads;
+    const auto summary = FleetRunner(options).run(cars);
+    const auto signature = fleet_signature(summary);
+    if (reference.empty()) {
+      reference = signature;
+      // The faults really fired and the campaigns really recovered.
+      util::FaultStats bus;
+      for (const auto& report : summary.reports) bus += report.bus_faults;
+      EXPECT_GT(bus.dropped, 0u);
+      EXPECT_EQ(summary.cars_failed(), 0u);
+    } else {
+      EXPECT_EQ(signature, reference) << threads << " threads";
+    }
+  }
+}
+
+TEST(Fleet, ThrowingCampaignBecomesFailedSlotNotFleetAbort) {
+  FleetOptions options;
+  options.fleet_threads = 2;
+  options.campaign = small_options();
+  options.campaign.live_window = 2 * util::kSecond;
+  options.campaign.run_inference = false;
+  options.campaign.run_baselines = false;
+  // An id outside the catalog makes the campaign constructor throw —
+  // the fleet must capture that into the slot, not terminate.
+  const auto summary = FleetRunner(options).run(
+      {vehicle::CarId::kA, static_cast<vehicle::CarId>(99)});
+  ASSERT_EQ(summary.reports.size(), 2u);
+  EXPECT_TRUE(summary.reports[0].completed);
+  EXPECT_FALSE(summary.reports[1].completed);
+  EXPECT_FALSE(summary.reports[1].failure_reason.empty());
+  EXPECT_EQ(summary.cars_ok(), 1u);
+  EXPECT_EQ(summary.cars_failed(), 1u);
+}
+
 TEST(Fleet, BatchRunnerSharedPoolMatchesOwnedPool) {
   correlate::Dataset dataset;
   dataset.n_vars = 1;

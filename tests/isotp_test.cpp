@@ -136,6 +136,83 @@ TEST(Reassembler, InterruptedMessageRestartsCleanly) {
             Reassembler::Error::kInterruptedFirstFrame);
 }
 
+TEST(Reassembler, DroppedConsecutiveFrameRecoversOnNextMessage) {
+  const auto payload = payload_of(30);
+  const auto frames = segment_message(id(0x7E0), payload);
+  Reassembler reassembler;
+  reassembler.feed(frames[0]);
+  reassembler.feed(frames[1]);
+  reassembler.feed(frames[3]);  // CF #2 lost on the wire
+  EXPECT_EQ(reassembler.last_error(), Reassembler::Error::kSequenceMismatch);
+  EXPECT_EQ(reassembler.errors(), 1u);
+  EXPECT_FALSE(reassembler.in_progress());
+  // The very next message reassembles cleanly.
+  std::optional<util::Bytes> result;
+  for (const auto& frame : frames) result = reassembler.feed(frame);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, payload);
+  EXPECT_EQ(reassembler.errors(), 1u);
+}
+
+TEST(Reassembler, OutOfOrderConsecutiveIsSequenceMismatch) {
+  const auto frames = segment_message(id(0x7E0), payload_of(30));
+  Reassembler reassembler;
+  reassembler.feed(frames[0]);
+  reassembler.feed(frames[2]);  // CF #2 arrives before CF #1
+  EXPECT_EQ(reassembler.last_error(), Reassembler::Error::kSequenceMismatch);
+  EXPECT_FALSE(reassembler.in_progress());
+}
+
+TEST(Reassembler, DuplicatedConsecutiveIsToleratedMidMessage) {
+  const auto payload = payload_of(30);
+  const auto frames = segment_message(id(0x7E0), payload);
+  Reassembler reassembler;
+  reassembler.feed(frames[0]);
+  reassembler.feed(frames[1]);
+  reassembler.feed(frames[1]);  // bus duplicated the CF just consumed
+  EXPECT_EQ(reassembler.errors(), 0u);
+  EXPECT_EQ(reassembler.duplicate_frames(), 1u);
+  std::optional<util::Bytes> result;
+  for (std::size_t i = 2; i < frames.size(); ++i) {
+    result = reassembler.feed(frames[i]);
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, payload);
+}
+
+TEST(Reassembler, DuplicatedFinalConsecutiveAfterCompletionIgnored) {
+  const auto payload = payload_of(20);
+  const auto frames = segment_message(id(0x7E0), payload);
+  Reassembler reassembler;
+  std::optional<util::Bytes> result;
+  for (const auto& frame : frames) result = reassembler.feed(frame);
+  ASSERT_TRUE(result.has_value());
+  // A retransmitted copy of the last CF lands after the message closed.
+  EXPECT_EQ(reassembler.feed(frames.back()), std::nullopt);
+  EXPECT_EQ(reassembler.errors(), 0u);
+  EXPECT_EQ(reassembler.duplicate_frames(), 1u);
+}
+
+TEST(Reassembler, FirstFrameInterruptingInProgressMessage) {
+  const auto abandoned = segment_message(id(0x7E0), payload_of(30));
+  const auto payload = payload_of(25);
+  const auto fresh = segment_message(id(0x7E0), payload);
+  Reassembler reassembler;
+  reassembler.feed(abandoned[0]);
+  reassembler.feed(abandoned[1]);
+  // A new FF interrupts: error recorded, new message tracked from scratch.
+  EXPECT_EQ(reassembler.feed(fresh[0]), std::nullopt);
+  EXPECT_EQ(reassembler.last_error(),
+            Reassembler::Error::kInterruptedFirstFrame);
+  EXPECT_TRUE(reassembler.in_progress());
+  std::optional<util::Bytes> result;
+  for (std::size_t i = 1; i < fresh.size(); ++i) {
+    result = reassembler.feed(fresh[i]);
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, payload);
+}
+
 TEST(FlowControl, EncodeDecodeRoundTrip) {
   const FlowControl fc{FlowStatus::kContinueToSend, 8, 20};
   const auto decoded = decode_flow_control(

@@ -225,6 +225,55 @@ TEST(ClientServer, NegativeResponseSurfaced) {
   EXPECT_EQ(client.last_negative()->nrc, Nrc::kRequestOutOfRange);
 }
 
+/// Replies with a fixed scripted message on every send (malformed-peer
+/// harness for the client's response-length guards).
+class FixedReplyLink : public util::MessageLink {
+ public:
+  explicit FixedReplyLink(util::Bytes reply) : reply_(std::move(reply)) {}
+  void send(std::span<const std::uint8_t>) override {
+    ++sends;
+    handler_(reply_);
+  }
+  void set_message_handler(Handler handler) override {
+    handler_ = std::move(handler);
+  }
+  int sends = 0;
+
+ private:
+  util::Bytes reply_;
+  Handler handler_;
+};
+
+TEST(ClientGuards, TruncatedSeedResponseRejectedWithoutSlicing) {
+  // A positive 0x67 response that is too short to carry any seed bytes
+  // must fail the unlock cleanly instead of slicing past the end.
+  FixedReplyLink link(util::from_hex("67 01"));
+  Client client(link, [] {});
+  const bool unlocked = client.security_unlock(
+      0x01, [](const util::Bytes& seed) { return seed; });
+  EXPECT_FALSE(unlocked);
+  EXPECT_EQ(link.sends, 1);  // never proceeded to sendKey
+}
+
+TEST(ClientGuards, TruncatedIoControlResponseYieldsNullopt) {
+  // Positive SID + DID echo but no control-status bytes: too short for
+  // the begin()+4 slice the parser takes.
+  FixedReplyLink link(util::from_hex("6F 09 50"));
+  Client client(link, [] {});
+  const auto status = client.io_control(
+      0x0950, IoControlParameter::kShortTermAdjustment, util::Bytes{0x05});
+  EXPECT_FALSE(status.has_value());
+}
+
+TEST(ClientGuards, WellFormedIoControlResponseStillParses) {
+  FixedReplyLink link(util::from_hex("6F 09 50 03 05"));
+  Client client(link, [] {});
+  const auto status = client.io_control(
+      0x0950, IoControlParameter::kShortTermAdjustment, util::Bytes{0x05});
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(util::to_hex(*status), "05");
+}
+
 }  // namespace
 }  // namespace dpr::uds
 

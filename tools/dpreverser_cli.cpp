@@ -32,6 +32,11 @@ void usage() {
                "  --seed <n>       simulation seed\n"
                "  --threads <n>    GP inference threads (0 = all cores,\n"
                "                   default 0; results identical for any n)\n"
+               "  --fault-rate <r> inject deterministic bus/server faults at\n"
+               "                   rate r (0..1, default 0 = lossless); the\n"
+               "                   clients retry/back off per ISO 14229-2\n"
+               "  --fault-seed <n> fault stream seed (replays bit-identically\n"
+               "                   for the same seed at any thread count)\n"
                "  --no-filter      disable the two-stage ESV filter (ablation)\n"
                "  --no-ocr-noise   perfect OCR (clean-room ablation)\n"
                "  --no-baselines   skip linear/polynomial baselines\n"
@@ -51,24 +56,38 @@ int run_fleet(dpr::core::CampaignOptions campaign_options,
               vehicle::catalog().size(), runner.threads());
   const auto summary = runner.run_catalog();
 
-  std::printf("\n%-8s %-22s %-10s %-9s %-8s %-7s %-6s %-9s\n", "Car",
-              "Model", "Protocol", "#signals", "#formula", "GP ok", "#ECR",
-              "infer s");
+  std::printf("\n%-8s %-22s %-10s %-7s %-9s %-8s %-7s %-6s %-9s\n", "Car",
+              "Model", "Protocol", "Status", "#signals", "#formula",
+              "GP ok", "#ECR", "infer s");
   for (std::size_t i = 0; i < summary.reports.size(); ++i) {
     const auto& report = summary.reports[i];
     const auto& spec = vehicle::catalog()[i];
-    std::printf("%-8s %-22s %-10s %-9zu %-8zu %-7zu %-6zu %-9.2f\n",
+    std::printf("%-8s %-22s %-10s %-7s %-9zu %-8zu %-7zu %-6zu %-9.2f\n",
                 report.car_label.c_str(), spec.model.c_str(),
                 spec.protocol == vehicle::Protocol::kUds ? "UDS" : "KWP",
-                report.signals.size(), report.formula_signals(),
-                report.gp_correct(), report.ecrs.size(),
-                report.phases.infer_s);
+                report.completed ? "ok" : "FAILED", report.signals.size(),
+                report.formula_signals(), report.gp_correct(),
+                report.ecrs.size(), report.phases.infer_s);
+    if (!report.completed) {
+      std::printf("         ^ %s\n", report.failure_reason.c_str());
+    }
   }
   std::printf("\nfleet totals: %zu reads + %zu controls = %zu messages, "
-              "GP %zu/%zu\n",
+              "GP %zu/%zu; cars ok %zu / failed %zu\n",
               summary.total_signals(), summary.total_ecrs(),
               summary.total_signals() + summary.total_ecrs(),
-              summary.total_gp_correct(), summary.total_formula_signals());
+              summary.total_gp_correct(), summary.total_formula_signals(),
+              summary.cars_ok(), summary.cars_failed());
+  if (campaign_options.faults.enabled()) {
+    const auto tx = summary.total_transactions();
+    std::printf("fault resilience: %llu transactions, %llu retries, "
+                "%llu busy retries, %llu pending waits, %llu failures\n",
+                static_cast<unsigned long long>(tx.transactions),
+                static_cast<unsigned long long>(tx.retries),
+                static_cast<unsigned long long>(tx.busy_retries),
+                static_cast<unsigned long long>(tx.pending_waits),
+                static_cast<unsigned long long>(tx.failures));
+  }
   std::printf("wall time %.2f s (%zu threads); phase CPU-s: collect %.1f, "
               "infer %.1f, other %.1f\n",
               summary.wall_s, summary.threads_used,
@@ -117,6 +136,11 @@ int main(int argc, char** argv) {
           static_cast<util::SimTime>(std::atof(next()) * util::kSecond);
     } else if (arg == "--seed") {
       options.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--fault-rate") {
+      options.faults.rate = std::atof(next());
+    } else if (arg == "--fault-seed") {
+      options.faults.fault_seed =
+          static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--threads") {
       options.infer_threads =
           static_cast<std::size_t>(std::atoll(next()));
