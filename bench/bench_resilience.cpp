@@ -1,0 +1,290 @@
+// Stateful-failure resilience benchmark behind BENCH_resilience.json:
+// sweep the ECU reset rate (with S3 session timers and the diagtool
+// session supervisor armed) over a small fleet and record how many
+// reboots / lost sessions the campaigns rode out, then time a
+// checkpointed interrupt-and-resume cycle against the uninterrupted run.
+//
+// Three properties are asserted (nonzero exit on violation):
+//   1. Determinism: the heaviest reset rate replays bit-identically
+//      (same fleet_signature) across 1, 2 and 8 fleet threads.
+//   2. Graceful degradation: every campaign in the sweep completes —
+//      reboots cost sessions and retries, never a car.
+//   3. Resume equivalence: a run interrupted at a phase boundary and
+//      resumed from its checkpoint produces the same fleet_signature
+//      as the uninterrupted run.
+//
+// Flags (all optional, for CI smoke runs on small machines):
+//   --cars N        first N catalog cars (default 3)
+//   --threads N     fleet threads for the sweep runs (default 2)
+//   --window S      per-ECU live window seconds (default 8)
+//   --population P  GP population (default 96)
+//   --seed N        fault stream seed (default FaultConfig's)
+//   --rates a,b,..  comma-separated reset rates (default 0,0.01,0.03)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fleet.hpp"
+
+namespace {
+
+using namespace dpr;
+
+struct SweepPoint {
+  double reset_rate = 0.0;
+  double gp_accuracy = 0.0;
+  std::size_t signals = 0;
+  std::size_t formula_signals = 0;
+  std::size_t gp_correct = 0;
+  std::size_t cars_ok = 0;
+  std::size_t cars_failed = 0;
+  std::uint64_t ecu_resets = 0;
+  std::uint64_t s3_expiries = 0;
+  diagtool::SessionStats sessions;
+  util::TransactStats tx;
+  double wall_s = 0.0;
+};
+
+SweepPoint summarize(double rate, const core::FleetSummary& summary) {
+  SweepPoint point;
+  point.reset_rate = rate;
+  point.signals = summary.total_signals();
+  point.formula_signals = summary.total_formula_signals();
+  point.gp_correct = summary.total_gp_correct();
+  point.gp_accuracy =
+      point.formula_signals == 0
+          ? 1.0
+          : static_cast<double>(point.gp_correct) /
+                static_cast<double>(point.formula_signals);
+  point.cars_ok = summary.cars_ok();
+  point.cars_failed = summary.cars_failed();
+  for (const auto& report : summary.reports) {
+    point.ecu_resets += report.ecu_resets;
+    point.s3_expiries += report.ecu_s3_expiries;
+    point.sessions += report.session_stats;
+  }
+  point.tx = summary.total_transactions();
+  point.wall_s = summary.wall_s;
+  return point;
+}
+
+void write_point_json(std::FILE* out, const SweepPoint& p) {
+  std::fprintf(
+      out,
+      "{\"reset_rate\": %.6f, \"gp_accuracy\": %.6f, \"signals\": %zu, "
+      "\"formula_signals\": %zu, \"gp_correct\": %zu, \"cars_ok\": %zu, "
+      "\"cars_failed\": %zu, \"ecu_resets\": %llu, \"s3_expiries\": %llu, "
+      "\"keepalives\": %llu, \"sessions_lost\": %llu, "
+      "\"sessions_restored\": %llu, \"reissued_requests\": %llu, "
+      "\"recovery_failures\": %llu, \"retries\": %llu, "
+      "\"tx_failures\": %llu, \"wall_s\": %.6f}",
+      p.reset_rate, p.gp_accuracy, p.signals, p.formula_signals,
+      p.gp_correct, p.cars_ok, p.cars_failed,
+      static_cast<unsigned long long>(p.ecu_resets),
+      static_cast<unsigned long long>(p.s3_expiries),
+      static_cast<unsigned long long>(p.sessions.keepalives),
+      static_cast<unsigned long long>(p.sessions.sessions_lost),
+      static_cast<unsigned long long>(p.sessions.sessions_restored),
+      static_cast<unsigned long long>(p.sessions.reissued_requests),
+      static_cast<unsigned long long>(p.sessions.recovery_failures),
+      static_cast<unsigned long long>(p.tx.retries),
+      static_cast<unsigned long long>(p.tx.failures), p.wall_s);
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_cars = 3;
+  std::size_t n_threads = 2;
+  double window_s = 8.0;
+  std::size_t population = 96;
+  util::FaultConfig base_faults;
+  std::vector<double> rates = {0.0, 0.01, 0.03};
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--cars") == 0) {
+      n_cars = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      n_threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--window") == 0) {
+      window_s = std::atof(next());
+    } else if (std::strcmp(argv[i], "--population") == 0) {
+      population = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      base_faults.fault_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--rates") == 0) {
+      rates.clear();
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty()) rates.push_back(std::atof(item.c_str()));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  n_cars = std::min(std::max<std::size_t>(n_cars, 1),
+                    vehicle::catalog().size());
+
+  std::vector<vehicle::CarId> cars;
+  for (std::size_t i = 0; i < n_cars; ++i) {
+    cars.push_back(vehicle::catalog()[i].id);
+  }
+
+  core::FleetOptions options;
+  options.fleet_threads = n_threads;
+  options.campaign.live_window =
+      static_cast<util::SimTime>(window_s * util::kSecond);
+  options.campaign.gp.population = population;
+  options.campaign.faults = base_faults;
+  options.campaign.faults.session_faults = true;
+
+  std::printf("Reset-rate resilience sweep: %zu cars, %zu fleet threads, "
+              "fault seed %llu\n\n",
+              cars.size(), core::FleetRunner(options).threads(),
+              static_cast<unsigned long long>(base_faults.fault_seed));
+  std::printf("%-8s %-8s %-9s %-8s %-8s %-9s %-9s %-9s\n", "rate", "GP acc",
+              "ok/fail", "resets", "s3 exp", "lost", "restored", "keepal");
+  dpr::bench::print_rule(76);
+
+  std::vector<SweepPoint> points;
+  bool all_completed = true;
+  for (const double rate : rates) {
+    options.campaign.faults.reset_rate = rate;
+    const auto summary = core::FleetRunner(options).run(cars);
+    const auto point = summarize(rate, summary);
+    if (point.cars_failed != 0) all_completed = false;
+    points.push_back(point);
+    std::printf("%-8.4f %-8.3f %zu/%-6zu %-8llu %-8llu %-9llu %-9llu "
+                "%-9llu\n",
+                point.reset_rate, point.gp_accuracy, point.cars_ok,
+                point.cars_failed,
+                static_cast<unsigned long long>(point.ecu_resets),
+                static_cast<unsigned long long>(point.s3_expiries),
+                static_cast<unsigned long long>(point.sessions.sessions_lost),
+                static_cast<unsigned long long>(
+                    point.sessions.sessions_restored),
+                static_cast<unsigned long long>(point.sessions.keepalives));
+  }
+
+  // Determinism: the heaviest reset rate must replay bit-identically
+  // across thread counts.
+  double check_rate = 0.0;
+  for (const double rate : rates) {
+    if (rate > check_rate) check_rate = rate;
+  }
+  bool deterministic = true;
+  if (check_rate > 0.0) {
+    options.campaign.faults.reset_rate = check_rate;
+    std::string reference;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      options.fleet_threads = threads;
+      const auto signature =
+          core::fleet_signature(core::FleetRunner(options).run(cars));
+      if (reference.empty()) {
+        reference = signature;
+      } else if (signature != reference) {
+        deterministic = false;
+        std::printf("\nDETERMINISM VIOLATION: reset rate %.4f differs at "
+                    "%zu threads\n",
+                    check_rate, threads);
+      }
+    }
+  }
+
+  // Interrupt-and-resume: run to the associate boundary, then resume from
+  // the checkpoints; the stitched run must match the uninterrupted one.
+  const std::string checkpoint_dir =
+      (std::filesystem::temp_directory_path() / "dpr_bench_resilience_ckpt")
+          .string();
+  std::filesystem::remove_all(checkpoint_dir);
+  options.fleet_threads = n_threads;
+  options.campaign.faults.reset_rate = 0.0;
+
+  double t0 = now_s();
+  const auto uninterrupted_signature =
+      core::fleet_signature(core::FleetRunner(options).run(cars));
+  const double full_wall_s = now_s() - t0;
+
+  core::FleetOptions first_half = options;
+  first_half.campaign.checkpoint_dir = checkpoint_dir;
+  first_half.campaign.stop_after_phase = 4;  // through 'associate'
+  t0 = now_s();
+  core::FleetRunner(first_half).run(cars);
+  const double first_half_wall_s = now_s() - t0;
+
+  core::FleetOptions resumed = options;
+  resumed.campaign.checkpoint_dir = checkpoint_dir;
+  resumed.campaign.resume = true;
+  t0 = now_s();
+  const auto resumed_signature =
+      core::fleet_signature(core::FleetRunner(resumed).run(cars));
+  const double resume_wall_s = now_s() - t0;
+  std::filesystem::remove_all(checkpoint_dir);
+
+  const bool resume_equivalent =
+      resumed_signature == uninterrupted_signature;
+
+  std::printf("\ndeterminism across {1,2,8} threads at reset rate %.4f: "
+              "%s\n",
+              check_rate, deterministic ? "identical" : "DIFFER");
+  std::printf("all campaigns completed: %s\n",
+              all_completed ? "yes" : "NO (per-car failure recorded)");
+  std::printf("resume == fresh: %s  (full %.2fs, pre-interrupt %.2fs, "
+              "resume %.2fs)\n",
+              resume_equivalent ? "identical" : "DIFFER", full_wall_s,
+              first_half_wall_s, resume_wall_s);
+
+  if (std::FILE* out = std::fopen("BENCH_resilience.json", "w")) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"cars\": %zu,\n", cars.size());
+    std::fprintf(out, "  \"fleet_threads\": %zu,\n", n_threads);
+    std::fprintf(out, "  \"fault_seed\": %llu,\n",
+                 static_cast<unsigned long long>(base_faults.fault_seed));
+    std::fprintf(out, "  \"deterministic_across_threads\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(out, "  \"determinism_check_rate\": %.6f,\n", check_rate);
+    std::fprintf(out, "  \"all_campaigns_completed\": %s,\n",
+                 all_completed ? "true" : "false");
+    std::fprintf(out, "  \"resume_equivalent\": %s,\n",
+                 resume_equivalent ? "true" : "false");
+    std::fprintf(out, "  \"full_wall_s\": %.6f,\n", full_wall_s);
+    std::fprintf(out, "  \"pre_interrupt_wall_s\": %.6f,\n",
+                 first_half_wall_s);
+    std::fprintf(out, "  \"resume_wall_s\": %.6f,\n", resume_wall_s);
+    std::fprintf(out, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(out, "    ");
+      write_point_json(out, points[i]);
+      std::fprintf(out, i + 1 < points.size() ? ",\n" : "\n");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_resilience.json\n");
+  }
+
+  return (deterministic && all_completed && resume_equivalent) ? 0 : 1;
+}

@@ -24,8 +24,10 @@
 #include "gp/engine.hpp"
 #include "regress/regress.hpp"
 #include "screenshot/extract.hpp"
+#include "util/checkpoint.hpp"
 #include "util/fault.hpp"
 #include "util/transact.hpp"
+#include "util/watchdog.hpp"
 #include "vehicle/vehicle.hpp"
 
 namespace dpr::util {
@@ -69,7 +71,30 @@ struct CampaignOptions {
   /// server 0x78/0x21 stalls) plus the resilient client policy that rides
   /// it out. Disabled by default; a disabled config performs zero RNG
   /// draws, so fault-free runs are bit-identical to pre-fault builds.
+  /// The stateful knobs (reset_rate / session_faults) additionally arm
+  /// ECU reboots + S3 session timers and the diagtool session supervisor.
   util::FaultConfig faults;
+
+  // --- Checkpoint / resume / supervision (ISSUE 4) -----------------------
+  /// Directory for per-phase checkpoints; empty = no checkpointing.
+  std::string checkpoint_dir;
+  /// With checkpoint_dir set: load the matching checkpoint (same car,
+  /// seed and semantic options) and skip every completed phase. The
+  /// resumed report is bit-identical to an uninterrupted run.
+  bool resume = false;
+  /// Stop run() after this phase index completes (0 = collect ...
+  /// 6 = score); -1 = run everything. Test/CI hook that simulates an
+  /// interruption at a phase boundary.
+  int stop_after_phase = -1;
+  /// Per-phase wall-clock budget in seconds; 0 = no watchdog. A phase
+  /// that overruns aborts with util::DeadlineExceeded
+  /// ("phase_timeout(<phase>)"), which FleetRunner degrades to a failed
+  /// per-car slot instead of hanging the fleet.
+  double phase_deadline_s = 0.0;
+  /// Test hook: simulate a hang at the start of the named phase. Only
+  /// stalls while the watchdog is armed (phase_deadline_s > 0), so a
+  /// stray value can never wedge a run.
+  std::string stall_phase;
 };
 
 /// Wall-clock seconds spent in each pipeline phase of one campaign.
@@ -158,6 +183,11 @@ struct CampaignReport {
   util::TransactStats transactions;
   std::vector<TransactionFailure> failed_transactions;
   util::FaultStats bus_faults;
+  /// Session-supervisor counters plus the ECUs' own reboot / S3-expiry
+  /// tallies; all zero unless stateful faults are armed.
+  diagtool::SessionStats session_stats;
+  std::uint64_t ecu_resets = 0;
+  std::uint64_t ecu_s3_expiries = 0;
   /// False when the campaign aborted with an exception (captured by
   /// core::FleetRunner); `failure_reason` then carries the what() text.
   bool completed = true;
@@ -184,6 +214,17 @@ class Campaign {
   /// Phase 2: frames analysis + screenshot analysis + correlation +
   /// formula inference + scoring. Requires collect() first.
   void analyze();
+
+  /// The pipeline's named phases, in execution order: collect, assemble,
+  /// ocr_extract, align, associate, infer, score.
+  static constexpr std::size_t kNumPhases = 7;
+  static const char* phase_name(std::size_t phase);
+
+  /// Run the full pipeline with checkpointing, resume and the per-phase
+  /// watchdog honored (CampaignOptions::{checkpoint_dir, resume,
+  /// stop_after_phase, phase_deadline_s}). With every one of those at
+  /// its default this is exactly collect() + analyze().
+  void run();
 
   const CampaignReport& report() const { return report_; }
 
@@ -227,6 +268,31 @@ class Campaign {
     std::vector<std::string> names;   // OCR'd label per sample
     std::size_t non_numeric = 0;
   };
+  /// Products handed from one analysis phase to the next; everything in
+  /// here is part of the checkpoint payload so a resumed campaign can
+  /// start at any phase boundary.
+  struct Intermediate {
+    std::vector<frames::DiagMessage> messages;
+    std::vector<screenshot::UiSample> samples;
+    std::vector<screenshot::UiSample> obd_samples;
+    frames::ExtractionResult extraction;
+    std::vector<Association> associations;
+  };
+
+  void phase_collect();
+  void phase_assemble();
+  void phase_ocr_extract();
+  void phase_align();
+  void phase_associate();
+  void phase_infer();
+  void phase_score();
+  void finish_collect();
+  void maybe_stall(const char* phase) const;
+
+  std::uint64_t options_digest() const;
+  util::Bytes serialize_state() const;
+  bool restore_state(const util::Bytes& payload);
+
   std::vector<Association> build_associations(
       const frames::ExtractionResult& extraction,
       const std::vector<screenshot::UiSample>& samples) const;
@@ -256,6 +322,12 @@ class Campaign {
   std::vector<EcuSession> sessions_;
   CampaignReport report_;
   bool collected_ = false;
+
+  Intermediate mid_;
+  /// Set by restore_state(): a resumed campaign never re-drives the
+  /// sniffer, so the restored capture stands in for sniffer_->capture().
+  std::optional<std::vector<can::TimestampedFrame>> restored_capture_;
+  util::Watchdog watchdog_;
 };
 
 }  // namespace dpr::core

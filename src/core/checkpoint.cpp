@@ -1,0 +1,80 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dpr::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43525044;  // "DPRC" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best effort
+}
+
+std::string CheckpointStore::path_for(std::uint32_t car, std::uint64_t seed,
+                                      std::uint64_t digest) const {
+  char name[80];
+  std::snprintf(name, sizeof name, "dpr-%u-%016llx-%016llx.ckpt", car,
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(digest));
+  return dir_ + "/" + name;
+}
+
+bool CheckpointStore::save(std::uint32_t car, std::uint64_t seed,
+                           std::uint64_t digest, std::uint32_t phase,
+                           std::span<const std::uint8_t> payload) const {
+  util::BinaryWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u32(car);
+  w.u64(seed);
+  w.u64(digest);
+  w.u32(phase);
+  w.bytes(payload);
+  w.u64(util::fnv1a64(w.data()));  // digest over everything before it
+  return util::write_file_atomic(path_for(car, seed, digest), w.data());
+}
+
+std::optional<CheckpointStore::Loaded> CheckpointStore::load(
+    std::uint32_t car, std::uint64_t seed, std::uint64_t digest) const {
+  const auto data = util::read_file(path_for(car, seed, digest));
+  if (!data || data->size() < 8) return std::nullopt;
+
+  // Validate the trailing digest before trusting any field.
+  const std::size_t body = data->size() - 8;
+  util::BinaryReader tail(
+      std::span<const std::uint8_t>(data->data() + body, 8));
+  if (tail.u64() !=
+      util::fnv1a64(std::span<const std::uint8_t>(data->data(), body))) {
+    return std::nullopt;
+  }
+
+  try {
+    util::BinaryReader r(std::span<const std::uint8_t>(data->data(), body));
+    if (r.u32() != kMagic || r.u32() != kVersion) return std::nullopt;
+    if (r.u32() != car || r.u64() != seed || r.u64() != digest) {
+      return std::nullopt;
+    }
+    Loaded loaded;
+    loaded.phase = r.u32();
+    loaded.payload = r.bytes();
+    if (!r.done()) return std::nullopt;
+    return loaded;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+void CheckpointStore::remove(std::uint32_t car, std::uint64_t seed,
+                             std::uint64_t digest) const {
+  std::error_code ec;
+  std::filesystem::remove(path_for(car, seed, digest), ec);
+}
+
+}  // namespace dpr::core

@@ -1,0 +1,56 @@
+#pragma once
+// On-disk checkpoint store for campaign resume (ISSUE 4).
+//
+// One file per (car, seed, options-digest) key. After each completed
+// pipeline phase the campaign overwrites its file with the serialized
+// state needed to resume at the *next* phase, so a killed process loses
+// at most one phase of work. The file format is versioned, carries the
+// key (a checkpoint written under different options never resumes a
+// mismatched run) and ends in an FNV-1a digest that rejects files
+// truncated by a crash; writes are atomic (temp file + rename).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/checkpoint.hpp"
+
+namespace dpr::core {
+
+class CheckpointStore {
+ public:
+  /// Creates `dir` (and parents) if missing; save() fails soft when the
+  /// directory cannot be created.
+  explicit CheckpointStore(std::string dir);
+
+  struct Loaded {
+    std::uint32_t phase = 0;  ///< index of the last *completed* phase
+    util::Bytes payload;      ///< campaign state after that phase
+  };
+
+  /// The checkpoint file backing a key (for tests, CI and cleanup).
+  std::string path_for(std::uint32_t car, std::uint64_t seed,
+                       std::uint64_t digest) const;
+
+  /// Persist `payload` as the state after `phase`. Returns false on any
+  /// I/O failure — the campaign then simply runs on uncheckpointed.
+  bool save(std::uint32_t car, std::uint64_t seed, std::uint64_t digest,
+            std::uint32_t phase,
+            std::span<const std::uint8_t> payload) const;
+
+  /// Load and validate the checkpoint for a key. nullopt when the file is
+  /// missing, truncated, corrupt, from another format version, or written
+  /// under a different (car, seed, options) key.
+  std::optional<Loaded> load(std::uint32_t car, std::uint64_t seed,
+                             std::uint64_t digest) const;
+
+  /// Drop the checkpoint for a key (the campaign ran to completion).
+  void remove(std::uint32_t car, std::uint64_t seed,
+              std::uint64_t digest) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace dpr::core

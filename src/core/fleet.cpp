@@ -82,8 +82,7 @@ FleetSummary FleetRunner::run(const std::vector<vehicle::CarId>& cars) const {
     // A throwing campaign becomes a failed per-car report slot.
     try {
       Campaign campaign(cars[i], campaign_options);
-      campaign.collect();
-      campaign.analyze();
+      campaign.run();
       summary.reports[i] = campaign.report();
     } catch (const std::exception& e) {
       summary.reports[i] = CampaignReport{};
@@ -108,6 +107,20 @@ FleetSummary FleetRunner::run(const std::vector<vehicle::CarId>& cars) const {
     util::ThreadPool pool(summary.threads_used);
     pool.parallel_for(cars.size(),
                       [&](std::size_t i) { run_one(i, &pool); });
+  }
+  if (options_.quarantine_retry) {
+    // Supervised quarantine pass: each failed car gets exactly one serial
+    // re-run. With checkpointing enabled the retry resumes from the last
+    // completed phase; a second failure preserves both reasons.
+    for (std::size_t i = 0; i < cars.size(); ++i) {
+      if (summary.reports[i].completed) continue;
+      const std::string first_reason = summary.reports[i].failure_reason;
+      run_one(i, nullptr);
+      if (!summary.reports[i].completed) {
+        summary.reports[i].failure_reason =
+            first_reason + "; retry: " + summary.reports[i].failure_reason;
+      }
+    }
   }
   summary.wall_s = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
@@ -189,7 +202,13 @@ std::string report_signature(const CampaignReport& report) {
   out << " bus=" << report.bus_faults.delivered << '/'
       << report.bus_faults.dropped << '/' << report.bus_faults.corrupted
       << '/' << report.bus_faults.duplicated << '/'
-      << report.bus_faults.jittered << '/' << report.bus_faults.bursts
+      << report.bus_faults.jittered << '/' << report.bus_faults.bursts;
+  out << " sess=" << report.session_stats.keepalives << '/'
+      << report.session_stats.sessions_lost << '/'
+      << report.session_stats.sessions_restored << '/'
+      << report.session_stats.reissued_requests << '/'
+      << report.session_stats.recovery_failures
+      << " resets=" << report.ecu_resets << '/' << report.ecu_s3_expiries
       << '\n';
   return out.str();
 }

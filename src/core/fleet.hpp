@@ -39,6 +39,13 @@ struct FleetOptions {
   /// Per-campaign options (seed, windows, GP config, ...), applied to
   /// every car.
   CampaignOptions campaign;
+  /// After the main pass, re-run every failed car once, serially, in
+  /// quarantine (no pool — a wedged campaign cannot starve healthy ones).
+  /// A car that fails again keeps both reasons
+  /// ("<first>; retry: <second>"). Deterministic failures (bad car id,
+  /// reset storms under a fixed fault seed) fail identically on retry, so
+  /// fleet signatures stay bit-identical run to run.
+  bool quarantine_retry = true;
 };
 
 struct FleetSummary {

@@ -46,6 +46,15 @@ class OcrEngine {
   const OcrStats& stats() const { return stats_; }
   void reset_stats() { stats_ = OcrStats{}; }
 
+  /// Checkpoint support: the engine's replayable state is its RNG stream
+  /// position plus the running stats. Restoring both makes a resumed
+  /// campaign's OCR output bit-identical to an uninterrupted run.
+  util::Rng::State rng_state() const { return rng_.state(); }
+  void restore(const util::Rng::State& rng_state, const OcrStats& stats) {
+    rng_.restore(rng_state);
+    stats_ = stats;
+  }
+
  private:
   util::Rng rng_;
   bool noisy_ = true;

@@ -54,6 +54,50 @@ void DiagnosticTool::record_failure(bool is_kwp, std::uint16_t id) {
   ++failed_reads_[{is_kwp, id}];
 }
 
+void DiagnosticTool::send_keepalives() {
+  // Suppressed TesterPresent (no response expected) keeps the server's
+  // activity timer fresh without adding response traffic to the capture.
+  for (auto& [index, conn] : connections_) {
+    if (conn.uds) {
+      conn.uds->tester_present(/*suppress=*/true);
+      ++session_stats_.keepalives;
+    } else if (conn.kwp) {
+      conn.kwp->tester_present(/*suppress=*/true);
+      ++session_stats_.keepalives;
+    }
+  }
+}
+
+bool DiagnosticTool::probe_alive(uds::Client* uds, kwp::Client* kwp) {
+  // A rebooting ECU is bus-silent for its boot window; back off and probe
+  // with a response-required TesterPresent until it answers (bounded).
+  const auto backoff = static_cast<util::SimTime>(
+      supervisor_.boot_backoff_s * static_cast<double>(util::kSecond));
+  for (int attempt = 0; attempt < supervisor_.max_recovery_attempts;
+       ++attempt) {
+    clock_.advance(backoff);
+    const bool alive = uds != nullptr ? uds->tester_present(false)
+                       : kwp != nullptr ? kwp->tester_present(false)
+                                        : false;
+    if (alive) return true;
+  }
+  return false;
+}
+
+bool DiagnosticTool::recover_session(std::size_t ecu_index) {
+  auto& conn = connection(ecu_index);
+  const bool had_session = conn.session_started;
+  conn.session_started = false;  // reset/expiry wiped the server side
+  if (!probe_alive(conn.uds.get(), conn.kwp.get())) return false;
+  if (had_session) {
+    conn.session_started =
+        conn.uds ? conn.uds->start_session(0x03)
+                 : conn.kwp->start_session(0x89);
+    return conn.session_started;
+  }
+  return true;
+}
+
 std::size_t DiagnosticTool::selected_rows() const {
   return static_cast<std::size_t>(
       std::count_if(rows_.begin(), rows_.end(),
@@ -209,7 +253,22 @@ void DiagnosticTool::poll_live_rows() {
     if (rows.empty()) return;
     std::vector<uds::Did> dids;
     for (Row* row : rows) dids.push_back(row->did);
-    const auto records = conn.uds->read_data(dids, length_of);
+    auto records = conn.uds->read_data(dids, length_of);
+    if (!records && supervisor_.enabled) {
+      // Retries already ran their course inside the client, so a dead
+      // read means a lost session (reset boot window / S3 expiry), not
+      // wire noise. Recover the session and replay the request once.
+      ++session_stats_.sessions_lost;
+      if (recover_session(current_ecu_)) {
+        ++session_stats_.reissued_requests;
+        records = conn.uds->read_data(dids, length_of);
+      }
+      if (records) {
+        ++session_stats_.sessions_restored;
+      } else {
+        ++session_stats_.recovery_failures;
+      }
+    }
     if (!records) {
       for (uds::Did did : dids) record_failure(false, did);
       return;
@@ -260,7 +319,19 @@ void DiagnosticTool::poll_live_rows() {
     }
   }
   for (std::uint8_t local_id : local_ids) {
-    const auto resp = conn.kwp->read_local_id(local_id);
+    auto resp = conn.kwp->read_local_id(local_id);
+    if (!resp && supervisor_.enabled) {
+      ++session_stats_.sessions_lost;
+      if (recover_session(current_ecu_)) {
+        ++session_stats_.reissued_requests;
+        resp = conn.kwp->read_local_id(local_id);
+      }
+      if (resp) {
+        ++session_stats_.sessions_restored;
+      } else {
+        ++session_stats_.recovery_failures;
+      }
+    }
     if (!resp) {
       record_failure(true, local_id);
       continue;
@@ -301,7 +372,21 @@ void DiagnosticTool::poll_obd() {
   const util::SimTime lag = static_cast<util::SimTime>(
       profile_.ui_lag_s * static_cast<double>(util::kSecond));
   for (auto& row : obd_rows_) {
-    const auto resp = obd_client_->transact(obd::encode_request(row.pid));
+    auto resp = obd_client_->transact(obd::encode_request(row.pid));
+    if (!resp && supervisor_.enabled) {
+      // Functional OBD queries land on the engine ECU's UDS server, so a
+      // reset boot window silences them too. Probe, then replay once.
+      ++session_stats_.sessions_lost;
+      if (probe_alive(obd_client_.get(), nullptr)) {
+        ++session_stats_.reissued_requests;
+        resp = obd_client_->transact(obd::encode_request(row.pid));
+      }
+      if (resp) {
+        ++session_stats_.sessions_restored;
+      } else {
+        ++session_stats_.recovery_failures;
+      }
+    }
     if (!resp) {
       // Mode-01 PIDs mirror to DID 0xF400+pid in ISO 14229 terms.
       record_failure(false, static_cast<std::uint16_t>(0xF400 + row.pid));
@@ -320,44 +405,66 @@ void DiagnosticTool::run_active_test(std::size_t ecu_index,
   const auto& act = ecu_spec.actuators.at(actuator_index);
   auto& conn = connection(ecu_index);
 
-  bool ok = false;
-  if (vehicle_.spec().io_service == vehicle::IoService::kUds2F) {
-    if (!conn.session_started) {
-      conn.session_started = conn.uds->start_session(0x03);
+  auto attempt = [&]() -> bool {
+    bool ok = false;
+    if (vehicle_.spec().io_service == vehicle::IoService::kUds2F) {
+      if (!conn.session_started) {
+        conn.session_started = conn.uds->start_session(0x03);
+      }
+      // The three-message pattern of §4.5: freeze, adjust, return.
+      ok = conn.uds
+               ->io_control(act.id,
+                            uds::IoControlParameter::kFreezeCurrentState)
+               .has_value();
+      ok = ok &&
+           conn.uds
+               ->io_control(act.id,
+                            uds::IoControlParameter::kShortTermAdjustment,
+                            act.example_state)
+               .has_value();
+      clock_.advance(1 * util::kSecond);  // let the component actuate
+      ok = ok &&
+           conn.uds
+               ->io_control(act.id,
+                            uds::IoControlParameter::kReturnControlToEcu)
+               .has_value();
+    } else {
+      if (!conn.session_started) {
+        // UDS vehicles that expose the local-identifier IO service still
+        // use UDS session management; pure KWP vehicles use 0x10 0x89.
+        conn.session_started =
+            vehicle_.spec().protocol == vehicle::Protocol::kUds
+                ? conn.uds->start_session(0x03)
+                : conn.kwp->start_session(0x89);
+      }
+      const auto local_id = static_cast<std::uint8_t>(act.id);
+      util::Bytes freeze{0x02};
+      ok = conn.kwp->io_control_local(local_id, freeze).has_value();
+      util::Bytes adjust{0x03};
+      adjust.insert(adjust.end(), act.example_state.begin(),
+                    act.example_state.end());
+      ok = ok && conn.kwp->io_control_local(local_id, adjust).has_value();
+      clock_.advance(1 * util::kSecond);
+      util::Bytes ret{0x00};
+      ok = ok && conn.kwp->io_control_local(local_id, ret).has_value();
     }
-    // The three-message pattern of §4.5: freeze, adjust, return.
-    ok = conn.uds->io_control(act.id,
-                              uds::IoControlParameter::kFreezeCurrentState)
-             .has_value();
-    ok = ok && conn.uds
-                   ->io_control(act.id,
-                                uds::IoControlParameter::kShortTermAdjustment,
-                                act.example_state)
-                   .has_value();
-    clock_.advance(1 * util::kSecond);  // let the component actuate
-    ok = ok && conn.uds
-                   ->io_control(act.id,
-                                uds::IoControlParameter::kReturnControlToEcu)
-                   .has_value();
-  } else {
-    if (!conn.session_started) {
-      // UDS vehicles that expose the local-identifier IO service still
-      // use UDS session management; pure KWP vehicles use 0x10 0x89.
-      conn.session_started =
-          vehicle_.spec().protocol == vehicle::Protocol::kUds
-              ? conn.uds->start_session(0x03)
-              : conn.kwp->start_session(0x89);
+    return ok;
+  };
+  bool ok = attempt();
+  if (!ok && supervisor_.enabled) {
+    // A broken three-message sequence leaves the actuator in an unknown
+    // state; after recovering the session the whole procedure is
+    // replayed from the freeze step, exactly as a human operator would.
+    ++session_stats_.sessions_lost;
+    if (recover_session(ecu_index)) {
+      ++session_stats_.reissued_requests;
+      ok = attempt();
     }
-    const auto local_id = static_cast<std::uint8_t>(act.id);
-    util::Bytes freeze{0x02};
-    ok = conn.kwp->io_control_local(local_id, freeze).has_value();
-    util::Bytes adjust{0x03};
-    adjust.insert(adjust.end(), act.example_state.begin(),
-                  act.example_state.end());
-    ok = ok && conn.kwp->io_control_local(local_id, adjust).has_value();
-    clock_.advance(1 * util::kSecond);
-    util::Bytes ret{0x00};
-    ok = ok && conn.kwp->io_control_local(local_id, ret).has_value();
+    if (ok) {
+      ++session_stats_.sessions_restored;
+    } else {
+      ++session_stats_.recovery_failures;
+    }
   }
   if (!ok) {
     record_failure(vehicle_.spec().io_service != vehicle::IoService::kUds2F,
@@ -434,7 +541,13 @@ void DiagnosticTool::run_for(util::SimTime duration) {
   // observe the screen *between* polls, or every frame would show the
   // previous poll's values).
   constexpr util::SimTime kStep = 25 * util::kMillisecond;
+  const auto keepalive = static_cast<util::SimTime>(
+      supervisor_.keepalive_period_s * static_cast<double>(util::kSecond));
   while (clock_.now() < deadline) {
+    if (supervisor_.enabled && clock_.now() >= next_keepalive_at_) {
+      send_keepalives();
+      next_keepalive_at_ = clock_.now() + keepalive;
+    }
     if (clock_.now() >= next_poll_at_) {
       if (mode_ == Mode::kDataLive) {
         poll_live_rows();

@@ -29,6 +29,37 @@
 
 namespace dpr::diagtool {
 
+/// Session supervision knobs. When enabled the tool behaves like a real
+/// scan tool on a flaky car: it schedules suppressed TesterPresent
+/// keepalives against the ECU's S3 timer and, when a request dies (S3
+/// expiry, spontaneous ECU reset), probes until the ECU answers again,
+/// re-enters the diagnostic session and re-issues the failed request.
+struct SupervisorConfig {
+  bool enabled = false;
+  double keepalive_period_s = 2.5;  // must undercut the server S3 timeout
+  double boot_backoff_s = 0.05;     // wait between recovery probes
+  int max_recovery_attempts = 8;    // bounded: spans one ECU boot window
+};
+
+/// Counters for everything the supervisor did. Deterministic for a fixed
+/// (seed, fault config): recovery uses only SimClock time, no RNG.
+struct SessionStats {
+  std::uint64_t keepalives = 0;         // suppressed TesterPresent sent
+  std::uint64_t sessions_lost = 0;      // failed request attributed to loss
+  std::uint64_t sessions_restored = 0;  // re-issue succeeded after recovery
+  std::uint64_t reissued_requests = 0;  // in-flight requests replayed
+  std::uint64_t recovery_failures = 0;  // probe loop or re-issue gave up
+
+  SessionStats& operator+=(const SessionStats& o) {
+    keepalives += o.keepalives;
+    sessions_lost += o.sessions_lost;
+    sessions_restored += o.sessions_restored;
+    reissued_requests += o.reissued_requests;
+    recovery_failures += o.recovery_failures;
+    return *this;
+  }
+};
+
 class DiagnosticTool {
  public:
   /// `policy` governs every protocol client the tool creates; the default
@@ -82,6 +113,15 @@ class DiagnosticTool {
     return failed_reads_;
   }
 
+  /// Arm session supervision (keepalives + automatic session recovery).
+  /// Campaigns enable this exactly when stateful faults are configured,
+  /// so lossless runs keep their legacy traffic bit-identical.
+  void enable_supervision(const SupervisorConfig& config) {
+    supervisor_ = config;
+    next_keepalive_at_ = 0;
+  }
+  const SessionStats& session_stats() const { return session_stats_; }
+
  private:
   /// One displayed signal.
   struct Row {
@@ -122,6 +162,9 @@ class DiagnosticTool {
   void poll_obd();
   std::string format_value(const Row& row, double physical) const;
   void record_failure(bool is_kwp, std::uint16_t id);
+  void send_keepalives();
+  bool probe_alive(uds::Client* uds, kwp::Client* kwp);
+  bool recover_session(std::size_t ecu_index);
 
   ToolProfile profile_;
   vehicle::Vehicle& vehicle_;
@@ -129,6 +172,9 @@ class DiagnosticTool {
   util::SimClock& clock_;
   util::TransactPolicy policy_;
   std::map<std::pair<bool, std::uint16_t>, std::size_t> failed_reads_;
+  SupervisorConfig supervisor_;
+  SessionStats session_stats_;
+  util::SimTime next_keepalive_at_ = 0;
 
   Mode mode_ = Mode::kMainMenu;
   util::SimTime next_poll_at_ = 0;

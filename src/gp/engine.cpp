@@ -485,6 +485,9 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
   std::size_t generation = 0;
   for (; generation < config.max_generations; ++generation) {
     if (best.fitness <= stop_below) break;  // criterion (ii)
+    // Cooperative cancellation (phase watchdog): stop evolving and return
+    // the best-so-far instead of wedging a worker past its deadline.
+    if (config.cancel != nullptr && config.cancel->expired()) break;
 
     const std::size_t offspring =
         config.population > 0 ? config.population - 1 : 0;

@@ -14,6 +14,7 @@
 #include "correlate/correlate.hpp"
 #include "gp/expr.hpp"
 #include "gp/scaling.hpp"
+#include "util/watchdog.hpp"
 
 namespace dpr::gp {
 
@@ -47,6 +48,10 @@ struct GpConfig {
   /// population is decomposed into fixed chunks with per-chunk forked RNG
   /// streams, so the result is bit-identical for every thread count.
   std::size_t n_threads = 1;
+  /// Cooperative cancellation: checked once per generation. When the token
+  /// expires (phase watchdog deadline) the search stops early and returns
+  /// the best expression found so far. null = never cancelled.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Where the inference time went. The per-stage fields are CPU-seconds

@@ -16,6 +16,7 @@ std::optional<util::Bytes> Client::transact(
   // vehicles that mix 0x22 reads with 0x30 IO control.
   link_.set_message_handler(
       [this](const util::Bytes& message) { inbox_.push_back(message); });
+  last_nrc_.reset();
   ++stats_.transactions;
 
   for (int attempt = 0;; ++attempt) {
@@ -37,9 +38,13 @@ std::optional<util::Bytes> Client::transact(
     }
     inbox_.clear();
 
-    if (final && !busy) return final;
+    if (final && !busy) {
+      last_nrc_ = decode_negative_response(*final);
+      return final;
+    }
     if (attempt >= policy_.max_retries) {
       ++stats_.failures;
+      if (final) last_nrc_ = decode_negative_response(*final);
       return busy ? std::move(final) : std::nullopt;
     }
     if (busy) {
@@ -55,6 +60,20 @@ std::optional<util::Bytes> Client::transact(
 bool Client::start_session(std::uint8_t session_type) {
   const auto resp = transact(encode_start_session(session_type));
   return resp && is_positive_response(*resp, kStartDiagnosticSession);
+}
+
+bool Client::tester_present(bool suppress) {
+  if (suppress) {
+    // No response is coming for the suppressed form; send and drain.
+    link_.set_message_handler(
+        [this](const util::Bytes& message) { inbox_.push_back(message); });
+    link_.send(encode_tester_present(true));
+    pump_();
+    inbox_.clear();
+    return true;
+  }
+  const auto resp = transact(encode_tester_present(false));
+  return resp && is_positive_response(*resp, kTesterPresent);
 }
 
 std::optional<ReadResponse> Client::read_local_id(std::uint8_t local_id) {

@@ -23,6 +23,11 @@ class Client {
 
   bool start_session(std::uint8_t session_type = 0x89);
 
+  /// 0x3E keepalive, mirroring uds::Client::tester_present: the suppressed
+  /// form sends without waiting for a response, the required form probes
+  /// ECU liveness.
+  bool tester_present(bool suppress = false);
+
   /// 0x21: read the ESV records of a local identifier.
   std::optional<ReadResponse> read_local_id(std::uint8_t local_id);
 
@@ -34,6 +39,9 @@ class Client {
   std::optional<util::Bytes> io_control_common(
       std::uint16_t common_id, std::span<const std::uint8_t> ecr);
 
+  /// Last negative response seen (if the latest transact got a 0x7F).
+  std::optional<NegativeResponse> last_negative() const { return last_nrc_; }
+
   const util::TransactStats& stats() const { return stats_; }
 
  private:
@@ -44,6 +52,7 @@ class Client {
   util::TransactPolicy policy_;
   util::SimClock* clock_ = nullptr;
   std::deque<util::Bytes> inbox_;
+  std::optional<NegativeResponse> last_nrc_;
   util::TransactStats stats_;
 };
 

@@ -10,6 +10,10 @@ util::Bytes encode_read_by_local_id(std::uint8_t local_id) {
   return {kReadDataByLocalId, local_id};
 }
 
+util::Bytes encode_tester_present(bool suppress) {
+  return {kTesterPresent, suppress ? kResponseSuppressed : kResponseRequired};
+}
+
 util::Bytes encode_io_control_local(std::uint8_t local_id,
                                     std::span<const std::uint8_t> ecr) {
   util::Bytes out{kIoControlByLocalId, local_id};

@@ -22,12 +22,18 @@ constexpr std::uint8_t kReadEcuIdentification = 0x1A;
 constexpr std::uint8_t kReadDataByLocalId = 0x21;
 constexpr std::uint8_t kIoControlByCommonId = 0x2F;
 constexpr std::uint8_t kIoControlByLocalId = 0x30;
+constexpr std::uint8_t kTesterPresent = 0x3E;
 constexpr std::uint8_t kNegativeResponseSid = 0x7F;
 constexpr std::uint8_t kPositiveOffset = 0x40;
+
+/// TesterPresent responseRequired sub-parameter values (ISO 14230-3).
+constexpr std::uint8_t kResponseRequired = 0x01;
+constexpr std::uint8_t kResponseSuppressed = 0x02;
 
 /// Negative response codes shared with ISO 14229 (same byte values).
 constexpr std::uint8_t kNrcBusyRepeatRequest = 0x21;
 constexpr std::uint8_t kNrcResponsePending = 0x78;
+constexpr std::uint8_t kNrcServiceNotSupportedInActiveSession = 0x7F;
 
 /// One ECU signal value record of a 0x61 response (Fig. 3): the formula
 /// type byte and the two operand bytes.
@@ -42,6 +48,9 @@ struct EsvRecord {
 util::Bytes encode_start_session(std::uint8_t session_type = 0x89);
 
 util::Bytes encode_read_by_local_id(std::uint8_t local_id);
+
+/// 0x3E keepalive; `suppress` selects responseRequired = 0x02 (no reply).
+util::Bytes encode_tester_present(bool suppress = false);
 
 /// 0x30: local id + ECU control record (Fig. 2 top).
 util::Bytes encode_io_control_local(std::uint8_t local_id,

@@ -40,9 +40,38 @@ void Server::enable_faults(const FaultProfile& profile, util::Rng rng) {
   fault_rng_ = rng;
 }
 
+void Server::enable_sessions(const SessionProfile& profile,
+                             const util::SimClock& clock) {
+  session_profile_ = profile;
+  clock_ = &clock;
+  sessions_armed_ = true;
+  last_activity_ = clock.now();
+}
+
+void Server::enable_resets(const ResetProfile& profile,
+                           const util::SimClock& clock, util::Rng rng) {
+  if (!profile.enabled()) return;  // zero rate: stay draw-free
+  reset_profile_ = profile;
+  clock_ = &clock;
+  reset_rng_ = rng;
+  resets_armed_ = true;
+}
+
 std::vector<util::Bytes> Server::respond(
     std::span<const std::uint8_t> request) {
   if (request.empty()) return {};
+  if (resets_armed_) {
+    // Same draw order as uds::Server: reboot draw first, silence window
+    // swallows requests without a draw.
+    const util::SimTime now = clock_->now();
+    if (now < silent_until_) return {};
+    if (reset_rng_.chance(reset_profile_.reset_rate)) {
+      session_started_ = false;
+      silent_until_ = now + reset_profile_.boot_time;
+      ++resets_;
+      return {};
+    }
+  }
   std::vector<util::Bytes> responses;
   if (faults_.enabled()) {
     if (faults_.busy_rate > 0.0 && fault_rng_.chance(faults_.busy_rate)) {
@@ -68,6 +97,15 @@ std::vector<util::Bytes> Server::respond(
 
 util::Bytes Server::handle(std::span<const std::uint8_t> request) {
   if (request.empty()) return {};
+  if (sessions_armed_) {
+    const util::SimTime now = clock_->now();
+    if (session_started_ &&
+        now - last_activity_ > session_profile_.s3_timeout) {
+      session_started_ = false;
+      ++s3_expiries_;
+    }
+    last_activity_ = now;
+  }
   switch (request[0]) {
     case kStartDiagnosticSession: {
       if (request.size() != 2) {
@@ -129,11 +167,26 @@ util::Bytes Server::handle(std::span<const std::uint8_t> request) {
       }
       return encode_read_response(req->local_id, it->second());
     }
+    case kTesterPresent: {
+      // [0x3E, responseRequired]: 0x01 answers {0x7E}, 0x02 suppresses
+      // the positive response. Either form refreshed the S3 timer above.
+      if (request.size() != 2 || (request[1] != kResponseRequired &&
+                                  request[1] != kResponseSuppressed)) {
+        return encode_negative_response(kTesterPresent,
+                                        kSubFunctionNotSupported);
+      }
+      if (request[1] == kResponseSuppressed) return {};
+      return {static_cast<std::uint8_t>(kTesterPresent + kPositiveOffset)};
+    }
     case kIoControlByLocalId: {
       const auto req = decode_io_local_request(request);
       if (!req) {
         return encode_negative_response(kIoControlByLocalId,
                                         kSubFunctionNotSupported);
+      }
+      if (sessions_armed_ && !session_started_) {
+        return encode_negative_response(
+            kIoControlByLocalId, kNrcServiceNotSupportedInActiveSession);
       }
       const auto it = io_local_.find(req->local_id);
       if (it == io_local_.end()) {
@@ -152,6 +205,10 @@ util::Bytes Server::handle(std::span<const std::uint8_t> request) {
       if (!req) {
         return encode_negative_response(kIoControlByCommonId,
                                         kSubFunctionNotSupported);
+      }
+      if (sessions_armed_ && !session_started_) {
+        return encode_negative_response(
+            kIoControlByCommonId, kNrcServiceNotSupportedInActiveSession);
       }
       const auto it = io_common_.find(req->common_id);
       if (it == io_common_.end()) {

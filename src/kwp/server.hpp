@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "kwp/message.hpp"
+#include "util/clock.hpp"
 #include "util/link.hpp"
 #include "util/rng.hpp"
 
@@ -56,6 +57,29 @@ class Server {
   };
   void enable_faults(const FaultProfile& profile, util::Rng rng);
 
+  /// S3 session timer, mirroring uds::Server::enable_sessions: the started
+  /// diagnostic session expires after `s3_timeout` of inactivity, and with
+  /// the timer armed the IO-control services demand a running session (NRC
+  /// 0x7F), which is what the diagtool supervisor keys recovery on.
+  struct SessionProfile {
+    util::SimTime s3_timeout = 5 * util::kSecond;
+  };
+  void enable_sessions(const SessionProfile& profile,
+                       const util::SimClock& clock);
+
+  /// Deterministic ECU reboots, mirroring uds::Server::enable_resets.
+  struct ResetProfile {
+    double reset_rate = 0.0;
+    util::SimTime boot_time = 300 * util::kMillisecond;
+
+    bool enabled() const { return reset_rate > 0.0; }
+  };
+  void enable_resets(const ResetProfile& profile, const util::SimClock& clock,
+                     util::Rng rng);
+
+  std::uint64_t resets() const { return resets_; }
+  std::uint64_t s3_expiries() const { return s3_expiries_; }
+
   /// Full response sequence for one request; exactly {handle(request)}
   /// unless faults are enabled.
   std::vector<util::Bytes> respond(std::span<const std::uint8_t> request);
@@ -74,6 +98,18 @@ class Server {
   bool session_started_ = false;
   FaultProfile faults_;
   util::Rng fault_rng_;
+
+  // Stateful-failure machinery; inert until enable_sessions/enable_resets.
+  const util::SimClock* clock_ = nullptr;
+  SessionProfile session_profile_;
+  bool sessions_armed_ = false;
+  ResetProfile reset_profile_;
+  util::Rng reset_rng_;
+  bool resets_armed_ = false;
+  util::SimTime last_activity_ = 0;
+  util::SimTime silent_until_ = -1;
+  std::uint64_t resets_ = 0;
+  std::uint64_t s3_expiries_ = 0;
 };
 
 }  // namespace dpr::kwp

@@ -68,6 +68,21 @@ bool Client::start_session(std::uint8_t session_type) {
          is_positive_response(*resp, Service::kDiagnosticSessionControl);
 }
 
+bool Client::tester_present(bool suppress) {
+  if (suppress) {
+    // Fire-and-forget: no response is coming, so the retry loop would
+    // only burn its timeout budget. Claim the link, send, drain.
+    link_.set_message_handler(
+        [this](const util::Bytes& message) { inbox_.push_back(message); });
+    link_.send(encode_tester_present(true));
+    pump_();
+    inbox_.clear();
+    return true;
+  }
+  const auto resp = transact(encode_tester_present(false));
+  return resp && is_positive_response(*resp, Service::kTesterPresent);
+}
+
 bool Client::security_unlock(
     std::uint8_t level,
     const std::function<util::Bytes(const util::Bytes&)>& key_fn) {

@@ -38,6 +38,12 @@ class Client {
 
   bool start_session(std::uint8_t session_type);
 
+  /// 0x3E keepalive. The suppressed form (the supervisor's steady-state
+  /// keepalive) sends and pumps without expecting any response; the
+  /// non-suppressed form doubles as an is-the-ECU-back liveness probe and
+  /// reports whether a positive response arrived.
+  bool tester_present(bool suppress = false);
+
   /// 0x27 seed/key handshake with the given key derivation.
   bool security_unlock(
       std::uint8_t level,

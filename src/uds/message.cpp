@@ -13,8 +13,10 @@ util::Bytes encode_session_control(std::uint8_t session_type) {
   return {sid(Service::kDiagnosticSessionControl), session_type};
 }
 
-util::Bytes encode_tester_present() {
-  return {sid(Service::kTesterPresent), 0x00};
+util::Bytes encode_tester_present(bool suppress) {
+  return {sid(Service::kTesterPresent),
+          static_cast<std::uint8_t>(suppress ? kSuppressPositiveResponse
+                                             : 0x00)};
 }
 
 util::Bytes encode_ecu_reset(std::uint8_t reset_type) {
@@ -180,10 +182,16 @@ std::string nrc_name(Nrc nrc) {
       return "securityAccessDenied";
     case Nrc::kInvalidKey:
       return "invalidKey";
+    case Nrc::kExceedNumberOfAttempts:
+      return "exceedNumberOfAttempts";
+    case Nrc::kRequiredTimeDelayNotExpired:
+      return "requiredTimeDelayNotExpired";
     case Nrc::kBusyRepeatRequest:
       return "busyRepeatRequest";
     case Nrc::kResponsePending:
       return "requestCorrectlyReceived-ResponsePending";
+    case Nrc::kServiceNotSupportedInActiveSession:
+      return "serviceNotSupportedInActiveSession";
   }
   return "unknownNrc";
 }

@@ -41,8 +41,15 @@ enum class Nrc : std::uint8_t {
   kRequestOutOfRange = 0x31,
   kSecurityAccessDenied = 0x33,
   kInvalidKey = 0x35,
+  kExceedNumberOfAttempts = 0x36,
+  kRequiredTimeDelayNotExpired = 0x37,
   kResponsePending = 0x78,  // requestCorrectlyReceived-ResponsePending
+  kServiceNotSupportedInActiveSession = 0x7F,
 };
+
+/// Sub-function bit: the server performs the action but sends no positive
+/// response (ISO 14229-1 §8.2.2); TesterPresent keepalives use it.
+constexpr std::uint8_t kSuppressPositiveResponse = 0x80;
 
 /// IO-control parameters (first ECR byte, §4.5).
 enum class IoControlParameter : std::uint8_t {
@@ -57,7 +64,8 @@ using Did = std::uint16_t;
 /// --- Request encoders -----------------------------------------------------
 
 util::Bytes encode_session_control(std::uint8_t session_type);
-util::Bytes encode_tester_present();
+/// 0x3E. `suppress` sets the suppressPositiveResponse bit (keepalive form).
+util::Bytes encode_tester_present(bool suppress = false);
 util::Bytes encode_ecu_reset(std::uint8_t reset_type);
 util::Bytes encode_security_access_seed_request(std::uint8_t level);
 util::Bytes encode_security_access_send_key(std::uint8_t level,

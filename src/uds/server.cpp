@@ -35,9 +35,47 @@ void Server::enable_faults(const FaultProfile& profile, util::Rng rng) {
   fault_rng_ = rng;
 }
 
+void Server::enable_sessions(const SessionProfile& profile,
+                             const util::SimClock& clock) {
+  session_profile_ = profile;
+  clock_ = &clock;
+  sessions_armed_ = true;
+  last_activity_ = clock.now();
+}
+
+void Server::enable_resets(const ResetProfile& profile,
+                           const util::SimClock& clock, util::Rng rng) {
+  if (!profile.enabled()) return;  // zero rate: stay draw-free
+  reset_profile_ = profile;
+  clock_ = &clock;
+  reset_rng_ = rng;
+  resets_armed_ = true;
+}
+
+bool Server::locked_out() const {
+  return sessions_armed_ && clock_->now() < lockout_until_;
+}
+
 std::vector<util::Bytes> Server::respond(
     std::span<const std::uint8_t> request) {
   if (request.empty()) return {};
+  if (resets_armed_) {
+    // Fixed draw order per request: the reboot draw comes before the
+    // busy/pending envelope draws. A rebooting ECU is bus-silent — the
+    // request is swallowed without a draw while the boot window runs.
+    const util::SimTime now = clock_->now();
+    if (now < silent_until_) return {};
+    if (reset_rng_.chance(reset_profile_.reset_rate)) {
+      session_ = 0x01;
+      unlocked_ = false;
+      pending_seed_.clear();
+      key_attempts_ = 0;
+      lockout_until_ = -1;
+      silent_until_ = now + reset_profile_.boot_time;
+      ++resets_;
+      return {};
+    }
+  }
   std::vector<util::Bytes> responses;
   if (faults_.enabled()) {
     const auto sid = static_cast<Service>(request[0]);
@@ -64,6 +102,18 @@ std::vector<util::Bytes> Server::respond(
 
 util::Bytes Server::handle(std::span<const std::uint8_t> request) {
   if (request.empty()) return {};
+  if (sessions_armed_) {
+    // Lazy S3 expiry: the session fell back to default the moment the
+    // timer ran out; we only observe it on the next request.
+    const util::SimTime now = clock_->now();
+    if (session_ != 0x01 &&
+        now - last_activity_ > session_profile_.s3_timeout) {
+      session_ = 0x01;
+      unlocked_ = false;
+      ++s3_expiries_;
+    }
+    last_activity_ = now;
+  }
   ++request_counts_[request[0]];
   switch (request[0]) {
     case 0x10:
@@ -106,10 +156,15 @@ util::Bytes Server::handle_session_control(
 
 util::Bytes Server::handle_tester_present(
     std::span<const std::uint8_t> req) {
-  if (req.size() != 2 || req[1] != 0x00) {
+  if (req.size() != 2 ||
+      (req[1] & static_cast<std::uint8_t>(~kSuppressPositiveResponse)) !=
+          0x00) {
     return encode_negative_response(Service::kTesterPresent,
                                     Nrc::kSubFunctionNotSupported);
   }
+  // suppressPositiveResponse: the keepalive refreshed the S3 timer above;
+  // an empty answer is dropped by respond()/the transport binding.
+  if (req[1] & kSuppressPositiveResponse) return {};
   return {static_cast<std::uint8_t>(0x3E + kPositiveOffset), 0x00};
 }
 
@@ -133,6 +188,12 @@ util::Bytes Server::handle_security_access(
     return encode_negative_response(Service::kSecurityAccess,
                                     Nrc::kIncorrectMessageLength);
   }
+  if (locked_out()) {
+    // Both seed requests and key sends are refused until the delay timer
+    // set by the exceeded-attempts lockout expires.
+    return encode_negative_response(Service::kSecurityAccess,
+                                    Nrc::kRequiredTimeDelayNotExpired);
+  }
   const std::uint8_t level = req[1];
   if (level % 2 == 1) {  // requestSeed
     pending_seed_ = {0x12, 0x34, 0x56, 0x78};
@@ -149,9 +210,17 @@ util::Bytes Server::handle_security_access(
   const util::Bytes provided(req.begin() + 2, req.end());
   pending_seed_.clear();
   if (provided != expected) {
+    if (sessions_armed_ &&
+        ++key_attempts_ >= session_profile_.max_key_attempts) {
+      key_attempts_ = 0;
+      lockout_until_ = clock_->now() + session_profile_.lockout_delay;
+      return encode_negative_response(Service::kSecurityAccess,
+                                      Nrc::kExceedNumberOfAttempts);
+    }
     return encode_negative_response(Service::kSecurityAccess,
                                     Nrc::kInvalidKey);
   }
+  key_attempts_ = 0;
   unlocked_ = true;
   return {static_cast<std::uint8_t>(0x27 + kPositiveOffset), level};
 }
@@ -223,8 +292,14 @@ util::Bytes Server::handle_io_control(std::span<const std::uint8_t> req) {
                                     Nrc::kRequestOutOfRange);
   }
   if (it->second.requires_session && session_ == 0x01) {
-    return encode_negative_response(Service::kIoControlByIdentifier,
-                                    Nrc::kConditionsNotCorrect);
+    // With session timers armed, the precise ISO 14229 answer is 0x7F
+    // serviceNotSupportedInActiveSession — the pattern the supervisor
+    // keys session-loss detection on. A bare server keeps the legacy
+    // conditionsNotCorrect answer.
+    return encode_negative_response(
+        Service::kIoControlByIdentifier,
+        sessions_armed_ ? Nrc::kServiceNotSupportedInActiveSession
+                        : Nrc::kConditionsNotCorrect);
   }
   if (key_fn_ && !unlocked_) {
     return encode_negative_response(Service::kIoControlByIdentifier,

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "uds/message.hpp"
+#include "util/clock.hpp"
 #include "util/link.hpp"
 #include "util/rng.hpp"
 
@@ -61,6 +62,41 @@ class Server {
   };
   void enable_faults(const FaultProfile& profile, util::Rng rng);
 
+  /// Session-state timers, armed only when a sim clock is provided (a bare
+  /// server keeps the legacy always-on session semantics): a non-default
+  /// session falls back to defaultSession after `s3_timeout` of inactivity
+  /// (any handled request refreshes the timer, which is what TesterPresent
+  /// keepalives are for), and `max_key_attempts` wrong security keys lock
+  /// security access out for `lockout_delay` (NRC 0x36 on the attempt that
+  /// trips the limit, NRC 0x37 until the delay expires).
+  struct SessionProfile {
+    util::SimTime s3_timeout = 5 * util::kSecond;
+    int max_key_attempts = 3;
+    util::SimTime lockout_delay = 10 * util::kSecond;
+  };
+  void enable_sessions(const SessionProfile& profile,
+                       const util::SimClock& clock);
+
+  /// Deterministic ECU reboots: with probability `reset_rate` per incoming
+  /// request the ECU wipes its session/security state and goes bus-silent
+  /// (no response at all) until `boot_time` has elapsed. Draws come from
+  /// the provided salted stream in wire-delivery order; a zero rate is
+  /// never armed, so clean runs perform zero draws.
+  struct ResetProfile {
+    double reset_rate = 0.0;
+    util::SimTime boot_time = 300 * util::kMillisecond;
+
+    bool enabled() const { return reset_rate > 0.0; }
+  };
+  void enable_resets(const ResetProfile& profile, const util::SimClock& clock,
+                     util::Rng rng);
+
+  /// Spontaneous reboots performed / S3 timeouts that dropped a session.
+  std::uint64_t resets() const { return resets_; }
+  std::uint64_t s3_expiries() const { return s3_expiries_; }
+  /// Security lockout currently in force (for tests).
+  bool locked_out() const;
+
   /// Process one request, producing the full response sequence: the real
   /// answer, possibly preceded by fault-injected 0x78 markers or replaced
   /// by an 0x21 refusal. Without faults this is exactly {handle(request)}.
@@ -107,6 +143,20 @@ class Server {
   std::map<std::uint8_t, std::size_t> request_counts_;
   FaultProfile faults_;
   util::Rng fault_rng_;
+
+  // Stateful-failure machinery; inert until enable_sessions/enable_resets.
+  const util::SimClock* clock_ = nullptr;
+  SessionProfile session_profile_;
+  bool sessions_armed_ = false;
+  ResetProfile reset_profile_;
+  util::Rng reset_rng_;
+  bool resets_armed_ = false;
+  util::SimTime last_activity_ = 0;
+  util::SimTime silent_until_ = -1;   ///< rebooting: exclusive end of silence
+  util::SimTime lockout_until_ = -1;  ///< security lockout delay timer
+  int key_attempts_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t s3_expiries_ = 0;
 };
 
 }  // namespace dpr::uds

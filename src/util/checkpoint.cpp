@@ -1,0 +1,141 @@
+#include "util/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dpr::util {
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                      std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64_u64(std::uint64_t value, std::uint64_t hash) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= static_cast<std::uint8_t>(value >> (8 * i));
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64_f64(double value, std::uint64_t hash) {
+  return fnv1a64_u64(std::bit_cast<std::uint64_t>(value), hash);
+}
+
+std::uint64_t fnv1a64_str(const std::string& value, std::uint64_t hash) {
+  hash = fnv1a64_u64(value.size(), hash);
+  for (const char c : value) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void BinaryWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::str(const std::string& v) {
+  u64(v.size());
+  for (const char c : v) u8(static_cast<std::uint8_t>(c));
+}
+
+void BinaryWriter::bytes(std::span<const std::uint8_t> v) {
+  u64(v.size());
+  buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+std::span<const std::uint8_t> BinaryReader::take(std::size_t n) {
+  if (n > data_.size() - pos_) {
+    throw std::runtime_error("checkpoint: truncated payload");
+  }
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t BinaryReader::u8() { return take(1)[0]; }
+
+std::uint16_t BinaryReader::u16() {
+  const auto d = take(2);
+  return static_cast<std::uint16_t>(d[0] | (d[1] << 8));
+}
+
+std::uint32_t BinaryReader::u32() {
+  const auto d = take(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(d[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  const auto d = take(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  return v;
+}
+
+std::string BinaryReader::str() {
+  const std::uint64_t n = u64();
+  const auto d = take(n);
+  return std::string(d.begin(), d.end());
+}
+
+Bytes BinaryReader::bytes() {
+  const std::uint64_t n = u64();
+  const auto d = take(n);
+  return Bytes(d.begin(), d.end());
+}
+
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (!out) return false;
+  const bool wrote =
+      data.empty() ||
+      std::fwrite(data.data(), 1, data.size(), out) == data.size();
+  const bool closed = std::fclose(out) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<Bytes> read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (!in) return std::nullopt;
+  Bytes data;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    data.insert(data.end(), chunk, chunk + n);
+  }
+  const bool ok = std::ferror(in) == 0;
+  std::fclose(in);
+  if (!ok) return std::nullopt;
+  return data;
+}
+
+}  // namespace dpr::util

@@ -85,11 +85,29 @@ class FaultInjector {
 /// Campaign-level fault configuration: one rate knob plus an independent
 /// seed. Derives the bus plan and the server-side NRC fault rates so a
 /// single `--fault-rate` exercises every layer of the retry stack.
+///
+/// The *stateful* knobs model failures that survive a retry: ECU reboots
+/// (`reset_rate`: per-request chance that the ECU wipes its session /
+/// security state and goes bus-silent for `reset_boot_time`) and S3
+/// session timers (`session_faults`: non-default sessions expire after
+/// `s3_timeout` of inactivity, security lockout counters are armed).
+/// Either one turns on the diagtool session supervisor. All stateful
+/// draws use their own salted streams, and a config with every stateful
+/// knob at its default performs zero extra RNG draws — clean runs stay
+/// bit-identical to a build without the machinery.
 struct FaultConfig {
   double rate = 0.0;
   std::uint64_t fault_seed = 0xFA017D0DULL;
 
-  bool enabled() const { return rate > 0.0; }
+  double reset_rate = 0.0;  ///< per-request ECU reboot probability
+  SimTime reset_boot_time = 300 * kMillisecond;  ///< bus-silent boot window
+  bool session_faults = false;  ///< arm S3 expiry + security lockout
+  SimTime s3_timeout = 5 * kSecond;  ///< S3 inactivity limit when armed
+
+  /// Stateful failures armed (ECU resets and/or session timers)?
+  bool stateful() const { return reset_rate > 0.0 || session_faults; }
+
+  bool enabled() const { return rate > 0.0 || stateful(); }
 
   FaultPlan bus_plan() const { return FaultPlan::scaled(rate); }
 

@@ -50,6 +50,18 @@ class Rng {
   /// component its own stream without correlated draws.
   Rng fork();
 
+  /// Complete generator state, including the Box-Muller cache, so a
+  /// restored generator replays the exact upcoming draw sequence
+  /// (campaign checkpoints save the OCR stream mid-flight).
+  struct State {
+    std::uint64_t s[4]{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  State state() const;
+  void restore(const State& state);
+
  private:
   std::uint64_t s_[4]{};
   double cached_normal_ = 0.0;

@@ -1,0 +1,16 @@
+#include "util/watchdog.hpp"
+
+namespace dpr::util {
+
+DeadlineExceeded::DeadlineExceeded(std::string phase, double budget_s)
+    : std::runtime_error("phase_timeout(" + phase + ")"),
+      phase_(std::move(phase)),
+      budget_s_(budget_s) {}
+
+void Watchdog::poll() const {
+  if (budget_s_ > 0.0 && token_.expired()) {
+    throw DeadlineExceeded(phase_, budget_s_);
+  }
+}
+
+}  // namespace dpr::util

@@ -1,0 +1,114 @@
+#pragma once
+// Cooperative phase watchdog: a monotonic (wall-clock) deadline plus a
+// shareable CancelToken that long-running loops poll. Nothing here is
+// preemptive — a hung phase only dies because its inner loops check the
+// token — which keeps the campaign pipeline free of signals and thread
+// kills. The token is cheap to copy (shared atomic state) so it can be
+// handed to GP jobs running on a different thread than the phase driver.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace dpr::util {
+
+/// Shared cancellation + deadline flag. Copies observe the same state, so
+/// the campaign can arm one token and thread it through a BatchRunner's
+/// worker loops. `expired()` is true once `cancel()` was called *or* the
+/// monotonic deadline passed; a default token never expires.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  void cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+
+  /// Arm (or re-arm) a wall-clock deadline `seconds` from now. Clears a
+  /// previous cancel() so one token can supervise successive phases.
+  void arm_after(double seconds) {
+    state_->cancelled.store(false, std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+        static_cast<std::int64_t>(seconds * 1e9);
+    state_->deadline_ns.store(ns, std::memory_order_relaxed);
+  }
+
+  /// Remove the deadline (cancel() state is kept).
+  void disarm() { state_->deadline_ns.store(0, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  bool expired() const {
+    if (cancelled()) return true;
+    const std::int64_t deadline =
+        state_->deadline_ns.load(std::memory_order_relaxed);
+    if (deadline == 0) return false;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+           deadline;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::int64_t> deadline_ns{0};  ///< 0 = no deadline armed
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Thrown by Watchdog::poll() when the armed phase ran past its budget.
+/// FleetRunner turns this into a `phase_timeout(<phase>)` failure slot.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded(std::string phase, double budget_s);
+  const std::string& phase() const { return phase_; }
+  double budget_s() const { return budget_s_; }
+
+ private:
+  std::string phase_;
+  double budget_s_ = 0.0;
+};
+
+/// Per-phase deadline driver. arm() names the phase and starts the clock;
+/// poll() throws DeadlineExceeded once the budget is spent. The underlying
+/// token can be handed to inner loops (GP generations) that want to stop
+/// early instead of throwing.
+class Watchdog {
+ public:
+  Watchdog() = default;
+
+  void arm(std::string phase, double budget_s) {
+    phase_ = std::move(phase);
+    budget_s_ = budget_s;
+    if (budget_s_ > 0.0) {
+      token_.arm_after(budget_s_);
+    } else {
+      token_.disarm();
+    }
+  }
+
+  void disarm() {
+    budget_s_ = 0.0;
+    token_.disarm();
+  }
+
+  bool armed() const { return budget_s_ > 0.0; }
+  const std::string& phase() const { return phase_; }
+
+  /// Throws DeadlineExceeded when an armed budget has run out.
+  void poll() const;
+
+  const CancelToken& token() const { return token_; }
+
+ private:
+  CancelToken token_;
+  std::string phase_;
+  double budget_s_ = 0.0;
+};
+
+}  // namespace dpr::util

@@ -30,7 +30,7 @@ EcuSim::EcuSim(const EcuSpec& spec, const CarSpec& car, can::CanBus& bus,
   if (spec_.supports_obd && car_.transport == TransportKind::kIsoTp) {
     install_obd(rng);
   }
-  if (faults.enabled()) {
+  if (faults.rate > 0.0) {
     // Stream salts derive from the stable request id, so server faults
     // replay identically regardless of vehicle seed or build order.
     const double pending = faults.server_pending_rate();
@@ -41,6 +41,23 @@ EcuSim::EcuSim(const EcuSpec& spec, const CarSpec& car, can::CanBus& bus,
     kwp_server_.enable_faults(
         kwp::Server::FaultProfile{pending, 2, busy},
         faults.rng_for(0x0E000000ULL + spec_.request_id));
+  }
+  if (faults.stateful()) {
+    // Session timers always come with stateful failures: S3 expiry is what
+    // makes a reboot *stay* harmful until the supervisor re-establishes
+    // the session. Reset streams get their own salt space (0x0F/0x0F8).
+    uds_server_.enable_sessions(
+        uds::Server::SessionProfile{faults.s3_timeout}, clock_);
+    kwp_server_.enable_sessions(
+        kwp::Server::SessionProfile{faults.s3_timeout}, clock_);
+    if (faults.reset_rate > 0.0) {
+      uds_server_.enable_resets(
+          uds::Server::ResetProfile{faults.reset_rate, faults.reset_boot_time},
+          clock_, faults.rng_for(0x0F000000ULL + spec_.request_id));
+      kwp_server_.enable_resets(
+          kwp::Server::ResetProfile{faults.reset_rate, faults.reset_boot_time},
+          clock_, faults.rng_for(0x0F800000ULL + spec_.request_id));
+    }
   }
   attach_transport(bus);
 }

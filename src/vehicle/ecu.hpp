@@ -57,6 +57,14 @@ class EcuSim {
   uds::Server& uds_server() { return uds_server_; }
   kwp::Server& kwp_server() { return kwp_server_; }
 
+  /// Spontaneous reboots / S3 session expiries across both servers.
+  std::uint64_t resets() const {
+    return uds_server_.resets() + kwp_server_.resets();
+  }
+  std::uint64_t s3_expiries() const {
+    return uds_server_.s3_expiries() + kwp_server_.s3_expiries();
+  }
+
  private:
   void install_uds_signals(util::Rng& rng);
   void install_kwp_blocks(util::Rng& rng);

@@ -37,6 +37,23 @@ void usage() {
                "                   clients retry/back off per ISO 14229-2\n"
                "  --fault-seed <n> fault stream seed (replays bit-identically\n"
                "                   for the same seed at any thread count)\n"
+               "  --reset-rate <r> per-request chance of a spontaneous ECU\n"
+               "                   reboot (session + security wiped, bus\n"
+               "                   silent for the boot window)\n"
+               "  --session-faults arm S3 session timers + the tool's\n"
+               "                   keepalive/recovery supervisor\n"
+               "  --checkpoint-dir <d>  write a per-phase checkpoint per car\n"
+               "                   so an interrupted run can be resumed\n"
+               "  --resume         resume from matching checkpoints (same\n"
+               "                   car, seed and options); the resumed\n"
+               "                   report is bit-identical to a fresh run\n"
+               "  --phase-deadline <s>  wall-clock budget per phase; an\n"
+               "                   overrunning phase becomes a failed car\n"
+               "                   slot (phase_timeout) instead of a hang\n"
+               "  --stall-phase <p>  test hook: hang at the start of phase p\n"
+               "                   (collect..score) until the watchdog fires\n"
+               "  --signature <file>  write the run's deterministic report\n"
+               "                   signature (CI compares fresh vs resumed)\n"
                "  --no-filter      disable the two-stage ESV filter (ablation)\n"
                "  --no-ocr-noise   perfect OCR (clean-room ablation)\n"
                "  --no-baselines   skip linear/polynomial baselines\n"
@@ -44,8 +61,14 @@ void usage() {
                "  --list           list the vehicle catalog and exit\n");
 }
 
+void write_signature(const std::string& path, const std::string& signature) {
+  std::ofstream out(path);
+  out << signature;
+  std::printf("signature written to %s\n", path.c_str());
+}
+
 int run_fleet(dpr::core::CampaignOptions campaign_options,
-              std::size_t fleet_threads) {
+              std::size_t fleet_threads, const std::string& signature_path) {
   using namespace dpr;
   core::FleetOptions options;
   options.campaign = campaign_options;
@@ -95,6 +118,9 @@ int run_fleet(dpr::core::CampaignOptions campaign_options,
               summary.phase_totals.total_s() -
                   summary.phase_totals.collect_s -
                   summary.phase_totals.infer_s);
+  if (!signature_path.empty()) {
+    write_signature(signature_path, core::fleet_signature(summary));
+  }
   return 0;
 }
 
@@ -112,6 +138,7 @@ int main(int argc, char** argv) {
   options.gp.population = 192;
   options.infer_threads = 0;  // fan per-signal GP over all cores
   std::string trace_path;
+  std::string signature_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,6 +168,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--fault-seed") {
       options.faults.fault_seed =
           static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--reset-rate") {
+      options.faults.reset_rate = std::atof(next());
+    } else if (arg == "--session-faults") {
+      options.faults.session_faults = true;
+    } else if (arg == "--checkpoint-dir") {
+      options.checkpoint_dir = next();
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--phase-deadline") {
+      options.phase_deadline_s = std::atof(next());
+    } else if (arg == "--stall-phase") {
+      options.stall_phase = next();
+    } else if (arg == "--signature") {
+      signature_path = next();
     } else if (arg == "--threads") {
       options.infer_threads =
           static_cast<std::size_t>(std::atoll(next()));
@@ -171,7 +212,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (fleet) return run_fleet(options, fleet_threads);
+  if (fleet) return run_fleet(options, fleet_threads, signature_path);
   if (car_index < 0) {
     usage();
     return 2;
@@ -182,12 +223,19 @@ int main(int argc, char** argv) {
               campaign.report().car_label.c_str(),
               campaign.vehicle().spec().model.c_str(),
               campaign.vehicle().spec().tool.c_str());
-  campaign.collect();
+  try {
+    campaign.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
   std::printf("  %zu CAN frames, %zu video frames captured\n",
               campaign.capture().size(), campaign.video().frames.size());
-  campaign.analyze();
 
   const auto& report = campaign.report();
+  if (!signature_path.empty()) {
+    write_signature(signature_path, core::report_signature(report));
+  }
   std::printf("\nalignment offset %lld us (%zu anchors); %zu messages "
               "assembled\n",
               static_cast<long long>(report.alignment_offset),
