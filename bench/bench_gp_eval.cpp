@@ -1,0 +1,338 @@
+// GP fitness-evaluation throughput: recursive tree walking vs the
+// gp::Program bytecode tape (BENCH_gp_eval.json).
+//
+// The tape is the perf tentpole behind the inference phase: each
+// expression is lowered once to a postfix instruction tape and scored
+// against a column-major SampleMatrix, turning per-(node, sample)
+// dispatch into one dispatch per node per batch. The contract is speed
+// with zero drift — every trimmed MAE must match the tree walker bit
+// for bit — so this bench measures single-thread throughput for both
+// paths over real campaign datasets *and* hard-fails on any mismatch,
+// then cross-checks full inference (formula + fitness bits + structural
+// cache hit rate) the same way.
+//
+// Usage: bench_gp_eval [--cars N] [--window S] [--population N]
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gp/engine.hpp"
+#include "gp/program.hpp"
+
+namespace {
+
+using namespace dpr;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Representative non-enum datasets from one car's campaign.
+std::vector<correlate::Dataset> collect_datasets(vehicle::CarId car,
+                                                 util::SimTime window,
+                                                 std::size_t cap = 8) {
+  auto options = bench::table_options();
+  options.live_window = window;
+  options.run_inference = false;
+  core::Campaign campaign(car, options);
+  campaign.collect();
+  campaign.analyze();
+  std::vector<correlate::Dataset> datasets;
+  for (const auto& finding : campaign.report().signals) {
+    if (finding.is_enum || finding.dataset.points.size() < 6) continue;
+    datasets.push_back(finding.dataset);
+    if (datasets.size() >= cap) break;
+  }
+  return datasets;
+}
+
+/// Trimmed MAE over precomputed predictions — the engine's fitness, with
+/// the identical keep-count and selection, shared verbatim by both
+/// timing paths so a bit difference can only come from the predictions.
+double trimmed_mae(const std::vector<double>& predictions,
+                   const std::vector<double>& ys,
+                   std::vector<double>& residuals) {
+  residuals.clear();
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const double r = std::abs(predictions[i] - ys[i]);
+    if (!std::isfinite(r)) return 1e300;
+    residuals.push_back(r);
+  }
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(0.9 * static_cast<double>(
+                                            residuals.size())));
+  std::nth_element(residuals.begin(), residuals.begin() + (keep - 1),
+                   residuals.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) sum += residuals[i];
+  return sum / static_cast<double>(keep);
+}
+
+struct EvalCorpus {
+  std::vector<std::vector<double>> rows;  // row-major, for the walker
+  std::vector<double> ys;
+  gp::SampleMatrix matrix;                // column-major, for the tape
+  std::size_t n_vars = 1;
+};
+
+EvalCorpus make_corpus(const correlate::Dataset& dataset) {
+  EvalCorpus corpus;
+  corpus.n_vars = dataset.n_vars;
+  for (const auto& point : dataset.points) {
+    corpus.rows.push_back(point.xs);
+    corpus.ys.push_back(point.y);
+  }
+  corpus.matrix = gp::SampleMatrix::from_rows(corpus.rows, corpus.n_vars);
+  return corpus;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // 96 s windows approximate the paper's full-log campaign batches
+  // (~180-sample datasets, the Table 8 regime where batched evaluation
+  // amortizes per-offspring overhead); CI shrinks them with --window
+  // for smoke runs.
+  std::size_t n_cars = 2;
+  double window_s = 96.0;
+  std::size_t population = 512;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: bench_gp_eval [--cars N] [--window S] "
+                     "[--population N]\n");
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--cars") == 0) {
+      n_cars = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--window") == 0) {
+      window_s = std::atof(next());
+    } else if (std::strcmp(argv[i], "--population") == 0) {
+      population = static_cast<std::size_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  n_cars = std::min(n_cars, vehicle::catalog().size());
+  const auto window =
+      static_cast<util::SimTime>(window_s * util::kSecond);
+
+  std::printf("GP fitness evaluation: tree walker vs bytecode tape\n");
+  std::printf("(%zu cars, %.0f s windows, %zu expressions per dataset, "
+              "single thread)\n\n",
+              n_cars, window_s, population);
+
+  std::vector<correlate::Dataset> datasets;
+  for (std::size_t c = 0; c < n_cars; ++c) {
+    const auto car_sets =
+        collect_datasets(static_cast<vehicle::CarId>(c), window);
+    datasets.insert(datasets.end(), car_sets.begin(), car_sets.end());
+  }
+  if (datasets.empty()) {
+    std::fprintf(stderr, "no datasets collected\n");
+    return 1;
+  }
+
+  // A breeding-shaped expression population per dataset: the mix the
+  // engine actually scores (shallow grow trees, occasional full trees).
+  util::Rng rng(0x6E5);
+  std::size_t samples_total = 0;
+  std::size_t mismatches = 0;
+  double tree_s = 0.0;
+  double tape_s = 0.0;
+  std::vector<double> predictions;
+  std::vector<double> residuals;
+  gp::EvalScratch scratch;
+  gp::Program program;
+
+  for (const auto& dataset : datasets) {
+    const auto corpus = make_corpus(dataset);
+    std::vector<gp::Expr> exprs;
+    for (std::size_t i = 0; i < population; ++i) {
+      exprs.push_back(gp::random_expr(
+          rng, corpus.n_vars, 2 + static_cast<int>(rng.uniform_int(0, 3)),
+          rng.chance(0.3)));
+    }
+    samples_total += exprs.size() * corpus.rows.size();
+
+    std::vector<double> tree_maes;
+    auto start = Clock::now();
+    for (const auto& expr : exprs) {
+      predictions.clear();
+      for (const auto& row : corpus.rows) {
+        predictions.push_back(expr.eval(row));
+      }
+      tree_maes.push_back(trimmed_mae(predictions, corpus.ys, residuals));
+    }
+    tree_s += seconds_since(start);
+
+    // The tape path pays for compilation inside the timed region, just
+    // as the engine recompiles every fresh offspring before scoring it.
+    std::vector<double> tape_maes;
+    start = Clock::now();
+    for (const auto& expr : exprs) {
+      program.recompile(expr, corpus.n_vars);
+      program.eval_batch(corpus.matrix, scratch);
+      tape_maes.push_back(
+          trimmed_mae(scratch.predictions, corpus.ys, residuals));
+    }
+    tape_s += seconds_since(start);
+
+    for (std::size_t i = 0; i < exprs.size(); ++i) {
+      if (bits(tree_maes[i]) != bits(tape_maes[i])) ++mismatches;
+    }
+  }
+
+  const double tree_rate = static_cast<double>(samples_total) / tree_s;
+  const double tape_rate = static_cast<double>(samples_total) / tape_s;
+  const double speedup = tree_s / std::max(1e-12, tape_s);
+  std::printf("datasets: %zu, sample evaluations per path: %zu\n",
+              datasets.size(), samples_total);
+  std::printf("  tree walker:  %8.3f s  (%12.0f sample-evals/s)\n",
+              tree_s, tree_rate);
+  std::printf("  bytecode tape:%8.3f s  (%12.0f sample-evals/s)\n",
+              tape_s, tape_rate);
+  std::printf("  speedup: %.2fx   MAE bits: %s\n", speedup,
+              mismatches == 0 ? "identical" : "DIFFER");
+
+  // --- Table 8 workload: deployed fitness-evaluation throughput -------------
+  // The tape path as shipped is tape + structural cache; its throughput
+  // metric is *scored offspring per scoring-second* (a cache hit scores
+  // an offspring without an evaluation), against the tree walker which
+  // must rescore every shape. Table 8's config: the paper's population
+  // and generation cap with the improved-GP extras off, so fitness
+  // scoring is the measured phase.
+  gp::GpConfig tree_config;
+  tree_config.population = 1000;      // the paper's population
+  tree_config.max_generations = 30;   // and generation cap
+  tree_config.seed_least_squares = false;
+  tree_config.seed_templates = false;
+  tree_config.constant_tuning = false;
+  tree_config.fitness_threshold = 0.0;  // run all generations
+  tree_config.use_tape = false;
+  gp::GpConfig tape_config = tree_config;
+  tape_config.use_tape = true;
+
+  bool infer_identical = true;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t tree_scored = 0;
+  std::size_t tape_scored = 0;
+  double tree_scoring_s = 0.0;
+  double tape_scoring_s = 0.0;
+  double tree_infer_s = 0.0;
+  double tape_infer_s = 0.0;
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    tree_config.seed = tape_config.seed =
+        gp::GpConfig{}.seed ^ (i * 0x9E3779B9ULL);
+    auto start = Clock::now();
+    const auto by_tree = gp::infer_formula(datasets[i], tree_config);
+    tree_infer_s += seconds_since(start);
+    start = Clock::now();
+    const auto by_tape = gp::infer_formula(datasets[i], tape_config);
+    tape_infer_s += seconds_since(start);
+    if (by_tree.has_value() != by_tape.has_value()) {
+      infer_identical = false;
+      continue;
+    }
+    if (!by_tree) continue;
+    if (by_tree->formula != by_tape->formula ||
+        bits(by_tree->fitness) != bits(by_tape->fitness) ||
+        by_tree->generations_run != by_tape->generations_run) {
+      infer_identical = false;
+    }
+    tree_scored += by_tree->timings.evaluations;
+    tree_scoring_s += by_tree->timings.scoring_s;
+    // Every scored offspring: fresh evaluations plus cache hits.
+    tape_scored += by_tape->timings.evaluations + by_tape->timings.cache_hits;
+    tape_scoring_s += by_tape->timings.scoring_s;
+    cache_hits += by_tape->timings.cache_hits;
+    cache_misses += by_tape->timings.cache_misses;
+  }
+  const double hit_rate =
+      cache_hits + cache_misses == 0
+          ? 0.0
+          : static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses);
+  const double tree_throughput =
+      static_cast<double>(tree_scored) / std::max(1e-12, tree_scoring_s);
+  const double tape_throughput =
+      static_cast<double>(tape_scored) / std::max(1e-12, tape_scoring_s);
+  const double throughput_speedup = tape_throughput / tree_throughput;
+  const double infer_speedup = tree_infer_s / std::max(1e-12, tape_infer_s);
+  std::printf("\nTable 8 workload (%zu datasets, population %zu x %zu "
+              "generations):\n",
+              datasets.size(), tree_config.population,
+              tree_config.max_generations);
+  std::printf("  fitness scoring:  tree %8.3f s (%9.0f scores/s)   "
+              "tape+cache %8.3f s (%9.0f scores/s)\n",
+              tree_scoring_s, tree_throughput, tape_scoring_s,
+              tape_throughput);
+  std::printf("  fitness-evaluation throughput speedup: %.2fx\n",
+              throughput_speedup);
+  std::printf("  end-to-end inference: tree %8.3f s   tape+cache %8.3f s "
+              "  -> %.2fx   (results %s)\n",
+              tree_infer_s, tape_infer_s, infer_speedup,
+              infer_identical ? "identical" : "DIFFER");
+  std::printf("  structural cache: %zu hits / %zu misses (%.1f%% hit "
+              "rate)\n",
+              cache_hits, cache_misses, 100.0 * hit_rate);
+
+  if (std::FILE* out = std::fopen("BENCH_gp_eval.json", "w")) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"cars\": %zu,\n", n_cars);
+    std::fprintf(out, "  \"datasets\": %zu,\n", datasets.size());
+    std::fprintf(out, "  \"population\": %zu,\n", population);
+    std::fprintf(out, "  \"sample_evaluations\": %zu,\n", samples_total);
+    std::fprintf(out, "  \"tree_s\": %.6f,\n", tree_s);
+    std::fprintf(out, "  \"tape_s\": %.6f,\n", tape_s);
+    std::fprintf(out, "  \"tree_sample_evals_per_s\": %.0f,\n", tree_rate);
+    std::fprintf(out, "  \"tape_sample_evals_per_s\": %.0f,\n", tape_rate);
+    std::fprintf(out, "  \"speedup\": %.4f,\n", speedup);
+    std::fprintf(out, "  \"mae_bit_identical\": %s,\n",
+                 mismatches == 0 ? "true" : "false");
+    std::fprintf(out, "  \"table8\": {\n");
+    std::fprintf(out, "    \"population\": %zu,\n", tree_config.population);
+    std::fprintf(out, "    \"generations\": %zu,\n",
+                 tree_config.max_generations);
+    std::fprintf(out, "    \"tree_scoring_s\": %.6f,\n", tree_scoring_s);
+    std::fprintf(out, "    \"tape_scoring_s\": %.6f,\n", tape_scoring_s);
+    std::fprintf(out, "    \"tree_scores_per_s\": %.0f,\n", tree_throughput);
+    std::fprintf(out, "    \"tape_scores_per_s\": %.0f,\n", tape_throughput);
+    std::fprintf(out, "    \"fitness_throughput_speedup\": %.4f,\n",
+                 throughput_speedup);
+    std::fprintf(out, "    \"tree_infer_s\": %.6f,\n", tree_infer_s);
+    std::fprintf(out, "    \"tape_infer_s\": %.6f,\n", tape_infer_s);
+    std::fprintf(out, "    \"infer_speedup\": %.4f,\n", infer_speedup);
+    std::fprintf(out, "    \"results_identical\": %s,\n",
+                 infer_identical ? "true" : "false");
+    std::fprintf(out, "    \"cache_hits\": %zu,\n", cache_hits);
+    std::fprintf(out, "    \"cache_misses\": %zu,\n", cache_misses);
+    std::fprintf(out, "    \"cache_hit_rate\": %.4f\n", hit_rate);
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("  wrote BENCH_gp_eval.json\n");
+  }
+
+  // Bit-identity is the hard contract; "tape at least as fast as tree"
+  // is the perf floor CI enforces — on the raw eval path and on the
+  // Table 8 scoring stage. The ≥3x throughput target is host-dependent,
+  // so it is recorded in the JSON, not asserted.
+  if (mismatches != 0 || !infer_identical) return 1;
+  return speedup >= 1.0 && throughput_speedup >= 1.0 ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 
 #include "can/bus.hpp"
 #include "gp/engine.hpp"
+#include "gp/program.hpp"
 #include "isotp/isotp.hpp"
 #include "obd/pid.hpp"
 #include "uds/server.hpp"
@@ -89,6 +90,50 @@ void BM_GpExprEval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpExprEval);
+
+void BM_GpProgramEvalBatch(benchmark::State& state) {
+  // Same shape and dataset as BM_GpExprEval, scored through the postfix
+  // tape in one batched pass — the engine's hot path.
+  auto expr = gp::Expr::binary(
+      gp::Op::kDiv,
+      gp::Expr::binary(gp::Op::kMul, gp::Expr::variable(0),
+                       gp::Expr::variable(1)),
+      gp::Expr::constant(5.0));
+  util::Rng rng(1);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.uniform(0, 255), rng.uniform(0, 255)});
+  }
+  const auto matrix = gp::SampleMatrix::from_rows(points, 2);
+  const auto program = gp::Program::compile(expr, 2);
+  gp::EvalScratch scratch;
+  for (auto _ : state) {
+    program.eval_batch(matrix, scratch);
+    double total = 0;
+    for (const double p : scratch.predictions) total += p;
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_GpProgramEvalBatch);
+
+void BM_GpProgramCompile(benchmark::State& state) {
+  // Per-offspring lowering cost: recompile into warm buffers, the way
+  // each worker's scratch program is reused across a scoring chunk.
+  util::Rng rng(3);
+  std::vector<gp::Expr> exprs;
+  for (int i = 0; i < 64; ++i) {
+    exprs.push_back(gp::random_expr(rng, 2, 4, false));
+  }
+  gp::Program program;
+  for (auto _ : state) {
+    for (const auto& expr : exprs) {
+      program.recompile(expr, 2);
+      benchmark::DoNotOptimize(program.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_GpProgramCompile);
 
 void BM_GpInferAffine(benchmark::State& state) {
   correlate::Dataset dataset;

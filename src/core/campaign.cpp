@@ -1086,6 +1086,8 @@ void write_gp_result(util::BinaryWriter& w, const gp::GpResult& result) {
   w.f64(result.timings.breeding_s);
   w.f64(result.timings.total_s);
   w.u64(result.timings.evaluations);
+  w.u64(result.timings.cache_hits);
+  w.u64(result.timings.cache_misses);
 }
 
 gp::GpResult read_gp_result(util::BinaryReader& r) {
@@ -1106,6 +1108,24 @@ gp::GpResult read_gp_result(util::BinaryReader& r) {
   result.timings.breeding_s = r.f64();
   result.timings.total_s = r.f64();
   result.timings.evaluations = r.u64();
+  result.timings.cache_hits = r.u64();
+  result.timings.cache_misses = r.u64();
+
+  // A restored expression will be evaluated against n_vars operands;
+  // reject stray variable references here (hard error) instead of letting
+  // a bad tree surface later as an evaluation throw.
+  std::vector<const gp::Node*> stack{result.best.root()};
+  while (!stack.empty()) {
+    const gp::Node* node = stack.back();
+    stack.pop_back();
+    if (node->op == gp::Op::kVar &&
+        (node->var < 0 ||
+         static_cast<std::uint64_t>(node->var) >= result.n_vars)) {
+      throw std::runtime_error("checkpoint: variable index out of range");
+    }
+    if (node->lhs) stack.push_back(node->lhs.get());
+    if (node->rhs) stack.push_back(node->rhs.get());
+  }
   return result;
 }
 

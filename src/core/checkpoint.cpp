@@ -8,7 +8,8 @@ namespace dpr::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x43525044;  // "DPRC" little-endian
-constexpr std::uint32_t kVersion = 1;
+// v2: GpStageTimings gained cache_hits/cache_misses in the payload.
+constexpr std::uint32_t kVersion = 2;
 
 }  // namespace
 

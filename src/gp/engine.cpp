@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 
+#include "gp/program.hpp"
 #include "regress/regress.hpp"
 #include "util/thread_pool.hpp"
 
@@ -66,18 +67,32 @@ struct Individual {
   double penalized = 1e300;  // MAE + parsimony
 };
 
-double evaluate_mae(const Expr& expr,
-                    const std::vector<std::vector<double>>& xs,
-                    const std::vector<double>& ys, double trim_fraction) {
-  std::vector<double> residuals;
-  residuals.reserve(xs.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const double predicted = expr.eval(xs[i]);
-    if (!std::isfinite(predicted)) return 1e300;
-    residuals.push_back(std::abs(predicted - ys[i]));
-  }
-  // Trimmed MAE: ignore the worst (1 - trim) fraction of residuals so
-  // surviving OCR outliers cannot steer the search.
+/// Everything fitness evaluation reads, fixed for one infer_formula run.
+/// `rows` is the row-major dataset (legacy walker + OLS seeds); `matrix`
+/// mirrors it column-major for the tape interpreter's streaming loops.
+struct FitnessData {
+  const std::vector<std::vector<double>>* rows = nullptr;
+  const std::vector<double>* ys = nullptr;
+  SampleMatrix matrix;
+  std::size_t n_vars = 1;
+  double trim_fraction = 0.9;
+  double parsimony = 0.0;
+  bool use_tape = true;
+  FitnessCache* cache = nullptr;  // tape mode only; null = disabled
+};
+
+/// Per-worker evaluation state: a reusable tape plus the batch buffers.
+/// One instance per chunk keeps the hot path allocation-free without any
+/// cross-thread sharing.
+struct WorkerScratch {
+  Program program;
+  EvalScratch eval;
+};
+
+/// Trimmed mean over `residuals` (partitioned in place): ignore the
+/// worst (1 - trim) fraction so surviving OCR outliers cannot steer the
+/// search.
+double trimmed_mean(std::vector<double>& residuals, double trim_fraction) {
   const std::size_t keep = std::max<std::size_t>(
       1, static_cast<std::size_t>(trim_fraction *
                                   static_cast<double>(residuals.size())));
@@ -89,11 +104,72 @@ double evaluate_mae(const Expr& expr,
   return total / static_cast<double>(keep);
 }
 
-void score(Individual& ind, const std::vector<std::vector<double>>& xs,
-           const std::vector<double>& ys, double parsimony, double trim) {
-  ind.fitness = evaluate_mae(ind.expr, xs, ys, trim);
-  ind.penalized =
-      ind.fitness + parsimony * static_cast<double>(ind.expr.size());
+/// Reference path: recursive tree walk, one sample at a time.
+double tree_mae(const Expr& expr, const FitnessData& data,
+                EvalScratch& scratch) {
+  const auto& xs = *data.rows;
+  const auto& ys = *data.ys;
+  auto& residuals = scratch.residuals;
+  residuals.clear();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double predicted = expr.eval(xs[i]);
+    if (!std::isfinite(predicted)) return 1e300;
+    residuals.push_back(std::abs(predicted - ys[i]));
+  }
+  return trimmed_mean(residuals, data.trim_fraction);
+}
+
+/// Fast path: one batched tape pass over the column-major samples. The
+/// per-sample arithmetic order matches tree_mae exactly, so the two
+/// paths return bit-identical doubles.
+double tape_mae(const Program& program, const FitnessData& data,
+                EvalScratch& scratch) {
+  program.eval_batch(data.matrix, scratch);
+  const auto& ys = *data.ys;
+  auto& residuals = scratch.residuals;
+  residuals.clear();
+  for (std::size_t i = 0; i < scratch.predictions.size(); ++i) {
+    const double predicted = scratch.predictions[i];
+    if (!std::isfinite(predicted)) return 1e300;
+    residuals.push_back(std::abs(predicted - ys[i]));
+  }
+  return trimmed_mean(residuals, data.trim_fraction);
+}
+
+/// Score an individual. Returns true when a fresh evaluation ran, false
+/// when the structural cache already knew this shape's fitness (the
+/// cached value is what the evaluation would have produced, so hit/miss
+/// patterns can never change the evolution).
+bool score(Individual& ind, const FitnessData& data, WorkerScratch& scratch) {
+  if (!data.use_tape) {
+    ind.fitness = tree_mae(ind.expr, data, scratch.eval);
+    ind.penalized =
+        ind.fitness + data.parsimony * static_cast<double>(ind.expr.size());
+    return true;
+  }
+  // Two-stage lowering keeps the cache hit path minimal: analyze() walks
+  // the tree once and serializes the probe key; the tape itself is
+  // emitted only when the fitness actually has to be computed.
+  bool evaluated = true;
+  if (data.cache != nullptr) {
+    scratch.program.analyze(ind.expr, data.n_vars, &scratch.eval.key);
+    if (const auto cached = data.cache->lookup(scratch.eval.key)) {
+      ind.fitness = *cached;
+      evaluated = false;
+    } else {
+      scratch.program.emit();
+      ind.fitness = tape_mae(scratch.program, data, scratch.eval);
+      data.cache->insert(scratch.eval.key, ind.fitness);
+    }
+  } else {
+    scratch.program.recompile(ind.expr, data.n_vars);
+    ind.fitness = tape_mae(scratch.program, data, scratch.eval);
+  }
+  // Program::size() is the node count, so the parsimony term needs no
+  // extra tree walk.
+  ind.penalized = ind.fitness + data.parsimony *
+                                    static_cast<double>(scratch.program.size());
+  return evaluated;
 }
 
 const Individual& tournament(const std::vector<Individual>& pop,
@@ -180,32 +256,60 @@ std::optional<Expr> point_mutation(const Expr& a, util::Rng& rng,
 
 /// Coordinate-descent refinement of an individual's constants — part of
 /// the "improved" GP: evolution finds the shape, refinement nails the
-/// coefficients. Returns the number of MAE evaluations performed.
-std::size_t tune_constants(Individual& ind,
-                           const std::vector<std::vector<double>>& xs,
-                           const std::vector<double>& ys, double parsimony,
-                           double trim) {
+/// coefficients. Returns the number of MAE evaluations performed. The
+/// tape path compiles once and patches the constant pool in lockstep
+/// with the tree nodes, so the line search never recompiles; the visit
+/// order (pre-order constants, identical step schedule) matches the
+/// legacy walker step for step.
+std::size_t tune_constants(Individual& ind, const FitnessData& data,
+                           WorkerScratch& scratch) {
   auto constants = ind.expr.constant_nodes();
   if (constants.empty()) return 0;
+  std::vector<std::size_t> pool_index;
+  if (data.use_tape) {
+    scratch.program.recompile(ind.expr, data.n_vars);
+    // Map each pre-order tree constant to its pool slot (the pool is in
+    // postfix order); constant counts are tiny, linear scan is fine.
+    pool_index.assign(constants.size(), 0);
+    for (std::size_t k = 0; k < constants.size(); ++k) {
+      for (std::size_t j = 0; j < scratch.program.n_constants(); ++j) {
+        if (scratch.program.const_node(j) == constants[k]) {
+          pool_index[k] = j;
+          break;
+        }
+      }
+    }
+  }
+  const auto current_mae = [&data, &ind, &scratch]() {
+    return data.use_tape ? tape_mae(scratch.program, data, scratch.eval)
+                         : tree_mae(ind.expr, data, scratch.eval);
+  };
+  const auto nudge = [&](std::size_t k, double delta) {
+    constants[k]->value += delta;
+    if (data.use_tape) {
+      scratch.program.set_constant(pool_index[k], constants[k]->value);
+    }
+  };
   std::size_t evaluations = 0;
   bool improved_any = true;
   for (int pass = 0; improved_any && pass < 6; ++pass) {
     improved_any = false;
-    for (Node* node : constants) {
-      const double magnitude = std::max(0.001, std::abs(node->value));
+    for (std::size_t k = 0; k < constants.size(); ++k) {
+      const double magnitude =
+          std::max(0.001, std::abs(constants[k]->value));
       for (double step : {magnitude, magnitude * 0.1, magnitude * 0.01,
                           magnitude * 0.001}) {
         for (double direction : {+1.0, -1.0}) {
           // Line search: keep stepping while the fit keeps improving.
           for (int walk = 0; walk < 64; ++walk) {
-            node->value += direction * step;
-            const double mae = evaluate_mae(ind.expr, xs, ys, trim);
+            nudge(k, direction * step);
+            const double mae = current_mae();
             ++evaluations;
             if (mae + 1e-15 < ind.fitness) {
               ind.fitness = mae;
               improved_any = true;
             } else {
-              node->value -= direction * step;
+              nudge(k, -direction * step);
               break;
             }
           }
@@ -214,7 +318,7 @@ std::size_t tune_constants(Individual& ind,
     }
   }
   ind.penalized =
-      ind.fitness + parsimony * static_cast<double>(ind.expr.size());
+      ind.fitness + data.parsimony * static_cast<double>(ind.expr.size());
   return evaluations;
 }
 
@@ -411,6 +515,20 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
     ys.push_back(p.y / result.y_scale.factor);
   }
 
+  // --- Fitness machinery ---------------------------------------------------
+  // Tape mode mirrors the samples into a column-major matrix once and
+  // shares one structural fitness cache across every worker of this run.
+  FitnessData data;
+  data.rows = &xs;
+  data.ys = &ys;
+  data.n_vars = n_vars;
+  data.trim_fraction = config.trim_fraction;
+  data.parsimony = config.parsimony;
+  data.use_tape = config.use_tape;
+  if (config.use_tape) data.matrix = SampleMatrix::from_rows(xs, n_vars);
+  FitnessCache cache(config.fitness_cache_capacity);
+  if (config.use_tape && config.fitness_cache) data.cache = &cache;
+
   // --- Initial population ----------------------------------------------------
   util::Rng rng(config.seed);
   std::vector<Individual> population;
@@ -440,27 +558,38 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
   }
   GpStageTimings timings;
   {
-    // Initial scoring: one pure evaluation per individual, fanned over
-    // the pool. Per-index timing slots keep the accounting race-free.
-    std::vector<double> slot_s(population.size(), 0.0);
-    runner.for_each(population.size(), [&](std::size_t i) {
+    // Initial scoring, fanned over the pool in fixed-size chunks so each
+    // chunk reuses one scratch (tape + buffers) across its individuals.
+    // Per-chunk slots keep the accounting race-free.
+    const std::size_t n = population.size();
+    const std::size_t n_chunks = (n + kBreedChunk - 1) / kBreedChunk;
+    std::vector<double> slot_s(n_chunks, 0.0);
+    std::vector<std::size_t> slot_evals(n_chunks, 0);
+    runner.chunks(n, n_chunks, [&](std::size_t c, std::size_t begin,
+                                   std::size_t end) {
+      WorkerScratch scratch;
       const auto t0 = Clock::now();
-      score(population[i], xs, ys, config.parsimony, config.trim_fraction);
-      slot_s[i] = seconds_since(t0);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (score(population[i], data, scratch)) ++slot_evals[c];
+      }
+      slot_s[c] = seconds_since(t0);
     });
     for (double s : slot_s) timings.scoring_s += s;
-    timings.evaluations += population.size();
+    for (std::size_t e : slot_evals) timings.evaluations += e;
   }
   if (config.constant_tuning && seed_count > 0) {
     // Refine the seed skeletons once up front: the template *shapes* are
     // right, their random constants are not.
     std::vector<double> slot_s(seed_count, 0.0);
     std::vector<std::size_t> slot_evals(seed_count, 0);
-    runner.for_each(seed_count, [&](std::size_t i) {
-      const auto t0 = Clock::now();
-      slot_evals[i] = tune_constants(population[i], xs, ys, config.parsimony,
-                                     config.trim_fraction);
-      slot_s[i] = seconds_since(t0);
+    runner.chunks(seed_count, seed_count, [&](std::size_t, std::size_t begin,
+                                              std::size_t end) {
+      WorkerScratch scratch;
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto t0 = Clock::now();
+        slot_evals[i] = tune_constants(population[i], data, scratch);
+        slot_s[i] = seconds_since(t0);
+      }
     });
     for (double s : slot_s) timings.tuning_s += s;
     for (std::size_t e : slot_evals) timings.evaluations += e;
@@ -510,6 +639,7 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
     runner.chunks(offspring, n_chunks, [&](std::size_t c, std::size_t begin,
                                            std::size_t end) {
       util::Rng& crng = chunk_rngs[c];
+      WorkerScratch scratch;
       for (std::size_t i = begin; i < end; ++i) {
         const auto t0 = Clock::now();
         const double roll = crng.uniform();
@@ -550,9 +680,8 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
         breed_s[c] += seconds_since(t0);
         if (fresh) {
           const auto s0 = Clock::now();
-          score(child, xs, ys, config.parsimony, config.trim_fraction);
+          if (score(child, data, scratch)) ++chunk_evals[c];
           score_s[c] += seconds_since(s0);
-          ++chunk_evals[c];
         }
         next[1 + i] = std::move(child);
       }
@@ -576,11 +705,14 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
                         });
       std::vector<double> tune_s(top, 0.0);
       std::vector<std::size_t> tune_evals(top, 0);
-      runner.for_each(top, [&](std::size_t k) {
-        const auto t0 = Clock::now();
-        tune_evals[k] = tune_constants(population[k], xs, ys, config.parsimony,
-                                       config.trim_fraction);
-        tune_s[k] = seconds_since(t0);
+      runner.chunks(top, top, [&](std::size_t, std::size_t begin,
+                                  std::size_t end) {
+        WorkerScratch scratch;
+        for (std::size_t k = begin; k < end; ++k) {
+          const auto t0 = Clock::now();
+          tune_evals[k] = tune_constants(population[k], data, scratch);
+          tune_s[k] = seconds_since(t0);
+        }
       });
       for (std::size_t k = 0; k < top; ++k) {
         timings.tuning_s += tune_s[k];
@@ -600,6 +732,8 @@ std::optional<GpResult> infer_formula(const correlate::Dataset& dataset,
   result.generations_run = generation;
   result.converged = best.fitness <= stop_below;
   timings.total_s = seconds_since(wall_start);
+  timings.cache_hits = static_cast<std::size_t>(cache.hits());
+  timings.cache_misses = static_cast<std::size_t>(cache.misses());
   result.timings = timings;
 
   // --- Table 2 post-processing: substitute the scale factors back ------------

@@ -3,17 +3,45 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 
 namespace dpr::gp {
 
+Node::~Node() {
+  // Steal the whole subtree into a flat worklist before anything dies:
+  // every node then destructs with empty children, so teardown depth is
+  // constant no matter how deep the tree was.
+  std::vector<std::unique_ptr<Node>> queue;
+  if (lhs) queue.push_back(std::move(lhs));
+  if (rhs) queue.push_back(std::move(rhs));
+  while (!queue.empty()) {
+    auto node = std::move(queue.back());
+    queue.pop_back();
+    if (node->lhs) queue.push_back(std::move(node->lhs));
+    if (node->rhs) queue.push_back(std::move(node->rhs));
+  }
+}
+
 std::unique_ptr<Node> Node::clone() const {
-  auto copy = std::make_unique<Node>();
-  copy->op = op;
-  copy->value = value;
-  copy->var = var;
-  if (lhs) copy->lhs = lhs->clone();
-  if (rhs) copy->rhs = rhs->clone();
-  return copy;
+  auto root = std::make_unique<Node>();
+  std::vector<std::pair<const Node*, Node*>> stack{{this, root.get()}};
+  while (!stack.empty()) {
+    const auto [src, dst] = stack.back();
+    stack.pop_back();
+    dst->op = src->op;
+    dst->value = src->value;
+    dst->var = src->var;
+    if (src->lhs) {
+      dst->lhs = std::make_unique<Node>();
+      stack.push_back({src->lhs.get(), dst->lhs.get()});
+    }
+    if (src->rhs) {
+      dst->rhs = std::make_unique<Node>();
+      stack.push_back({src->rhs.get(), dst->rhs.get()});
+    }
+  }
+  return root;
 }
 
 Expr Expr::constant(double v) {
@@ -52,8 +80,12 @@ double eval_node(const Node* node, std::span<const double> vars) {
     case Op::kConst:
       return node->value;
     case Op::kVar:
-      return node->var < static_cast<int>(vars.size()) ? vars[node->var]
-                                                       : 0.0;
+      // A reference outside the operand vector means the tree is invalid
+      // for this dataset — surface it instead of masking it as 0.
+      if (node->var < 0 || node->var >= static_cast<int>(vars.size())) {
+        throw std::out_of_range("gp: variable index out of range");
+      }
+      return vars[node->var];
     case Op::kAdd:
       return eval_node(node->lhs.get(), vars) +
              eval_node(node->rhs.get(), vars);
@@ -100,9 +132,15 @@ double eval_node(const Node* node, std::span<const double> vars) {
 }
 
 std::size_t size_node(const Node* node) {
-  std::size_t n = 1;
-  if (node->lhs) n += size_node(node->lhs.get());
-  if (node->rhs) n += size_node(node->rhs.get());
+  std::size_t n = 0;
+  std::vector<const Node*> stack{node};
+  while (!stack.empty()) {
+    const Node* cur = stack.back();
+    stack.pop_back();
+    ++n;
+    if (cur->lhs) stack.push_back(cur->lhs.get());
+    if (cur->rhs) stack.push_back(cur->rhs.get());
+  }
   return n;
 }
 
@@ -221,9 +259,17 @@ void simplify_node(std::unique_ptr<Node>& node) {
 }
 
 void collect_nodes(Node* node, std::vector<Node*>& out) {
-  out.push_back(node);
-  if (node->lhs) collect_nodes(node->lhs.get(), out);
-  if (node->rhs) collect_nodes(node->rhs.get(), out);
+  // Iterative pre-order (rhs pushed first so lhs pops first) — the same
+  // node order the old recursion produced, which crossover/mutation site
+  // selection depends on for deterministic replay.
+  std::vector<Node*> stack{node};
+  while (!stack.empty()) {
+    Node* cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    if (cur->rhs) stack.push_back(cur->rhs.get());
+    if (cur->lhs) stack.push_back(cur->lhs.get());
+  }
 }
 
 }  // namespace
@@ -296,6 +342,10 @@ std::unique_ptr<Node> random_node(util::Rng& rng, std::size_t n_vars,
 }  // namespace
 
 Expr random_expr(util::Rng& rng, std::size_t n_vars, int depth, bool full) {
+  // Generation recurses once per level; cap the requested depth so a
+  // pathological argument cannot overflow the C stack (full trees also
+  // double per level, hence the tighter bound).
+  depth = std::min(depth, full ? kMaxFullDepth : kMaxGrowDepth);
   return Expr(random_node(rng, n_vars, depth, full));
 }
 

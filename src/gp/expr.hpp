@@ -62,6 +62,15 @@ struct Node {
   std::unique_ptr<Node> lhs;
   std::unique_ptr<Node> rhs;
 
+  Node() = default;
+  /// Iterative teardown: steals the children into an explicit worklist so
+  /// destroying a pathologically deep tree never recurses down the C
+  /// stack.
+  ~Node();
+  Node(Node&&) = default;
+  Node& operator=(Node&&) = default;
+
+  /// Deep copy via an explicit stack (never recursive).
   std::unique_ptr<Node> clone() const;
 };
 
@@ -83,6 +92,10 @@ class Expr {
   static Expr unary(Op op, Expr operand);
   static Expr binary(Op op, Expr lhs, Expr rhs);
 
+  /// Recursive tree evaluation (the gp::Program tape is the batched fast
+  /// path; this is the reference semantics). Throws std::out_of_range if
+  /// the tree references a variable index outside `vars` — a bad tree is
+  /// a hard error, never a silent 0.
   double eval(std::span<const double> vars) const;
   std::size_t size() const;
   int depth() const;
@@ -105,6 +118,11 @@ class Expr {
 };
 
 /// Random tree generation ("grow" when `full` is false) up to `depth`.
+/// The requested depth is clamped to kMaxGrowDepth (grow) or
+/// kMaxFullDepth (full trees double per level, so the cap also bounds
+/// the node count) — generation can never recurse past either.
+inline constexpr int kMaxGrowDepth = 64;
+inline constexpr int kMaxFullDepth = 16;
 Expr random_expr(util::Rng& rng, std::size_t n_vars, int depth, bool full);
 
 }  // namespace dpr::gp

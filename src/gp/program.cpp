@@ -1,0 +1,463 @@
+#include "gp/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace dpr::gp {
+
+SampleMatrix SampleMatrix::from_rows(
+    const std::vector<std::vector<double>>& rows, std::size_t n_vars) {
+  SampleMatrix matrix(rows.size(), n_vars);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != n_vars) {
+      throw std::invalid_argument("gp: sample row width != n_vars");
+    }
+    for (std::size_t v = 0; v < n_vars; ++v) matrix.at(i, v) = rows[i][v];
+  }
+  return matrix;
+}
+
+Program Program::compile(const Expr& expr, std::size_t n_vars) {
+  Program program;
+  program.recompile(expr, n_vars);
+  return program;
+}
+
+namespace {
+
+inline void append_raw(std::string& out, const void* data,
+                       std::size_t bytes) {
+  out.append(static_cast<const char*>(data), bytes);
+}
+
+}  // namespace
+
+void Program::analyze(const Expr& expr, std::size_t n_vars,
+                      std::string* key) {
+  // Iterative traversal "node, rhs subtree, lhs subtree", reversed at the
+  // end: that yields lhs, rhs, node — the completion order of the
+  // recursive evaluator — so the tape replays Expr::eval's operation
+  // sequence bit for bit. Everything emit() and the key serializer need
+  // is captured into contiguous records; the heap-scattered tree is
+  // walked exactly once.
+  recs_.clear();
+  dfs_.clear();
+  dfs_.push_back(expr.root());
+  while (!dfs_.empty()) {
+    const Node* node = dfs_.back();
+    dfs_.pop_back();
+    if (node->op == Op::kVar &&
+        (node->var < 0 || static_cast<std::size_t>(node->var) >= n_vars)) {
+      throw std::invalid_argument(
+          "gp: variable index out of range for this dataset");
+    }
+    recs_.push_back({node, node->op, node->var, node->value});
+    if (node->lhs) dfs_.push_back(node->lhs.get());
+    if (node->rhs) dfs_.push_back(node->rhs.get());
+  }
+  std::reverse(recs_.begin(), recs_.end());
+  if (key != nullptr) append_key(*key);
+}
+
+void Program::emit() {
+  code_.clear();
+  constants_.clear();
+  const_nodes_.clear();
+  vstack_.clear();
+  stack_need_ = 0;
+
+  // Simulate the operand stack over the postfix records. Leaves push a
+  // descriptor (variable column / constant-pool slot) without emitting
+  // anything; operators consume descriptors and emit one fused
+  // instruction whose result occupies stack column `depth`. Live stack
+  // operands always sit in columns 0..depth-1, so dense slot assignment
+  // never clobbers a live value (an instruction may write the column it
+  // reads — element i is fully read before element i is written).
+  std::size_t depth = 0;
+  const auto pop = [this, &depth]() {
+    const Operand operand = vstack_.back();
+    vstack_.pop_back();
+    if (operand.src == Src::kStack) --depth;
+    return operand;
+  };
+  for (const NodeRec& rec : recs_) {
+    switch (arity(rec.op)) {
+      case 0:
+        if (rec.op == Op::kVar) {
+          vstack_.push_back(
+              {Src::kVar, static_cast<std::uint32_t>(rec.var)});
+        } else {
+          vstack_.push_back(
+              {Src::kConst, static_cast<std::uint32_t>(constants_.size())});
+          constants_.push_back(rec.value);
+          const_nodes_.push_back(rec.node);
+        }
+        break;
+      case 1: {
+        const Operand a = pop();
+        const auto dst = static_cast<std::uint32_t>(depth);
+        code_.push_back({rec.op, a, {Src::kStack, 0}, dst});
+        vstack_.push_back({Src::kStack, dst});
+        stack_need_ = std::max(stack_need_, ++depth);
+        break;
+      }
+      case 2: {
+        const Operand b = pop();
+        const Operand a = pop();
+        const auto dst = static_cast<std::uint32_t>(depth);
+        code_.push_back({rec.op, a, b, dst});
+        vstack_.push_back({Src::kStack, dst});
+        stack_need_ = std::max(stack_need_, ++depth);
+        break;
+      }
+    }
+  }
+  result_ = vstack_.empty() ? Operand{Src::kStack, 0} : vstack_.back();
+}
+
+void Program::recompile(const Expr& expr, std::size_t n_vars,
+                        std::string* key) {
+  analyze(expr, n_vars, key);
+  emit();
+}
+
+namespace {
+
+/// The protected operators, shared verbatim between the scalar and the
+/// batched interpreter so both match Expr::eval exactly.
+inline double apply_unary(Op op, double x) {
+  switch (op) {
+    case Op::kSqrt:
+      return std::sqrt(std::abs(x));
+    case Op::kLog: {
+      const double v = std::abs(x);
+      return v < 1e-9 ? 0.0 : std::log(v);
+    }
+    case Op::kAbs:
+      return std::abs(x);
+    case Op::kNeg:
+      return -x;
+    case Op::kSin:
+      return std::sin(x);
+    case Op::kCos:
+      return std::cos(x);
+    case Op::kTan:
+      return std::clamp(std::tan(x), -1e6, 1e6);
+    case Op::kInv:
+      return std::abs(x) < 1e-9 ? 0.0 : 1.0 / x;
+    default:
+      return x;
+  }
+}
+
+inline double apply_binary(Op op, double a, double b) {
+  switch (op) {
+    case Op::kAdd:
+      return a + b;
+    case Op::kSub:
+      return a - b;
+    case Op::kMul:
+      return a * b;
+    case Op::kDiv:
+      return std::abs(b) < 1e-9 ? 1.0 : a / b;
+    case Op::kMin:
+      return std::min(a, b);
+    case Op::kMax:
+      return std::max(a, b);
+    default:
+      return a;
+  }
+}
+
+/// Batched per-op loops. The operator is dispatched once per
+/// instruction, outside the element loop, so every case below is a
+/// tight loop the compiler can vectorize. Each case applies the exact
+/// per-element formula of apply_unary/apply_binary — the operand
+/// accessors (column read or constant immediate) are the only thing
+/// that varies between specializations, never the arithmetic.
+template <class A>
+inline void unary_loop(Op op, double* dst, std::size_t n, A a) {
+  switch (op) {
+    case Op::kSqrt:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::sqrt(std::abs(a(i)));
+      break;
+    case Op::kLog:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = std::abs(a(i));
+        dst[i] = v < 1e-9 ? 0.0 : std::log(v);
+      }
+      break;
+    case Op::kAbs:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::abs(a(i));
+      break;
+    case Op::kNeg:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = -a(i);
+      break;
+    case Op::kSin:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::sin(a(i));
+      break;
+    case Op::kCos:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::cos(a(i));
+      break;
+    case Op::kTan:
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = std::clamp(std::tan(a(i)), -1e6, 1e6);
+      }
+      break;
+    case Op::kInv:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = a(i);
+        dst[i] = std::abs(v) < 1e-9 ? 0.0 : 1.0 / v;
+      }
+      break;
+    default:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i);
+      break;
+  }
+}
+
+template <class A, class B>
+inline void binary_loop(Op op, double* dst, std::size_t n, A a, B b) {
+  switch (op) {
+    case Op::kAdd:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i) + b(i);
+      break;
+    case Op::kSub:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i) - b(i);
+      break;
+    case Op::kMul:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i) * b(i);
+      break;
+    case Op::kDiv:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double bv = b(i);
+        dst[i] = std::abs(bv) < 1e-9 ? 1.0 : a(i) / bv;
+      }
+      break;
+    case Op::kMin:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::min(a(i), b(i));
+      break;
+    case Op::kMax:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(a(i), b(i));
+      break;
+    default:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i);
+      break;
+  }
+}
+
+}  // namespace
+
+double Program::eval_scalar(std::span<const double> vars,
+                            EvalScratch& scratch) const {
+  scratch.stack.resize(std::max<std::size_t>(1, stack_need_));
+  double* st = scratch.stack.data();
+  const auto value = [&](Operand operand) {
+    switch (operand.src) {
+      case Src::kStack:
+        return st[operand.index];
+      case Src::kVar:
+        return vars[operand.index];
+      default:
+        return constants_[operand.index];
+    }
+  };
+  for (const Instr& ins : code_) {
+    st[ins.dst] = arity(ins.op) == 1
+                      ? apply_unary(ins.op, value(ins.a))
+                      : apply_binary(ins.op, value(ins.a), value(ins.b));
+  }
+  return value(result_);
+}
+
+void Program::eval_batch(const SampleMatrix& samples,
+                         EvalScratch& scratch) const {
+  const std::size_t n = samples.n_samples();
+  scratch.predictions.resize(n);
+  if (n == 0) return;
+  scratch.stack.resize(std::max<std::size_t>(1, stack_need_) * n);
+  double* stack = scratch.stack.data();
+  // A fused operand is either a column pointer (stack slot or sample
+  // column) or a constant immediate; the four pointer/immediate loop
+  // shapes below keep the inner loops branch-free.
+  const auto column_of = [&](Operand operand) -> const double* {
+    switch (operand.src) {
+      case Src::kStack:
+        return stack + operand.index * n;
+      case Src::kVar:
+        return samples.column(operand.index).data();
+      default:
+        return nullptr;  // constant immediate
+    }
+  };
+  for (const Instr& ins : code_) {
+    double* dst = stack + ins.dst * n;
+    const double* a = column_of(ins.a);
+    if (arity(ins.op) == 1) {
+      if (a != nullptr) {
+        unary_loop(ins.op, dst, n, [a](std::size_t i) { return a[i]; });
+      } else {
+        // Constant operand: apply_unary is pure, so computing it once
+        // and broadcasting produces the same bits as computing it per
+        // sample.
+        const double v = apply_unary(ins.op, constants_[ins.a.index]);
+        for (std::size_t i = 0; i < n; ++i) dst[i] = v;
+      }
+      continue;
+    }
+    const double* b = column_of(ins.b);
+    if (a != nullptr && b != nullptr) {
+      binary_loop(ins.op, dst, n, [a](std::size_t i) { return a[i]; },
+                  [b](std::size_t i) { return b[i]; });
+    } else if (a != nullptr) {
+      const double bc = constants_[ins.b.index];
+      binary_loop(ins.op, dst, n, [a](std::size_t i) { return a[i]; },
+                  [bc](std::size_t) { return bc; });
+    } else if (b != nullptr) {
+      const double ac = constants_[ins.a.index];
+      binary_loop(ins.op, dst, n, [ac](std::size_t) { return ac; },
+                  [b](std::size_t i) { return b[i]; });
+    } else {
+      const double v = apply_binary(ins.op, constants_[ins.a.index],
+                                    constants_[ins.b.index]);
+      for (std::size_t i = 0; i < n; ++i) dst[i] = v;
+    }
+  }
+  switch (result_.src) {
+    case Src::kStack:
+      std::memcpy(scratch.predictions.data(), stack + result_.index * n,
+                  n * sizeof(double));
+      break;
+    case Src::kVar: {
+      const auto column = samples.column(result_.index);
+      std::memcpy(scratch.predictions.data(), column.data(),
+                  n * sizeof(double));
+      break;
+    }
+    default: {
+      const double v = constants_[result_.index];
+      for (std::size_t i = 0; i < n; ++i) scratch.predictions[i] = v;
+      break;
+    }
+  }
+}
+
+void Program::append_key(std::string& out) const {
+  // Interleaved record layout: node count, then op byte + payload per
+  // node in postfix order. The count prefix plus the per-op payload
+  // sizes keep the stream unambiguous.
+  out.clear();
+  const std::uint32_t count = static_cast<std::uint32_t>(recs_.size());
+  append_raw(out, &count, sizeof count);
+  for (const NodeRec& rec : recs_) {
+    out.push_back(static_cast<char>(rec.op));
+    if (rec.op == Op::kVar) {
+      const auto var = static_cast<std::uint32_t>(rec.var);
+      append_raw(out, &var, sizeof var);
+    } else if (rec.op == Op::kConst) {
+      // Raw bit pattern: constants that differ only in sign of zero or
+      // NaN payload still get distinct keys.
+      append_raw(out, &rec.value, sizeof rec.value);
+    }
+  }
+}
+
+void Program::structural_key(std::string& out) const { append_key(out); }
+
+FitnessCache::FitnessCache(std::size_t capacity)
+    : shard_capacity_(std::max<std::size_t>(1, capacity / kShards)) {
+  // Power-of-two slot count at ≤ 0.5 max load, so linear probes always
+  // terminate quickly.
+  std::size_t slots = 2;
+  while (slots < shard_capacity_ * 2) slots <<= 1;
+  slot_mask_ = slots - 1;
+  for (auto& shard : shards_) shard.slots.resize(slots);
+}
+
+std::uint64_t FitnessCache::hash_key(const std::string& key) {
+  // Chunked xor-multiply mix (8 bytes per step). Quality only matters
+  // for shard choice and probe placement — equality is always decided by
+  // comparing full keys, so a colliding pair can share a slot chain but
+  // never a value.
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ key.size();
+  const char* p = key.data();
+  std::size_t remaining = key.size();
+  while (remaining >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    h = (h ^ chunk) * 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    p += 8;
+    remaining -= 8;
+  }
+  std::uint64_t tail = 0;
+  std::memcpy(&tail, p, remaining);
+  h = (h ^ tail) * 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h | 1;  // 0 is the empty-slot sentinel
+}
+
+bool FitnessCache::slot_matches(const Shard& shard, const Slot& slot,
+                                const std::string& key) {
+  if (slot.len != key.size()) return false;
+  if (slot.len <= kInlineKey) {
+    return std::memcmp(slot.key, key.data(), slot.len) == 0;
+  }
+  std::uint32_t index;
+  std::memcpy(&index, slot.key, sizeof index);
+  return shard.overflow[index] == key;
+}
+
+std::optional<double> FitnessCache::lookup(const std::string& key) {
+  const std::uint64_t hash = hash_key(key);
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  for (std::size_t i = hash & slot_mask_;; i = (i + 1) & slot_mask_) {
+    const Slot& slot = shard.slots[i];
+    if (slot.hash == 0) break;
+    if (slot.hash == hash && slot_matches(shard, slot, key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return slot.fitness;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void FitnessCache::insert(const std::string& key, double fitness) {
+  const std::uint64_t hash = hash_key(key);
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.count >= shard_capacity_) {
+    // Epoch eviction: drop the whole shard. Cached values are pure
+    // functions of the key, so eviction affects hit rate, never results.
+    for (auto& slot : shard.slots) slot.hash = 0;
+    shard.overflow.clear();
+    shard.count = 0;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (std::size_t i = hash & slot_mask_;; i = (i + 1) & slot_mask_) {
+    Slot& slot = shard.slots[i];
+    if (slot.hash == 0) {
+      slot.hash = hash;
+      slot.fitness = fitness;
+      slot.len = static_cast<std::uint32_t>(key.size());
+      if (key.size() <= kInlineKey) {
+        std::memcpy(slot.key, key.data(), key.size());
+      } else {
+        const auto index = static_cast<std::uint32_t>(shard.overflow.size());
+        shard.overflow.push_back(key);
+        std::memcpy(slot.key, &index, sizeof index);
+      }
+      ++shard.count;
+      return;
+    }
+    if (slot.hash == hash && slot_matches(shard, slot, key)) {
+      return;  // another worker inserted the same shape first
+    }
+  }
+}
+
+}  // namespace dpr::gp

@@ -1,0 +1,300 @@
+// Differential tests for the gp::Program bytecode engine: the tape must
+// reproduce the recursive tree walker bit for bit (the fleet's
+// report_signature determinism gates depend on it), the structural
+// fitness cache must never change a result, and deep trees must never
+// touch the C stack limits.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "gp/engine.hpp"
+#include "gp/expr.hpp"
+#include "gp/program.hpp"
+
+namespace dpr::gp {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(SampleMatrix, ColumnMajorLayout) {
+  const std::vector<std::vector<double>> rows{{1.0, 10.0},
+                                             {2.0, 20.0},
+                                             {3.0, 30.0}};
+  const auto matrix = SampleMatrix::from_rows(rows, 2);
+  EXPECT_EQ(matrix.n_samples(), 3u);
+  EXPECT_EQ(matrix.n_vars(), 2u);
+  const auto x0 = matrix.column(0);
+  const auto x1 = matrix.column(1);
+  ASSERT_EQ(x0.size(), 3u);
+  EXPECT_DOUBLE_EQ(x0[0], 1.0);
+  EXPECT_DOUBLE_EQ(x0[2], 3.0);
+  EXPECT_DOUBLE_EQ(x1[1], 20.0);
+  // Columns really are contiguous.
+  EXPECT_EQ(x0.data() + 3, x1.data());
+}
+
+TEST(SampleMatrix, RowWidthMismatchRejected) {
+  const std::vector<std::vector<double>> rows{{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(SampleMatrix::from_rows(rows, 2), std::invalid_argument);
+}
+
+TEST(Program, CompilesToPostfixTape) {
+  // (X0 * X1) / 5 — five nodes, five instructions, one pool constant.
+  const auto expr = Expr::binary(
+      Op::kDiv, Expr::binary(Op::kMul, Expr::variable(0), Expr::variable(1)),
+      Expr::constant(5.0));
+  const auto program = Program::compile(expr, 2);
+  EXPECT_EQ(program.size(), 5u);
+  EXPECT_EQ(program.n_constants(), 1u);
+  EXPECT_DOUBLE_EQ(program.constant(0), 5.0);
+  // Fused operands: mul reads both variable columns directly, div reads
+  // the constant immediate — only the running result needs a column.
+  EXPECT_EQ(program.stack_need(), 1u);
+
+  EvalScratch scratch;
+  const std::vector<double> vars{241.0, 16.0};
+  EXPECT_EQ(bits(program.eval_scalar(vars, scratch)),
+            bits(expr.eval(vars)));
+}
+
+TEST(Program, BareLeafProgramsEvaluate) {
+  // A single-node tree compiles to zero instructions; the result operand
+  // points straight at the variable column / constant pool.
+  EvalScratch scratch;
+  const auto constant = Program::compile(Expr::constant(2.5), 1);
+  EXPECT_EQ(bits(constant.eval_scalar({}, scratch)), bits(2.5));
+
+  const auto var = Program::compile(Expr::variable(0), 1);
+  const std::vector<std::vector<double>> rows{{7.0}, {-0.0}};
+  const auto matrix = SampleMatrix::from_rows(rows, 1);
+  var.eval_batch(matrix, scratch);
+  EXPECT_EQ(bits(scratch.predictions[0]), bits(7.0));
+  EXPECT_EQ(bits(scratch.predictions[1]), bits(-0.0));
+  constant.eval_batch(matrix, scratch);
+  EXPECT_EQ(bits(scratch.predictions[0]), bits(2.5));
+  EXPECT_EQ(bits(scratch.predictions[1]), bits(2.5));
+}
+
+TEST(Program, RejectsOutOfRangeVariable) {
+  const auto expr = Expr::binary(Op::kAdd, Expr::variable(0),
+                                 Expr::variable(5));
+  EXPECT_THROW(Program::compile(expr, 2), std::invalid_argument);
+  EXPECT_NO_THROW(Program::compile(expr, 6));
+}
+
+TEST(Expr, EvalThrowsOnOutOfRangeVariable) {
+  const auto expr = Expr::variable(3);
+  const std::vector<double> vars{1.0, 2.0};
+  EXPECT_THROW(expr.eval(vars), std::out_of_range);
+}
+
+TEST(Program, StructuralKeyDistinguishesShapesAndConstants) {
+  const auto a = Expr::binary(Op::kAdd, Expr::variable(0),
+                              Expr::constant(1.0));
+  const auto b = Expr::binary(Op::kAdd, Expr::variable(0),
+                              Expr::constant(2.0));
+  const auto c = Expr::binary(Op::kSub, Expr::variable(0),
+                              Expr::constant(1.0));
+  std::string ka, kb, kc, ka2;
+  Program::compile(a, 1).structural_key(ka);
+  Program::compile(b, 1).structural_key(kb);
+  Program::compile(c, 1).structural_key(kc);
+  Program::compile(a, 1).structural_key(ka2);
+  EXPECT_EQ(ka, ka2);
+  EXPECT_NE(ka, kb);  // same shape, different constant bits
+  EXPECT_NE(ka, kc);  // same operands, different op
+}
+
+TEST(Program, DifferentialFuzzTreeVsTapeBitIdentical) {
+  // ≥1000 random expressions × random inputs: scalar and batched tape
+  // execution must reproduce the recursive walker's doubles bit for bit,
+  // protected-operator edge cases included.
+  util::Rng rng(0xD1FF);
+  EvalScratch scratch;
+  std::size_t checked = 0;
+  for (int trial = 0; trial < 1200; ++trial) {
+    const std::size_t n_vars = 1 + rng.uniform_int(0, 1);
+    const int depth = static_cast<int>(rng.uniform_int(1, 5));
+    const auto expr = random_expr(rng, n_vars, depth, rng.chance(0.5));
+    const auto program = Program::compile(expr, n_vars);
+    ASSERT_EQ(program.size(), expr.size());
+
+    // A small batch per expression, spanning sign changes and the
+    // protected-op thresholds.
+    std::vector<std::vector<double>> rows;
+    for (int s = 0; s < 8; ++s) {
+      std::vector<double> row(n_vars);
+      for (auto& v : row) {
+        const double roll = rng.uniform();
+        v = roll < 0.1   ? 0.0
+            : roll < 0.2 ? rng.uniform(-1e-9, 1e-9)
+                         : rng.uniform(-300.0, 300.0);
+      }
+      rows.push_back(std::move(row));
+    }
+    const auto matrix = SampleMatrix::from_rows(rows, n_vars);
+    program.eval_batch(matrix, scratch);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double reference = expr.eval(rows[i]);
+      EXPECT_EQ(bits(reference), bits(program.eval_scalar(rows[i], scratch)))
+          << "trial " << trial << " sample " << i;
+      EXPECT_EQ(bits(reference), bits(scratch.predictions[i]))
+          << "trial " << trial << " sample " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 1000u * 8u);
+}
+
+TEST(Program, DeepChainNeverTouchesTheCStack) {
+  // 200k unary nodes: recursive clone/size/teardown would overflow the
+  // stack; every structural operation must be iterative.
+  constexpr int kDepth = 200000;
+  Expr expr = Expr::constant(1.5);
+  for (int i = 0; i < kDepth; ++i) {
+    expr = Expr::unary(Op::kNeg, std::move(expr));
+  }
+  EXPECT_EQ(expr.size(), static_cast<std::size_t>(kDepth) + 1);
+
+  Expr copy = expr;  // iterative clone
+  EXPECT_EQ(copy.size(), expr.size());
+
+  const auto program = Program::compile(expr, 1);  // iterative lowering
+  EXPECT_EQ(program.size(), static_cast<std::size_t>(kDepth) + 1);
+  EXPECT_EQ(program.stack_need(), 1u);
+  EvalScratch scratch;
+  EXPECT_DOUBLE_EQ(program.eval_scalar({}, scratch), 1.5);
+  // Iterative ~Node runs when expr/copy leave scope.
+}
+
+TEST(Program, RandomExprDepthRequestIsCapped) {
+  util::Rng rng(7);
+  const auto grown = random_expr(rng, 2, 1 << 30, false);
+  EXPECT_LE(grown.depth(), kMaxGrowDepth + 1);
+  const auto full = random_expr(rng, 2, 4096, true);
+  EXPECT_LE(full.depth(), kMaxFullDepth + 1);
+}
+
+TEST(FitnessCache, HitReturnsInsertedValueAndCounts) {
+  FitnessCache cache(64);
+  EXPECT_FALSE(cache.lookup("alpha").has_value());
+  cache.insert("alpha", 0.25);
+  const auto hit = cache.lookup("alpha");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.25);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FitnessCache, BoundedByEpochEviction) {
+  FitnessCache cache(16);  // tiny: one entry per shard
+  for (int i = 0; i < 1000; ++i) {
+    cache.insert("key" + std::to_string(i), static_cast<double>(i));
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+// --- Tape vs tree through the full engine -----------------------------------
+
+correlate::Dataset synthetic_dataset(std::uint64_t seed, std::size_t n_vars) {
+  correlate::Dataset dataset;
+  dataset.n_vars = n_vars;
+  util::Rng rng(seed);
+  for (int i = 0; i < 48; ++i) {
+    correlate::DataPoint p;
+    p.xs.resize(n_vars);
+    for (auto& x : p.xs) x = rng.uniform(0.0, 255.0);
+    p.y = n_vars == 1 ? 0.75 * p.xs[0] - 40.0
+                      : p.xs[0] * p.xs[1] / 5.0;
+    dataset.points.push_back(std::move(p));
+  }
+  return dataset;
+}
+
+TEST(TapeEngine, InferMatchesTreeEngineBitwiseAtEveryThreadCount) {
+  // The acceptance gate in miniature: for several datasets and 1/2/8
+  // worker threads, tape+cache inference must return exactly the result
+  // the legacy tree walker returns — formula string, fitness bits,
+  // generation count, everything report_signature folds in.
+  for (const std::uint64_t seed : {11ull, 12ull}) {
+    for (const std::size_t n_vars : {1u, 2u}) {
+      const auto dataset = synthetic_dataset(seed, n_vars);
+      GpConfig tree;
+      tree.population = 96;
+      tree.max_generations = 12;
+      tree.use_tape = false;
+      const auto reference = infer_formula(dataset, tree);
+      ASSERT_TRUE(reference.has_value());
+
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        GpConfig tape = tree;
+        tape.use_tape = true;
+        tape.n_threads = threads;
+        const auto result = infer_formula(dataset, tape);
+        ASSERT_TRUE(result.has_value());
+        EXPECT_EQ(result->formula, reference->formula)
+            << n_vars << " vars, " << threads << " threads";
+        EXPECT_EQ(bits(result->fitness), bits(reference->fitness));
+        EXPECT_EQ(result->generations_run, reference->generations_run);
+        EXPECT_EQ(result->converged, reference->converged);
+        EXPECT_EQ(result->best.to_string(n_vars),
+                  reference->best.to_string(n_vars));
+      }
+    }
+  }
+}
+
+TEST(TapeEngine, CacheOnAndOffAgreeBitwise) {
+  const auto dataset = synthetic_dataset(21, 2);
+  GpConfig with_cache;
+  with_cache.population = 96;
+  with_cache.max_generations = 12;
+  with_cache.fitness_cache = true;
+  GpConfig without_cache = with_cache;
+  without_cache.fitness_cache = false;
+
+  const auto a = infer_formula(dataset, with_cache);
+  const auto b = infer_formula(dataset, without_cache);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->formula, b->formula);
+  EXPECT_EQ(bits(a->fitness), bits(b->fitness));
+  EXPECT_EQ(a->generations_run, b->generations_run);
+
+  // The cache actually worked: offspring reproduce known shapes, and
+  // every avoided rescore is one fewer evaluation. (evaluations also
+  // counts constant-tuning line searches, which bypass the cache, so
+  // misses are a lower bound, not an exact match.)
+  EXPECT_GT(a->timings.cache_hits, 0u);
+  EXPECT_LE(a->timings.cache_misses, a->timings.evaluations);
+  EXPECT_LT(a->timings.evaluations, b->timings.evaluations);
+  EXPECT_EQ(b->timings.cache_hits, 0u);
+}
+
+TEST(TapeEngine, CacheDeterministicAcrossThreadCounts) {
+  const auto dataset = synthetic_dataset(33, 1);
+  GpConfig config;
+  config.population = 96;
+  config.max_generations = 12;
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    config.n_threads = threads;
+    const auto result = infer_formula(dataset, config);
+    ASSERT_TRUE(result.has_value());
+    const std::string signature =
+        result->formula + "|" + std::to_string(bits(result->fitness)) + "|" +
+        std::to_string(result->generations_run);
+    if (reference.empty()) {
+      reference = signature;
+    } else {
+      EXPECT_EQ(signature, reference) << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpr::gp

@@ -54,6 +54,9 @@ void usage() {
                "                   (collect..score) until the watchdog fires\n"
                "  --signature <file>  write the run's deterministic report\n"
                "                   signature (CI compares fresh vs resumed)\n"
+               "  --tree-eval      score GP fitness with the legacy recursive\n"
+               "                   tree walker instead of the bytecode tape\n"
+               "                   (bit-identical results; equivalence switch)\n"
                "  --no-filter      disable the two-stage ESV filter (ablation)\n"
                "  --no-ocr-noise   perfect OCR (clean-room ablation)\n"
                "  --no-baselines   skip linear/polynomial baselines\n"
@@ -185,6 +188,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       options.infer_threads =
           static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--tree-eval") {
+      options.gp.use_tape = false;
     } else if (arg == "--no-filter") {
       options.two_stage_filter = false;
     } else if (arg == "--no-ocr-noise") {
