@@ -5,13 +5,17 @@
 //
 // The campaigns are independent, so they fan out over the shared-budget
 // fleet pool (core::FleetRunner); the table below is identical for every
-// thread count. Usage: full_campaign [fleet_threads]  (default 0 = all
-// cores; 1 = the legacy serial loop).
+// thread count. Usage: full_campaign [fleet_threads] [generate_count]
+// [gen_seed]  (fleet_threads default 0 = all cores, 1 = the legacy serial
+// loop; generate_count > 0 swaps the catalog for that many procedurally
+// generated vehicles, reproducible per gen_seed).
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "core/fleet.hpp"
+#include "vehicle/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace dpr;
@@ -20,16 +24,25 @@ int main(int argc, char** argv) {
   options.campaign.gp.population = 160;
   options.fleet_threads =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 0;
+  const std::size_t generate_count =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 0;
+  const std::uint64_t gen_seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+
+  const std::vector<vehicle::CarSpec> specs =
+      generate_count > 0
+          ? vehicle::generate_fleet(vehicle::GeneratorConfig{}, gen_seed,
+                                    generate_count)
+          : vehicle::catalog();
 
   const core::FleetRunner runner(options);
-  const auto summary = runner.run_catalog();
+  const auto summary = runner.run(specs);
 
   std::printf("%-8s %-22s %-10s %-9s %-8s %-7s %-6s\n", "Car", "Model",
               "Protocol", "#signals", "#formula", "GP ok", "#ECR");
-  const auto& catalog = vehicle::catalog();
   for (std::size_t i = 0; i < summary.reports.size(); ++i) {
     const auto& report = summary.reports[i];
-    const auto& spec = catalog[i];
+    const auto& spec = specs[i];
     std::printf("%-8s %-22s %-10s %-9zu %-8zu %-7zu %-6zu\n",
                 report.car_label.c_str(), spec.model.c_str(),
                 spec.protocol == vehicle::Protocol::kUds ? "UDS" : "KWP",

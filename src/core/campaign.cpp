@@ -96,18 +96,20 @@ std::size_t CampaignReport::polynomial_correct() const {
       }));
 }
 
-Campaign::Campaign(vehicle::CarId car, CampaignOptions options)
+Campaign::Campaign(const vehicle::CarSpec& spec, CampaignOptions options)
     : options_(options) {
   bus_ = std::make_unique<can::CanBus>(clock_);
   if (options_.faults.rate > 0.0) {
-    // Per-campaign injector stream, salted by the car id: each car's bus
-    // replays its faults bit-identically at any fleet thread count. Gated
-    // on the *wire* rate — stateful-only configs must not arm a zero-rate
-    // injector (its delivery tally would alter the report signature).
+    // Per-campaign injector stream, salted per car: each car's bus
+    // replays its faults bit-identically at any fleet thread count.
+    // Catalog cars salt by id exactly as before; generated cars fold in
+    // their gen_seed. Gated on the *wire* rate — stateful-only configs
+    // must not arm a zero-rate injector (its delivery tally would alter
+    // the report signature).
     bus_->set_faults(options_.faults.bus_plan(),
-                     options_.faults.rng_for(static_cast<std::uint64_t>(car)));
+                     options_.faults.rng_for(vehicle::car_stream_salt(spec)));
   }
-  vehicle_ = std::make_unique<vehicle::Vehicle>(car, *bus_, clock_,
+  vehicle_ = std::make_unique<vehicle::Vehicle>(spec, *bus_, clock_,
                                                 options_.seed,
                                                 options_.faults);
   tool_ = std::make_unique<diagtool::DiagnosticTool>(
@@ -147,9 +149,12 @@ Campaign::Campaign(vehicle::CarId car, CampaignOptions options)
   camera_b_ = std::make_unique<cps::Camera>(*tool_, camera_clock,
                                             tool_->profile().value_font_px);
 
-  report_.car = car;
+  report_.spec_digest = vehicle::spec_digest(vehicle_->spec());
   report_.car_label = vehicle_->spec().label;
 }
+
+Campaign::Campaign(vehicle::CarId car, CampaignOptions options)
+    : Campaign(vehicle::car_spec(car), std::move(options)) {}
 
 Campaign::~Campaign() = default;
 
@@ -428,7 +433,7 @@ void Campaign::run() {
 
   std::optional<CheckpointStore> store;
   const std::uint64_t digest = options_digest();
-  const auto car = static_cast<std::uint32_t>(report_.car);
+  const std::uint64_t car = report_.spec_digest;
   std::size_t first = 0;
   if (!options_.checkpoint_dir.empty()) {
     store.emplace(options_.checkpoint_dir);
@@ -1224,7 +1229,7 @@ util::Bytes Campaign::serialize_state() const {
   }
 
   // The report as filled in so far.
-  w.u32(static_cast<std::uint32_t>(report_.car));
+  w.u64(report_.spec_digest);
   w.str(report_.car_label);
   w.u64(report_.census.single_frames);
   w.u64(report_.census.first_frames);
@@ -1402,7 +1407,7 @@ bool Campaign::restore_state(const util::Bytes& payload) {
     }
 
     CampaignReport report;
-    report.car = static_cast<vehicle::CarId>(r.u32());
+    report.spec_digest = r.u64();
     report.car_label = r.str();
     report.census.single_frames = r.u64();
     report.census.first_frames = r.u64();

@@ -168,7 +168,10 @@ struct TransactionFailure {
 };
 
 struct CampaignReport {
-  vehicle::CarId car = vehicle::CarId::kA;
+  /// vehicle::spec_digest of the car this report describes (checkpoint /
+  /// result-cache key); 0 only for failure slots whose spec never
+  /// resolved (e.g. an unknown CarId handed to FleetRunner).
+  std::uint64_t spec_digest = 0;
   std::string car_label;
   frames::FrameCensus census;
   std::size_t messages_assembled = 0;
@@ -202,6 +205,12 @@ struct CampaignReport {
 
 class Campaign {
  public:
+  /// Campaign over any spec — one of the 18 pre-baked catalog cars or a
+  /// vehicle::Generator product. The spec is copied (the Vehicle owns
+  /// it); checkpoints key on its spec_digest.
+  Campaign(const vehicle::CarSpec& spec, CampaignOptions options = {});
+  /// Catalog convenience: Campaign(car_spec(id), options). Throws
+  /// std::out_of_range for ids outside the catalog.
   Campaign(vehicle::CarId car, CampaignOptions options = {});
   ~Campaign();
 

@@ -8,8 +8,10 @@ namespace dpr::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x43525044;  // "DPRC" little-endian
-// v2: GpStageTimings gained cache_hits/cache_misses in the payload.
-constexpr std::uint32_t kVersion = 2;
+// v3: keys (and the serialized report) identify the car by its 64-bit
+// spec digest instead of the catalog CarId integer, so generated cars
+// checkpoint/resume exactly like catalog cars.
+constexpr std::uint32_t kVersion = 3;
 
 }  // namespace
 
@@ -18,22 +20,23 @@ CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
   std::filesystem::create_directories(dir_, ec);  // best effort
 }
 
-std::string CheckpointStore::path_for(std::uint32_t car, std::uint64_t seed,
+std::string CheckpointStore::path_for(std::uint64_t car, std::uint64_t seed,
                                       std::uint64_t digest) const {
   char name[80];
-  std::snprintf(name, sizeof name, "dpr-%u-%016llx-%016llx.ckpt", car,
+  std::snprintf(name, sizeof name, "dpr-%016llx-%016llx-%016llx.ckpt",
+                static_cast<unsigned long long>(car),
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(digest));
   return dir_ + "/" + name;
 }
 
-bool CheckpointStore::save(std::uint32_t car, std::uint64_t seed,
+bool CheckpointStore::save(std::uint64_t car, std::uint64_t seed,
                            std::uint64_t digest, std::uint32_t phase,
                            std::span<const std::uint8_t> payload) const {
   util::BinaryWriter w;
   w.u32(kMagic);
   w.u32(kVersion);
-  w.u32(car);
+  w.u64(car);
   w.u64(seed);
   w.u64(digest);
   w.u32(phase);
@@ -43,7 +46,7 @@ bool CheckpointStore::save(std::uint32_t car, std::uint64_t seed,
 }
 
 std::optional<CheckpointStore::Loaded> CheckpointStore::load(
-    std::uint32_t car, std::uint64_t seed, std::uint64_t digest) const {
+    std::uint64_t car, std::uint64_t seed, std::uint64_t digest) const {
   const auto data = util::read_file(path_for(car, seed, digest));
   if (!data || data->size() < 8) return std::nullopt;
 
@@ -59,7 +62,7 @@ std::optional<CheckpointStore::Loaded> CheckpointStore::load(
   try {
     util::BinaryReader r(std::span<const std::uint8_t>(data->data(), body));
     if (r.u32() != kMagic || r.u32() != kVersion) return std::nullopt;
-    if (r.u32() != car || r.u64() != seed || r.u64() != digest) {
+    if (r.u64() != car || r.u64() != seed || r.u64() != digest) {
       return std::nullopt;
     }
     Loaded loaded;
@@ -72,7 +75,7 @@ std::optional<CheckpointStore::Loaded> CheckpointStore::load(
   }
 }
 
-void CheckpointStore::remove(std::uint32_t car, std::uint64_t seed,
+void CheckpointStore::remove(std::uint64_t car, std::uint64_t seed,
                              std::uint64_t digest) const {
   std::error_code ec;
   std::filesystem::remove(path_for(car, seed, digest), ec);

@@ -1,8 +1,8 @@
 #pragma once
 // On-disk checkpoint store for campaign resume (ISSUE 4).
 //
-// One file per (car, seed, options-digest) key. After each completed
-// pipeline phase the campaign overwrites its file with the serialized
+// One file per (car-spec digest, seed, options-digest) key. After each
+// completed pipeline phase the campaign overwrites its file with the serialized
 // state needed to resume at the *next* phase, so a killed process loses
 // at most one phase of work. The file format is versioned, carries the
 // key (a checkpoint written under different options never resumes a
@@ -30,23 +30,25 @@ class CheckpointStore {
   };
 
   /// The checkpoint file backing a key (for tests, CI and cleanup).
-  std::string path_for(std::uint32_t car, std::uint64_t seed,
+  /// `car` is the vehicle::spec_digest of the campaign's car, so catalog
+  /// and generated cars share one uniform 64-bit key space.
+  std::string path_for(std::uint64_t car, std::uint64_t seed,
                        std::uint64_t digest) const;
 
   /// Persist `payload` as the state after `phase`. Returns false on any
   /// I/O failure — the campaign then simply runs on uncheckpointed.
-  bool save(std::uint32_t car, std::uint64_t seed, std::uint64_t digest,
+  bool save(std::uint64_t car, std::uint64_t seed, std::uint64_t digest,
             std::uint32_t phase,
             std::span<const std::uint8_t> payload) const;
 
   /// Load and validate the checkpoint for a key. nullopt when the file is
   /// missing, truncated, corrupt, from another format version, or written
   /// under a different (car, seed, options) key.
-  std::optional<Loaded> load(std::uint32_t car, std::uint64_t seed,
+  std::optional<Loaded> load(std::uint64_t car, std::uint64_t seed,
                              std::uint64_t digest) const;
 
   /// Drop the checkpoint for a key (the campaign ran to completion).
-  void remove(std::uint32_t car, std::uint64_t seed,
+  void remove(std::uint64_t car, std::uint64_t seed,
               std::uint64_t digest) const;
 
  private:

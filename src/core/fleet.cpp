@@ -66,57 +66,90 @@ FleetRunner::FleetRunner(FleetOptions options)
                    ? 1
                    : util::ThreadPool::resolve(options_.fleet_threads)) {}
 
-FleetSummary FleetRunner::run(const std::vector<vehicle::CarId>& cars) const {
+namespace {
+
+/// Degraded quarantine profile: half the capture window (floor 2
+/// sim-seconds) and no inference/baselines — the cheapest configuration
+/// that still produces a full traffic census, so a car that failed on a
+/// deadline or a resource wall gets a real second chance instead of an
+/// identical re-run. Watchdog/stall settings are deliberately kept: a
+/// deterministically wedged phase must fail the retry too.
+CampaignOptions degraded_options(CampaignOptions options) {
+  options.live_window =
+      std::max<util::SimTime>(2 * util::kSecond, options.live_window / 2);
+  options.run_inference = false;
+  options.run_baselines = false;
+  return options;
+}
+
+}  // namespace
+
+FleetSummary FleetRunner::run_impl(
+    std::size_t count,
+    const std::function<const vehicle::CarSpec*(std::size_t)>& spec_for,
+    const std::function<std::string(std::size_t)>& fallback_label) const {
   FleetSummary summary;
-  summary.reports.resize(cars.size());
-  summary.threads_used = cars.size() <= 1 ? 1 : threads_;
+  summary.reports.resize(count);
+  summary.threads_used = count <= 1 ? 1 : threads_;
 
   const auto start = std::chrono::steady_clock::now();
-  auto run_one = [&](std::size_t i, util::ThreadPool* pool) {
-    CampaignOptions campaign_options = options_.campaign;
+  auto run_one = [&](std::size_t i, util::ThreadPool* pool,
+                     const CampaignOptions& base_options) {
+    CampaignOptions campaign_options = base_options;
     if (pool != nullptr && options_.share_thread_budget) {
       campaign_options.infer_pool = pool;
     }
     // Graceful degradation: one bad vehicle must never kill the fleet (or
     // escape into a ThreadPool worker, which would terminate the process).
     // A throwing campaign becomes a failed per-car report slot.
+    const vehicle::CarSpec* spec = nullptr;
     try {
-      Campaign campaign(cars[i], campaign_options);
+      spec = spec_for(i);
+      if (spec == nullptr) throw std::out_of_range("unknown car id");
+      Campaign campaign(*spec, campaign_options);
       campaign.run();
       summary.reports[i] = campaign.report();
     } catch (const std::exception& e) {
       summary.reports[i] = CampaignReport{};
-      summary.reports[i].car = cars[i];
+      summary.reports[i].spec_digest =
+          spec != nullptr ? vehicle::spec_digest(*spec) : 0;
       summary.reports[i].car_label =
-          "car#" + std::to_string(static_cast<int>(cars[i]));
+          spec != nullptr ? spec->label : fallback_label(i);
       summary.reports[i].completed = false;
       summary.reports[i].failure_reason = e.what();
     } catch (...) {
       summary.reports[i] = CampaignReport{};
-      summary.reports[i].car = cars[i];
+      summary.reports[i].spec_digest =
+          spec != nullptr ? vehicle::spec_digest(*spec) : 0;
       summary.reports[i].car_label =
-          "car#" + std::to_string(static_cast<int>(cars[i]));
+          spec != nullptr ? spec->label : fallback_label(i);
       summary.reports[i].completed = false;
       summary.reports[i].failure_reason = "unknown exception";
     }
   };
 
   if (summary.threads_used <= 1) {
-    for (std::size_t i = 0; i < cars.size(); ++i) run_one(i, nullptr);
+    for (std::size_t i = 0; i < count; ++i) {
+      run_one(i, nullptr, options_.campaign);
+    }
   } else {
     util::ThreadPool pool(summary.threads_used);
-    pool.parallel_for(cars.size(),
-                      [&](std::size_t i) { run_one(i, &pool); });
+    pool.parallel_for(
+        count, [&](std::size_t i) { run_one(i, &pool, options_.campaign); });
   }
   if (options_.quarantine_retry) {
     // Supervised quarantine pass: each failed car gets exactly one serial
-    // re-run. With checkpointing enabled the retry resumes from the last
-    // completed phase; a second failure preserves both reasons.
-    for (std::size_t i = 0; i < cars.size(); ++i) {
+    // re-run under the degraded profile. Either way the first failure
+    // stays on record — "recovered after retry" on success, both reasons
+    // on a second failure.
+    for (std::size_t i = 0; i < count; ++i) {
       if (summary.reports[i].completed) continue;
       const std::string first_reason = summary.reports[i].failure_reason;
-      run_one(i, nullptr);
-      if (!summary.reports[i].completed) {
+      run_one(i, nullptr, degraded_options(options_.campaign));
+      if (summary.reports[i].completed) {
+        summary.reports[i].failure_reason =
+            first_reason + "; recovered after retry";
+      } else {
         summary.reports[i].failure_reason =
             first_reason + "; retry: " + summary.reports[i].failure_reason;
       }
@@ -131,11 +164,29 @@ FleetSummary FleetRunner::run(const std::vector<vehicle::CarId>& cars) const {
   return summary;
 }
 
+FleetSummary FleetRunner::run(
+    const std::vector<vehicle::CarSpec>& specs) const {
+  return run_impl(
+      specs.size(), [&](std::size_t i) { return &specs[i]; },
+      [](std::size_t i) { return "car#" + std::to_string(i); });
+}
+
+FleetSummary FleetRunner::run(const std::vector<vehicle::CarId>& cars) const {
+  return run_impl(
+      cars.size(),
+      [&](std::size_t i) -> const vehicle::CarSpec* {
+        for (const auto& spec : vehicle::catalog()) {
+          if (spec.id == cars[i]) return &spec;
+        }
+        return nullptr;
+      },
+      [&](std::size_t i) {
+        return "car#" + std::to_string(static_cast<int>(cars[i]));
+      });
+}
+
 FleetSummary FleetRunner::run_catalog() const {
-  std::vector<vehicle::CarId> cars;
-  cars.reserve(vehicle::catalog().size());
-  for (const auto& spec : vehicle::catalog()) cars.push_back(spec.id);
-  return run(cars);
+  return run(vehicle::catalog());
 }
 
 std::string report_signature(const CampaignReport& report) {

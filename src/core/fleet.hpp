@@ -19,6 +19,7 @@
 // and always reported in input (catalog) order.
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,11 +41,14 @@ struct FleetOptions {
   /// every car.
   CampaignOptions campaign;
   /// After the main pass, re-run every failed car once, serially, in
-  /// quarantine (no pool — a wedged campaign cannot starve healthy ones).
-  /// A car that fails again keeps both reasons
-  /// ("<first>; retry: <second>"). Deterministic failures (bad car id,
-  /// reset storms under a fixed fault seed) fail identically on retry, so
-  /// fleet signatures stay bit-identical run to run.
+  /// quarantine (no pool — a wedged campaign cannot starve healthy ones)
+  /// under a degraded profile: live_window halved (floor 2 sim-seconds),
+  /// GP inference and baselines off. A retry that succeeds keeps its
+  /// first failure on record ("<first>; recovered after retry"); one that
+  /// fails again keeps both reasons ("<first>; retry: <second>").
+  /// Everything about the retry is deterministic (serial, fixed option
+  /// transform), so fleet signatures stay bit-identical run to run and
+  /// across thread counts.
   bool quarantine_retry = true;
 };
 
@@ -76,13 +80,26 @@ class FleetRunner {
   /// Number of concurrent campaigns a run() will use.
   std::size_t threads() const { return threads_; }
 
-  /// Run one campaign per car id, concurrently up to the thread budget.
+  /// Run one campaign per spec, concurrently up to the thread budget.
+  /// Accepts any mix of catalog specs and vehicle::Generator output.
+  FleetSummary run(const std::vector<vehicle::CarSpec>& specs) const;
+
+  /// Catalog convenience: resolve each id and run. An id outside the
+  /// catalog becomes a failed report slot, never a fleet abort.
   FleetSummary run(const std::vector<vehicle::CarId>& cars) const;
 
   /// Run the full 18-car catalog.
   FleetSummary run_catalog() const;
 
  private:
+  /// Shared driver: `spec_for(i)` resolves slot i's spec (nullptr when
+  /// unresolvable — e.g. an id outside the catalog — which becomes a
+  /// failed slot labeled by `fallback_label(i)`).
+  FleetSummary run_impl(
+      std::size_t count,
+      const std::function<const vehicle::CarSpec*(std::size_t)>& spec_for,
+      const std::function<std::string(std::size_t)>& fallback_label) const;
+
   FleetOptions options_;
   std::size_t threads_ = 1;
 };

@@ -2,29 +2,19 @@
 
 #include <array>
 #include <cassert>
+#include <set>
 #include <stdexcept>
 
+#include "util/checkpoint.hpp"
 #include "util/rng.hpp"
 
 namespace dpr::vehicle {
 
-namespace {
+/// --- Pools the catalog builder and vehicle::Generator draw from ------------
 
-/// --- Pools the generator draws from ---------------------------------------
-
-struct UdsPoolEntry {
-  const char* name;
-  const char* unit;
-  std::size_t bytes;
-  PropFormula formula;
-  std::uint32_t lo, hi;
-  RawSignal::Pattern pattern;
-  bool independent_bytes = false;
-};
-
-const std::vector<UdsPoolEntry>& uds_formula_pool() {
+const std::vector<UdsSignalTemplate>& uds_signal_templates() {
   using P = RawSignal::Pattern;
-  static const std::vector<UdsPoolEntry> pool = {
+  static const std::vector<UdsSignalTemplate> pool = {
       {"Vehicle Speed", "km/h", 1, PropFormula::linear(1.0), 0, 220,
        P::kSine},
       {"Engine Coolant Temperature", "degC", 2,
@@ -96,7 +86,7 @@ const std::vector<UdsPoolEntry>& uds_formula_pool() {
   return pool;
 }
 
-const std::vector<const char*>& enum_name_pool() {
+const std::vector<const char*>& enum_name_templates() {
   static const std::vector<const char*> pool = {
       "Door Status Front Left", "Door Status Front Right",
       "Door Status Rear Left", "Door Status Rear Right", "Trunk Status",
@@ -112,18 +102,9 @@ const std::vector<const char*>& enum_name_pool() {
   return pool;
 }
 
-struct KwpPoolEntry {
-  std::uint8_t type;
-  const char* name;
-  const char* unit;
-  std::uint8_t x0_lo, x0_hi;
-  std::uint8_t x1_lo, x1_hi;
-  RawSignal::Pattern pattern;
-};
-
-const std::vector<KwpPoolEntry>& kwp_formula_pool() {
+const std::vector<KwpEsvTemplate>& kwp_esv_templates() {
   using P = RawSignal::Pattern;
-  static const std::vector<KwpPoolEntry> pool = {
+  static const std::vector<KwpEsvTemplate> pool = {
       // The paper's worked example: type 0x01 engine RPM. X0 is the
       // per-block scaling byte; on several blocks it varies with load,
       // making the product genuinely nonlinear (LR fails, §4.4).
@@ -158,13 +139,8 @@ const std::vector<KwpPoolEntry>& kwp_formula_pool() {
   return pool;
 }
 
-struct ActuatorPoolEntry {
-  const char* name;
-  std::array<std::uint8_t, 4> state;  // example shortTermAdjustment state
-};
-
-const std::vector<ActuatorPoolEntry>& actuator_pool() {
-  static const std::vector<ActuatorPoolEntry> pool = {
+const std::vector<ActuatorTemplate>& actuator_templates() {
+  static const std::vector<ActuatorTemplate> pool = {
       // Fog lights: one byte duration, one byte side (§4.5 example).
       {"Fog Light Left", {0x05, 0x01, 0x00, 0x00}},
       {"Fog Light Right", {0x03, 0x00, 0x00, 0x00}},
@@ -201,6 +177,8 @@ const std::vector<ActuatorPoolEntry>& actuator_pool() {
   };
   return pool;
 }
+
+namespace {
 
 /// --- Per-car configuration (Tables 3, 6, 11) --------------------------------
 
@@ -392,7 +370,7 @@ CarSpec build_car(const CarConfig& config) {
   // --- Readable signals ----------------------------------------------------
   if (config.protocol == Protocol::kUds) {
     std::vector<UdsSignalSpec> signals = special_uds_signals(config.id);
-    const auto& pool = uds_formula_pool();
+    const auto& pool = uds_signal_templates();
     // Offset the pool start per car so different cars get different mixes.
     std::size_t cursor = static_cast<std::size_t>(config.id) * 7;
     std::size_t consecutive_skips = 0;
@@ -423,7 +401,7 @@ CarSpec build_car(const CarConfig& config) {
     }
     for (std::size_t i = 0; i < config.enum_count; ++i) {
       UdsSignalSpec sig;
-      sig.name = enum_name_pool()[i % enum_name_pool().size()];
+      sig.name = enum_name_templates()[i % enum_name_templates().size()];
       sig.unit = "";
       sig.data_bytes = 1;
       sig.formula = PropFormula::enumeration();
@@ -444,7 +422,7 @@ CarSpec build_car(const CarConfig& config) {
     }
   } else {
     // KWP car: group ESVs into measuring blocks of up to 4.
-    const auto& pool = kwp_formula_pool();
+    const auto& pool = kwp_esv_templates();
     std::size_t cursor = static_cast<std::size_t>(config.id) * 3;
     std::vector<KwpEsvSpec> esvs;
     while (esvs.size() < config.formula_count) {
@@ -472,7 +450,7 @@ CarSpec build_car(const CarConfig& config) {
     for (std::size_t i = 0; i < config.enum_count; ++i) {
       KwpEsvSpec esv;
       esv.formula_type = 0x11;  // status kind
-      esv.name = enum_name_pool()[i % enum_name_pool().size()];
+      esv.name = enum_name_templates()[i % enum_name_templates().size()];
       esv.is_enum = true;
       esv.x0_lo = esv.x0_hi = 0x00;
       esv.x1_lo = 0;
@@ -502,7 +480,7 @@ CarSpec build_car(const CarConfig& config) {
   std::vector<ActuatorSpec> actuators =
       config.attack_targets ? special_actuators(config.id)
                             : std::vector<ActuatorSpec>{};
-  const auto& apool = actuator_pool();
+  const auto& apool = actuator_templates();
   std::size_t acursor = static_cast<std::size_t>(config.id) * 5;
   std::size_t askips = 0;
   while (actuators.size() < config.ecr_count) {
@@ -554,5 +532,141 @@ const CarSpec& car_spec(CarId id) {
 }
 
 std::string car_label(CarId id) { return car_spec(id).label; }
+
+std::uint64_t spec_digest(const CarSpec& spec) {
+  using util::fnv1a64_f64;
+  using util::fnv1a64_str;
+  using util::fnv1a64_u64;
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.id), h);
+  h = fnv1a64_str(spec.label, h);
+  h = fnv1a64_str(spec.model, h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.protocol), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.transport), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.io_service), h);
+  h = fnv1a64_str(spec.tool, h);
+  h = fnv1a64_u64(spec.formula_esv_count, h);
+  h = fnv1a64_u64(spec.enum_esv_count, h);
+  h = fnv1a64_u64(spec.ecr_count, h);
+  h = fnv1a64_u64(spec.gen_seed, h);
+  const auto fold_formula = [&](const PropFormula& f) {
+    h = fnv1a64_u64(static_cast<std::uint64_t>(f.kind()), h);
+    h = fnv1a64_f64(f.a(), h);
+    h = fnv1a64_f64(f.b(), h);
+    h = fnv1a64_f64(f.c(), h);
+  };
+  h = fnv1a64_u64(spec.ecus.size(), h);
+  for (const auto& ecu : spec.ecus) {
+    h = fnv1a64_str(ecu.name, h);
+    h = fnv1a64_u64(ecu.address, h);
+    h = fnv1a64_u64(ecu.request_id, h);
+    h = fnv1a64_u64(ecu.response_id, h);
+    h = fnv1a64_u64(ecu.supports_obd ? 1 : 0, h);
+    h = fnv1a64_u64(ecu.uds_signals.size(), h);
+    for (const auto& sig : ecu.uds_signals) {
+      h = fnv1a64_u64(sig.did, h);
+      h = fnv1a64_str(sig.name, h);
+      h = fnv1a64_str(sig.unit, h);
+      h = fnv1a64_u64(sig.data_bytes, h);
+      fold_formula(sig.formula);
+      h = fnv1a64_u64(sig.raw_lo, h);
+      h = fnv1a64_u64(sig.raw_hi, h);
+      h = fnv1a64_u64(static_cast<std::uint64_t>(sig.pattern), h);
+      h = fnv1a64_u64(sig.independent_bytes ? 1 : 0, h);
+    }
+    h = fnv1a64_u64(ecu.kwp_local_ids.size(), h);
+    for (const auto& block : ecu.kwp_local_ids) {
+      h = fnv1a64_u64(block.local_id, h);
+      h = fnv1a64_str(block.group_name, h);
+      h = fnv1a64_u64(block.esvs.size(), h);
+      for (const auto& esv : block.esvs) {
+        h = fnv1a64_u64(esv.formula_type, h);
+        h = fnv1a64_str(esv.name, h);
+        h = fnv1a64_str(esv.unit, h);
+        h = fnv1a64_u64(esv.x0_lo, h);
+        h = fnv1a64_u64(esv.x0_hi, h);
+        h = fnv1a64_u64(esv.x1_lo, h);
+        h = fnv1a64_u64(esv.x1_hi, h);
+        h = fnv1a64_u64(static_cast<std::uint64_t>(esv.pattern), h);
+        h = fnv1a64_u64(esv.is_enum ? 1 : 0, h);
+      }
+    }
+    h = fnv1a64_u64(ecu.actuators.size(), h);
+    for (const auto& act : ecu.actuators) {
+      h = fnv1a64_u64(act.id, h);
+      h = fnv1a64_str(act.name, h);
+      h = fnv1a64_u64(act.example_state.size(), h);
+      for (const std::uint8_t byte : act.example_state) {
+        h = fnv1a64_u64(byte, h);
+      }
+    }
+  }
+  return h;
+}
+
+std::uint64_t car_stream_salt(const CarSpec& spec) {
+  // Weyl-step the gen_seed so generated cars with adjacent seeds still get
+  // well-separated salts; gen_seed == 0 reproduces the pre-generator
+  // catalog salts exactly.
+  return static_cast<std::uint64_t>(spec.id) +
+         0x9E3779B97F4A7C15ULL * spec.gen_seed;
+}
+
+void validate_spec(const CarSpec& spec) {
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("invalid car spec '" + spec.label +
+                                "': " + what);
+  };
+  if (spec.ecus.empty()) fail("no ECUs");
+
+  std::set<std::uint32_t> addresses, request_ids, response_ids;
+  std::set<std::uint16_t> dids, actuator_ids;
+  std::set<std::uint8_t> local_ids;
+  const bool shared_tester =
+      spec.transport == TransportKind::kBmwFraming;  // one tester id, 0x6F1
+  for (std::size_t e = 0; e < spec.ecus.size(); ++e) {
+    const auto& ecu = spec.ecus[e];
+    if (!addresses.insert(ecu.address).second) {
+      fail("duplicate ECU address " + std::to_string(ecu.address));
+    }
+    if (ecu.request_id == ecu.response_id) {
+      fail("request id equals response id on " + ecu.name);
+    }
+    if (!request_ids.insert(ecu.request_id).second && !shared_tester) {
+      fail("duplicate request CAN id on " + ecu.name);
+    }
+    if (!response_ids.insert(ecu.response_id).second) {
+      fail("duplicate response CAN id on " + ecu.name);
+    }
+    // 0x7DF/0x7E8 carry the SAE J1979 functional query and its reply;
+    // only the OBD-capable engine ECU may sit on them.
+    if (ecu.request_id == 0x7DF || ecu.response_id == 0x7DF) {
+      fail("ECU on the OBD functional id 0x7DF");
+    }
+    if (!ecu.supports_obd &&
+        (ecu.request_id == 0x7E8 || ecu.response_id == 0x7E8)) {
+      fail("non-OBD ECU on the OBD response id 0x7E8");
+    }
+    for (const auto& sig : ecu.uds_signals) {
+      if (!dids.insert(sig.did).second) {
+        fail("duplicate DID " + std::to_string(sig.did));
+      }
+    }
+    for (const auto& block : ecu.kwp_local_ids) {
+      if (!local_ids.insert(block.local_id).second) {
+        fail("duplicate KWP local id " + std::to_string(block.local_id));
+      }
+    }
+    for (const auto& act : ecu.actuators) {
+      if (!actuator_ids.insert(act.id).second) {
+        fail("duplicate actuator id " + std::to_string(act.id));
+      }
+    }
+  }
+  if (spec.io_service == IoService::kUds2F &&
+      spec.protocol != Protocol::kUds) {
+    fail("UDS 0x2F IO service on a non-UDS car");
+  }
+}
 
 }  // namespace dpr::vehicle

@@ -3,7 +3,10 @@
 // actuator inventories sized to match the paper's evaluation (Table 6 ESV
 // counts, Table 11 ECR counts). Each spec is generated deterministically
 // from the car id, drawing names/formulas from realistic automotive pools.
+// The same pools back vehicle::Generator, which synthesizes arbitrary
+// fleets beyond the 18 pre-baked specs.
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -98,6 +101,13 @@ struct CarSpec {
   std::size_t formula_esv_count = 0;
   std::size_t enum_esv_count = 0;
   std::size_t ecr_count = 0;
+
+  /// Nonzero for procedurally generated cars (vehicle::Generator): the
+  /// generator seed, folded into the per-car RNG stream salt so two
+  /// generated cars never share dynamics/fault streams. 0 for the 18
+  /// hand-built catalog cars, which keeps their streams bit-identical to
+  /// pre-generator builds.
+  std::uint64_t gen_seed = 0;
 };
 
 /// The full 18-car catalog; built once, deterministic.
@@ -106,5 +116,60 @@ const std::vector<CarSpec>& catalog();
 const CarSpec& car_spec(CarId id);
 
 std::string car_label(CarId id);
+
+/// FNV-1a 64 over every semantic field of a spec (label, model, protocol
+/// stack, every ECU's addressing/signal/actuator tables, gen_seed).
+/// Campaign checkpoints and fleet bookkeeping key on this digest, so a
+/// generated car resumes exactly like a catalog car; two specs collide
+/// only if they are byte-for-byte the same vehicle.
+std::uint64_t spec_digest(const CarSpec& spec);
+
+/// Per-car salt for derived RNG streams (signal dynamics, fault
+/// injection). Catalog cars salt by id exactly as before the generator
+/// existed; generated cars additionally fold in gen_seed.
+std::uint64_t car_stream_salt(const CarSpec& spec);
+
+/// Structural invariants every spec must satisfy for the simulator and
+/// the ground-truth scorer to behave: unique ECU addresses, unique
+/// response CAN ids, unique request ids (except the deliberately shared
+/// BMW tester id 0x6F1), no collisions with the OBD functional ids, and
+/// car-globally unique DIDs / KWP local ids / actuator ids. Throws
+/// std::invalid_argument naming the first violation.
+void validate_spec(const CarSpec& spec);
+
+/// --- Template pools --------------------------------------------------------
+// The realistic signal/actuator inventories both the hand-built catalog
+// and vehicle::Generator draw from. Formula templates cover every
+// PropFormula family (linear/quadratic/two-byte/product) plus the KWP
+// formula-type table.
+
+struct UdsSignalTemplate {
+  const char* name;
+  const char* unit;
+  std::size_t bytes;
+  PropFormula formula;
+  std::uint32_t lo, hi;
+  RawSignal::Pattern pattern;
+  bool independent_bytes = false;
+};
+
+struct KwpEsvTemplate {
+  std::uint8_t type;  // index into kwp::formula_table
+  const char* name;
+  const char* unit;
+  std::uint8_t x0_lo, x0_hi;
+  std::uint8_t x1_lo, x1_hi;
+  RawSignal::Pattern pattern;
+};
+
+struct ActuatorTemplate {
+  const char* name;
+  std::array<std::uint8_t, 4> state;  // example shortTermAdjustment state
+};
+
+const std::vector<UdsSignalTemplate>& uds_signal_templates();
+const std::vector<KwpEsvTemplate>& kwp_esv_templates();
+const std::vector<const char*>& enum_name_templates();
+const std::vector<ActuatorTemplate>& actuator_templates();
 
 }  // namespace dpr::vehicle

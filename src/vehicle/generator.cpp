@@ -1,0 +1,255 @@
+#include "vehicle/generator.hpp"
+
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace dpr::vehicle {
+
+namespace {
+
+const char* kMakes[] = {"Aurora",  "Cascade", "Helios", "Meridian",
+                        "Nimbus",  "Orion",   "Polaris", "Quasar",
+                        "Sierra",  "Vega",    "Zenith",  "Atlas"};
+
+const char* kEcuNames[] = {"Engine",       "Main Body",
+                           "ABS/ESP",      "Instrument Cluster",
+                           "Gateway",      "Transmission",
+                           "Climate Control", "Steering Assist"};
+
+/// The diagnostic-tool profiles diagtool::profile_by_name knows; any
+/// other string silently falls back to the Techstream profile, which
+/// would make the tool mix narrower than intended.
+const char* kTools[] = {"AUTEL 919", "LAUNCH X431", "VCDS", "Techstream"};
+
+std::size_t range_draw(util::Rng& rng, std::size_t lo, std::size_t hi,
+                       const char* what) {
+  if (lo > hi) {
+    throw std::invalid_argument(std::string("GeneratorConfig: ") + what +
+                                " range is inverted");
+  }
+  return static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(lo),
+                      static_cast<std::int64_t>(hi)));
+}
+
+/// Draw an unused id uniformly from [lo, hi], rejecting collisions.
+std::uint16_t draw_id(util::Rng& rng, std::set<std::uint16_t>& used,
+                      std::uint16_t lo, std::uint16_t hi) {
+  if (used.size() >= static_cast<std::size_t>(hi - lo + 1)) {
+    throw std::invalid_argument("generator id space exhausted");
+  }
+  for (;;) {
+    const auto id = static_cast<std::uint16_t>(rng.uniform_int(lo, hi));
+    if (used.insert(id).second) return id;
+  }
+}
+
+/// Names inside one car get an index suffix on repeat draws so UI rows
+/// stay distinguishable (same policy as the catalog builder).
+std::string dedup_name(const char* base, std::set<std::string>& used,
+                       std::size_t index) {
+  std::string name = base;
+  if (!used.insert(name).second) {
+    name += " #" + std::to_string(index);
+    used.insert(name);
+  }
+  return name;
+}
+
+}  // namespace
+
+CarSpec generate_car(const GeneratorConfig& config, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x47454E43415253ULL);  // "GENCARS"
+
+  CarSpec spec;
+  spec.gen_seed = seed;
+  char label[16];
+  std::snprintf(label, sizeof label, "Gen-%04llX",
+                static_cast<unsigned long long>(seed & 0xFFFF));
+  spec.label = label;
+  spec.model = std::string(kMakes[rng.uniform_int(0, 11)]) + " " +
+               std::to_string(100 + rng.uniform_int(0, 899));
+  spec.tool = kTools[rng.uniform_int(0, 3)];
+
+  spec.protocol = rng.chance(config.kwp_fraction) ? Protocol::kKwp2000
+                                                  : Protocol::kUds;
+  if (spec.protocol == Protocol::kUds) {
+    spec.transport = rng.chance(config.bmw_fraction)
+                         ? TransportKind::kBmwFraming
+                         : TransportKind::kIsoTp;
+    spec.io_service = rng.chance(config.kwp30_io_fraction)
+                          ? IoService::kKwp30
+                          : IoService::kUds2F;
+  } else {
+    spec.transport = rng.chance(config.vwtp_fraction)
+                         ? TransportKind::kVwTp20
+                         : TransportKind::kIsoTp;
+    spec.io_service = IoService::kKwp30;
+  }
+
+  // --- ECU inventory --------------------------------------------------------
+  // Same addressing scheme as the catalog: it keeps every request /
+  // response id clear of the OBD functional pair (0x7DF / 0x7E8) for up
+  // to 32 ECUs, which validate_spec() enforces below.
+  const std::size_t n_ecus = std::min<std::size_t>(
+      32, std::max<std::size_t>(
+              1, range_draw(rng, config.ecus_min, config.ecus_max, "ecus")));
+  for (std::size_t e = 0; e < n_ecus; ++e) {
+    EcuSpec ecu;
+    ecu.name = kEcuNames[e % (sizeof kEcuNames / sizeof *kEcuNames)];
+    if (e >= sizeof kEcuNames / sizeof *kEcuNames) {
+      ecu.name += " #" + std::to_string(e);
+    }
+    ecu.address = static_cast<std::uint8_t>(0x12 + e);
+    if (spec.transport == TransportKind::kBmwFraming) {
+      ecu.request_id = 0x6F1;  // shared tester id; target in byte 0
+      ecu.response_id = 0x640 + ecu.address;
+    } else if (e == 0 && spec.protocol == Protocol::kUds) {
+      ecu.request_id = 0x7E0;
+      ecu.response_id = 0x7E8;
+    } else {
+      ecu.request_id = 0x710 + 2 * static_cast<std::uint32_t>(e);
+      ecu.response_id = ecu.request_id + 1;
+    }
+    ecu.supports_obd = (e == 0);
+    spec.ecus.push_back(std::move(ecu));
+  }
+
+  // --- Readable signals -----------------------------------------------------
+  const std::size_t n_formula = range_draw(
+      rng, config.formula_signals_min, config.formula_signals_max, "formula");
+  const std::size_t n_enum = range_draw(rng, config.enum_signals_min,
+                                        config.enum_signals_max, "enum");
+  spec.formula_esv_count = n_formula;
+  spec.enum_esv_count = n_enum;
+  std::set<std::string> signal_names;
+
+  if (spec.protocol == Protocol::kUds) {
+    const auto& pool = uds_signal_templates();
+    std::set<std::uint16_t> dids;
+    std::vector<UdsSignalSpec> signals;
+    for (std::size_t i = 0; i < n_formula + n_enum; ++i) {
+      UdsSignalSpec sig;
+      if (i < n_formula) {
+        const auto& entry = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        sig.name = dedup_name(entry.name, signal_names, i);
+        sig.unit = entry.unit;
+        sig.data_bytes = entry.bytes;
+        sig.formula = entry.formula;
+        sig.raw_lo = entry.lo;
+        sig.raw_hi = entry.hi;
+        sig.pattern = entry.pattern;
+        sig.independent_bytes = entry.independent_bytes;
+      } else {
+        const auto& names = enum_name_templates();
+        sig.name = dedup_name(
+            names[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(names.size()) - 1))],
+            signal_names, i);
+        sig.data_bytes = 1;
+        sig.formula = PropFormula::enumeration();
+        sig.raw_lo = 0;
+        sig.raw_hi = static_cast<std::uint32_t>(1 + rng.uniform_int(0, 2));
+        sig.pattern = RawSignal::Pattern::kToggle;
+      }
+      sig.did = draw_id(rng, dids, 0xF000, 0xFDFF);
+      signals.push_back(std::move(sig));
+    }
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+      spec.ecus[i % n_ecus].uds_signals.push_back(std::move(signals[i]));
+    }
+  } else {
+    // KWP car: every signal is a 3-byte ESV inside a measuring block.
+    const auto& pool = kwp_esv_templates();
+    std::vector<KwpEsvSpec> esvs;
+    for (std::size_t i = 0; i < n_formula; ++i) {
+      const auto& entry = pool[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      KwpEsvSpec esv;
+      esv.formula_type = entry.type;
+      esv.name = dedup_name(entry.name, signal_names, i);
+      esv.unit = entry.unit;
+      esv.x0_lo = entry.x0_lo;
+      esv.x0_hi = entry.x0_hi;
+      esv.x1_lo = entry.x1_lo;
+      esv.x1_hi = entry.x1_hi;
+      esv.pattern = entry.pattern;
+      esvs.push_back(std::move(esv));
+    }
+    for (std::size_t i = 0; i < n_enum; ++i) {
+      const auto& names = enum_name_templates();
+      KwpEsvSpec esv;
+      esv.formula_type = 0x11;  // status kind
+      esv.name = dedup_name(
+          names[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(names.size()) - 1))],
+          signal_names, n_formula + i);
+      esv.is_enum = true;
+      esv.x0_lo = esv.x0_hi = 0x00;
+      esv.x1_lo = 0;
+      esv.x1_hi = 1;
+      esv.pattern = RawSignal::Pattern::kToggle;
+      esvs.push_back(std::move(esv));
+    }
+    // Measuring blocks of 1..4 ESVs (Fig. 3). Local ids are drawn from
+    // [0x01, 0x7F]; actuator local ids live in [0x80, 0xEF], so the two
+    // tables can never collide on a generated car.
+    std::set<std::uint16_t> local_ids;
+    std::size_t i = 0;
+    std::size_t block_index = 0;
+    while (i < esvs.size()) {
+      KwpLocalIdSpec block;
+      block.local_id =
+          static_cast<std::uint8_t>(draw_id(rng, local_ids, 0x01, 0x7F));
+      block.group_name = "Measuring Block " + std::to_string(block.local_id);
+      const std::size_t take = std::min<std::size_t>(
+          esvs.size() - i, 1 + static_cast<std::size_t>(rng.uniform_int(0, 3)));
+      for (std::size_t k = 0; k < take; ++k) {
+        block.esvs.push_back(std::move(esvs[i++]));
+      }
+      spec.ecus[block_index % n_ecus].kwp_local_ids.push_back(
+          std::move(block));
+      ++block_index;
+    }
+  }
+
+  // --- Actuators ------------------------------------------------------------
+  const std::size_t n_actuators =
+      range_draw(rng, config.actuators_min, config.actuators_max, "actuators");
+  spec.ecr_count = n_actuators;
+  const auto& apool = actuator_templates();
+  std::set<std::string> actuator_names;
+  std::set<std::uint16_t> actuator_ids;
+  for (std::size_t i = 0; i < n_actuators; ++i) {
+    const auto& entry = apool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(apool.size()) - 1))];
+    ActuatorSpec act;
+    act.name = dedup_name(entry.name, actuator_names, i);
+    act.example_state.assign(entry.state.begin(), entry.state.end());
+    act.id = spec.io_service == IoService::kUds2F
+                 ? draw_id(rng, actuator_ids, 0x0900, 0x0EFF)
+                 : draw_id(rng, actuator_ids, 0x80, 0xEF);
+    spec.ecus[i % n_ecus].actuators.push_back(std::move(act));
+  }
+
+  validate_spec(spec);
+  return spec;
+}
+
+std::vector<CarSpec> generate_fleet(const GeneratorConfig& config,
+                                    std::uint64_t base_seed,
+                                    std::size_t count) {
+  std::vector<CarSpec> fleet;
+  fleet.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    fleet.push_back(generate_car(config, base_seed + i));
+  }
+  return fleet;
+}
+
+}  // namespace dpr::vehicle

@@ -1,0 +1,65 @@
+#pragma once
+// Procedural vehicle generator: synthesizes arbitrary-size fleets beyond
+// the 18 hand-built Table-3 cars. Each spec is a pure function of
+// (GeneratorConfig, seed) — same inputs, byte-identical spec (and thus
+// identical spec_digest) on every platform and thread count — and carries
+// full ground truth (decode formulas, KWP formula types, actuator
+// states), so Campaign::score_findings scores a generated car exactly
+// like a catalog car.
+//
+// Generated inventories are non-colliding by construction: CAN ids follow
+// the catalog's addressing scheme (engine on 0x7E0/0x7E8, others on
+// 0x710+2e, BMW framing on the shared tester id 0x6F1 with per-ECU
+// response ids), and DIDs / KWP local ids / actuator ids are drawn by
+// rejection sampling against per-car occupancy sets. Every spec is passed
+// through validate_spec() before it is returned.
+
+#include <cstdint>
+#include <vector>
+
+#include "vehicle/catalog.hpp"
+
+namespace dpr::vehicle {
+
+/// Knobs for the shape of generated cars. Defaults produce mid-size cars
+/// (2-4 ECUs, 4-14 formula signals) with the protocol mix of the paper's
+/// fleet: mostly UDS over ISO-TP, a KWP/VW-TP minority, a BMW-framing
+/// minority, both IO-control dialects.
+struct GeneratorConfig {
+  /// ECU inventory per car; clamped to [1, 32] (the 0x710+2e CAN id
+  /// scheme stays clear of the 0x7DF/0x7E0/0x7E8 OBD ids up to 32 ECUs).
+  std::size_t ecus_min = 2;
+  std::size_t ecus_max = 4;
+  /// Readable signals with decode formulas (Table 6 "#ESV (formula)").
+  std::size_t formula_signals_min = 4;
+  std::size_t formula_signals_max = 14;
+  /// Status/enum signals (Table 6 "#ESV (Enum)").
+  std::size_t enum_signals_min = 0;
+  std::size_t enum_signals_max = 6;
+  /// Controllable components (Table 11 "#ECR").
+  std::size_t actuators_min = 0;
+  std::size_t actuators_max = 5;
+  /// Probability a car speaks KWP 2000 instead of UDS.
+  double kwp_fraction = 0.25;
+  /// Of the UDS cars: probability of BMW framing instead of ISO-TP.
+  double bmw_fraction = 0.2;
+  /// Of the KWP cars: probability of VW TP 2.0 instead of ISO-TP.
+  double vwtp_fraction = 0.6;
+  /// Of the UDS cars: probability of the local-id IO service (0x30)
+  /// instead of UDS 0x2F. KWP cars always use 0x30.
+  double kwp30_io_fraction = 0.4;
+};
+
+/// Deterministically synthesize one car from (config, seed). The spec's
+/// gen_seed field records the seed; its label is "Gen-XXXX" (low seed
+/// bits) and its digest covers the full inventory, so distinct seeds give
+/// distinct digests. Throws std::invalid_argument if the configured
+/// ranges are inverted (min > max).
+CarSpec generate_car(const GeneratorConfig& config, std::uint64_t seed);
+
+/// A fleet of `count` cars seeded base_seed, base_seed+1, ...
+std::vector<CarSpec> generate_fleet(const GeneratorConfig& config,
+                                    std::uint64_t base_seed,
+                                    std::size_t count);
+
+}  // namespace dpr::vehicle

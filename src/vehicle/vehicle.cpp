@@ -2,15 +2,30 @@
 
 namespace dpr::vehicle {
 
-Vehicle::Vehicle(CarId id, can::CanBus& bus, util::SimClock& clock,
-                 std::uint64_t seed, const util::FaultConfig& faults)
-    : spec_(car_spec(id)), clock_(clock) {
-  util::Rng rng(seed ^ (0xBEEF0000ULL + static_cast<std::uint64_t>(id)));
+Vehicle::Vehicle(const CarSpec& spec, can::CanBus& bus,
+                 util::SimClock& clock, std::uint64_t seed,
+                 const util::FaultConfig& faults)
+    : spec_(spec), clock_(clock) {
+#ifndef NDEBUG
+  // Generated specs are validated at generation time; debug builds also
+  // re-check anything handed in directly (a colliding DID or CAN id
+  // would silently corrupt the simulation, not fail it).
+  validate_spec(spec_);
+#endif
+  // Catalog cars (gen_seed 0) salt exactly as pre-generator builds, so
+  // their dynamics streams — and every downstream finding — are
+  // unchanged. Generated cars fold the generator seed in, giving each
+  // car in a fleet independent streams even under one campaign seed.
+  util::Rng rng(seed ^ (0xBEEF0000ULL + car_stream_salt(spec_)));
   for (const auto& ecu_spec : spec_.ecus) {
     ecus_.push_back(std::make_unique<EcuSim>(ecu_spec, spec_, bus, clock,
                                              rng.fork(), faults));
   }
 }
+
+Vehicle::Vehicle(CarId id, can::CanBus& bus, util::SimClock& clock,
+                 std::uint64_t seed, const util::FaultConfig& faults)
+    : Vehicle(car_spec(id), bus, clock, seed, faults) {}
 
 EcuSim* Vehicle::find_ecu_with_did(uds::Did did) {
   for (auto& ecu : ecus_) {

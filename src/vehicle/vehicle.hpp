@@ -16,9 +16,15 @@ namespace dpr::vehicle {
 
 class Vehicle {
  public:
-  /// Builds the car's ECUs on `bus`. `seed` controls all signal dynamics;
-  /// `faults`, when enabled, arms every ECU's servers with deterministic
-  /// 0x78/0x21 fault behaviour (signal dynamics are unaffected).
+  /// Builds the car's ECUs on `bus`. `spec` may come from the catalog or
+  /// from vehicle::Generator (it is copied; debug builds re-validate its
+  /// invariants). `seed` controls all signal dynamics; `faults`, when
+  /// enabled, arms every ECU's servers with deterministic 0x78/0x21 fault
+  /// behaviour (signal dynamics are unaffected).
+  Vehicle(const CarSpec& spec, can::CanBus& bus, util::SimClock& clock,
+          std::uint64_t seed = 0xCA7, const util::FaultConfig& faults = {});
+
+  /// Catalog convenience: Vehicle(car_spec(id), ...).
   Vehicle(CarId id, can::CanBus& bus, util::SimClock& clock,
           std::uint64_t seed = 0xCA7, const util::FaultConfig& faults = {});
 

@@ -7,15 +7,18 @@
 //   dpreverser --car A [--window 16] [--seed N] [--no-filter]
 //              [--no-ocr-noise] [--no-baselines] [--trace capture.log]
 //   dpreverser --fleet [--fleet-threads N] [common options]
+//   dpreverser --generate 64 [--gen-seed S] [common options]
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "can/trace.hpp"
 #include "core/fleet.hpp"
+#include "vehicle/generator.hpp"
 
 namespace {
 
@@ -23,10 +26,17 @@ void usage() {
   std::fprintf(stderr,
                "usage: dpreverser --car <A..R> [options]\n"
                "       dpreverser --fleet [options]\n"
+               "       dpreverser --generate <n> [--gen-seed <s>] [options]\n"
                "  --fleet          run every catalog car (campaigns fan out\n"
                "                   over a shared-budget pool; results are\n"
                "                   identical to the serial loop)\n"
-               "  --fleet-threads <n>  concurrent campaigns in --fleet mode\n"
+               "  --generate <n>   synthesize n vehicles procedurally and run\n"
+               "                   a campaign against each; same (n, gen-seed)\n"
+               "                   always yields the same fleet\n"
+               "  --gen-seed <s>   generator seed for --generate (default 1;\n"
+               "                   car k uses seed s+k)\n"
+               "  --fleet-threads <n>  concurrent campaigns in --fleet and\n"
+               "                   --generate modes\n"
                "                   (0 = all cores, default 0; 1 = serial)\n"
                "  --window <s>     live-capture window per ECU (default 16)\n"
                "  --seed <n>       simulation seed\n"
@@ -70,7 +80,8 @@ void write_signature(const std::string& path, const std::string& signature) {
   std::printf("signature written to %s\n", path.c_str());
 }
 
-int run_fleet(dpr::core::CampaignOptions campaign_options,
+int run_fleet(const std::vector<dpr::vehicle::CarSpec>& specs,
+              dpr::core::CampaignOptions campaign_options,
               std::size_t fleet_threads, const std::string& signature_path) {
   using namespace dpr;
   core::FleetOptions options;
@@ -79,15 +90,15 @@ int run_fleet(dpr::core::CampaignOptions campaign_options,
 
   const core::FleetRunner runner(options);
   std::printf("running %zu campaigns on %zu fleet threads...\n",
-              vehicle::catalog().size(), runner.threads());
-  const auto summary = runner.run_catalog();
+              specs.size(), runner.threads());
+  const auto summary = runner.run(specs);
 
   std::printf("\n%-8s %-22s %-10s %-7s %-9s %-8s %-7s %-6s %-9s\n", "Car",
               "Model", "Protocol", "Status", "#signals", "#formula",
               "GP ok", "#ECR", "infer s");
   for (std::size_t i = 0; i < summary.reports.size(); ++i) {
     const auto& report = summary.reports[i];
-    const auto& spec = vehicle::catalog()[i];
+    const auto& spec = specs[i];
     std::printf("%-8s %-22s %-10s %-7s %-9zu %-8zu %-7zu %-6zu %-9.2f\n",
                 report.car_label.c_str(), spec.model.c_str(),
                 spec.protocol == vehicle::Protocol::kUds ? "UDS" : "KWP",
@@ -134,6 +145,8 @@ int main(int argc, char** argv) {
 
   int car_index = -1;
   bool fleet = false;
+  std::size_t generate_count = 0;
+  std::uint64_t gen_seed = 1;
   std::size_t fleet_threads = 0;
   core::CampaignOptions options;
   options.live_window = 16 * util::kSecond;
@@ -159,6 +172,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--fleet") {
       fleet = true;
+    } else if (arg == "--generate") {
+      generate_count = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--gen-seed") {
+      gen_seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--fleet-threads") {
       fleet_threads = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--window") {
@@ -217,7 +234,16 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (fleet) return run_fleet(options, fleet_threads, signature_path);
+  if (generate_count > 0) {
+    const auto specs =
+        vehicle::generate_fleet(vehicle::GeneratorConfig{}, gen_seed,
+                                generate_count);
+    return run_fleet(specs, options, fleet_threads, signature_path);
+  }
+  if (fleet) {
+    return run_fleet(vehicle::catalog(), options, fleet_threads,
+                     signature_path);
+  }
   if (car_index < 0) {
     usage();
     return 2;
