@@ -1,15 +1,17 @@
 // GP fitness-evaluation throughput: recursive tree walking vs the
-// gp::Program bytecode tape (BENCH_gp_eval.json).
+// gp::Program bytecode tape, with the tape measured under both kernel
+// tables — portable scalar and AVX2 SIMD (BENCH_gp_eval.json).
 //
 // The tape is the perf tentpole behind the inference phase: each
 // expression is lowered once to a postfix instruction tape and scored
 // against a column-major SampleMatrix, turning per-(node, sample)
-// dispatch into one dispatch per node per batch. The contract is speed
-// with zero drift — every trimmed MAE must match the tree walker bit
-// for bit — so this bench measures single-thread throughput for both
-// paths over real campaign datasets *and* hard-fails on any mismatch,
-// then cross-checks full inference (formula + fitness bits + structural
-// cache hit rate) the same way.
+// dispatch into one dispatch per node per batch; the SIMD kernels then
+// process 4–8 samples per instruction. The contract is speed with zero
+// drift — every trimmed MAE must match the tree walker bit for bit on
+// every path — so this bench measures single-thread throughput for all
+// three paths over real campaign datasets *and* hard-fails on any
+// mismatch, then cross-checks full inference (formula + fitness bits +
+// structural cache hit rate) the same way.
 //
 // Usage: bench_gp_eval [--cars N] [--window S] [--population N]
 
@@ -25,6 +27,7 @@
 
 #include "bench_common.hpp"
 #include "gp/engine.hpp"
+#include "gp/kernels.hpp"
 #include "gp/program.hpp"
 
 namespace {
@@ -58,7 +61,7 @@ std::vector<correlate::Dataset> collect_datasets(vehicle::CarId car,
 }
 
 /// Trimmed MAE over precomputed predictions — the engine's fitness, with
-/// the identical keep-count and selection, shared verbatim by both
+/// the identical keep-count and selection, shared verbatim by all
 /// timing paths so a bit difference can only come from the predictions.
 double trimmed_mae(const std::vector<double>& predictions,
                    const std::vector<double>& ys,
@@ -97,6 +100,31 @@ EvalCorpus make_corpus(const correlate::Dataset& dataset) {
   return corpus;
 }
 
+/// One timed tape pass over a population under the currently selected
+/// kernel table. Compilation stays inside the timed region, just as the
+/// engine recompiles every fresh offspring before scoring it.
+double time_tape_pass(const std::vector<gp::Expr>& exprs,
+                      const EvalCorpus& corpus, gp::Program& program,
+                      gp::EvalScratch& scratch,
+                      std::vector<double>& residuals,
+                      std::vector<double>& maes) {
+  const auto start = Clock::now();
+  for (const auto& expr : exprs) {
+    program.recompile(expr, corpus.n_vars);
+    program.eval_batch(corpus.matrix, scratch);
+    maes.push_back(trimmed_mae(scratch.predictions, corpus.ys, residuals));
+  }
+  return seconds_since(start);
+}
+
+struct InferTotals {
+  std::size_t scored = 0;
+  double scoring_s = 0.0;
+  double infer_s = 0.0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,11 +159,14 @@ int main(int argc, char** argv) {
   n_cars = std::min(n_cars, vehicle::catalog().size());
   const auto window =
       static_cast<util::SimTime>(window_s * util::kSecond);
+  const bool simd_active = gp::simd_supported();
 
-  std::printf("GP fitness evaluation: tree walker vs bytecode tape\n");
+  std::printf("GP fitness evaluation: tree walker vs bytecode tape "
+              "(scalar and SIMD kernels)\n");
   std::printf("(%zu cars, %.0f s windows, %zu expressions per dataset, "
-              "single thread)\n\n",
-              n_cars, window_s, population);
+              "single thread, AVX2 %s)\n\n",
+              n_cars, window_s, population,
+              simd_active ? "active" : "unavailable");
 
   std::vector<correlate::Dataset> datasets;
   for (std::size_t c = 0; c < n_cars; ++c) {
@@ -154,7 +185,8 @@ int main(int argc, char** argv) {
   std::size_t samples_total = 0;
   std::size_t mismatches = 0;
   double tree_s = 0.0;
-  double tape_s = 0.0;
+  double scalar_s = 0.0;
+  double simd_s = 0.0;
   std::vector<double> predictions;
   std::vector<double> residuals;
   gp::EvalScratch scratch;
@@ -181,33 +213,52 @@ int main(int argc, char** argv) {
     }
     tree_s += seconds_since(start);
 
-    // The tape path pays for compilation inside the timed region, just
-    // as the engine recompiles every fresh offspring before scoring it.
-    std::vector<double> tape_maes;
-    start = Clock::now();
-    for (const auto& expr : exprs) {
-      program.recompile(expr, corpus.n_vars);
-      program.eval_batch(corpus.matrix, scratch);
-      tape_maes.push_back(
-          trimmed_mae(scratch.predictions, corpus.ys, residuals));
+    std::vector<double> scalar_maes;
+    gp::set_simd_enabled(false);
+    scalar_s += time_tape_pass(exprs, corpus, program, scratch, residuals,
+                               scalar_maes);
+
+    std::vector<double> simd_maes;
+    if (simd_active) {
+      gp::set_simd_enabled(true);
+      simd_s += time_tape_pass(exprs, corpus, program, scratch, residuals,
+                               simd_maes);
     }
-    tape_s += seconds_since(start);
+    gp::set_simd_enabled(true);
 
     for (std::size_t i = 0; i < exprs.size(); ++i) {
-      if (bits(tree_maes[i]) != bits(tape_maes[i])) ++mismatches;
+      if (bits(tree_maes[i]) != bits(scalar_maes[i])) ++mismatches;
+      if (simd_active && bits(tree_maes[i]) != bits(simd_maes[i])) {
+        ++mismatches;
+      }
     }
   }
 
   const double tree_rate = static_cast<double>(samples_total) / tree_s;
-  const double tape_rate = static_cast<double>(samples_total) / tape_s;
-  const double speedup = tree_s / std::max(1e-12, tape_s);
+  const double scalar_rate =
+      static_cast<double>(samples_total) / scalar_s;
+  const double simd_rate =
+      simd_active ? static_cast<double>(samples_total) / simd_s : 0.0;
+  const double scalar_speedup = tree_s / std::max(1e-12, scalar_s);
+  const double simd_speedup =
+      simd_active ? tree_s / std::max(1e-12, simd_s) : 0.0;
+  const double simd_vs_scalar =
+      simd_active ? scalar_s / std::max(1e-12, simd_s) : 0.0;
   std::printf("datasets: %zu, sample evaluations per path: %zu\n",
               datasets.size(), samples_total);
-  std::printf("  tree walker:  %8.3f s  (%12.0f sample-evals/s)\n",
+  std::printf("  tree walker:   %8.3f s  (%12.0f sample-evals/s)\n",
               tree_s, tree_rate);
-  std::printf("  bytecode tape:%8.3f s  (%12.0f sample-evals/s)\n",
-              tape_s, tape_rate);
-  std::printf("  speedup: %.2fx   MAE bits: %s\n", speedup,
+  std::printf("  scalar tape:   %8.3f s  (%12.0f sample-evals/s)  "
+              "%.2fx vs tree\n",
+              scalar_s, scalar_rate, scalar_speedup);
+  if (simd_active) {
+    std::printf("  SIMD tape:     %8.3f s  (%12.0f sample-evals/s)  "
+                "%.2fx vs tree, %.2fx vs scalar tape\n",
+                simd_s, simd_rate, simd_speedup, simd_vs_scalar);
+  } else {
+    std::printf("  SIMD tape:     (not available on this host/build)\n");
+  }
+  std::printf("  MAE bits: %s\n",
               mismatches == 0 ? "identical" : "DIFFER");
 
   // --- Table 8 workload: deployed fitness-evaluation throughput -------------
@@ -229,100 +280,156 @@ int main(int argc, char** argv) {
   tape_config.use_tape = true;
 
   bool infer_identical = true;
-  std::size_t cache_hits = 0;
-  std::size_t cache_misses = 0;
-  std::size_t tree_scored = 0;
-  std::size_t tape_scored = 0;
-  double tree_scoring_s = 0.0;
-  double tape_scoring_s = 0.0;
-  double tree_infer_s = 0.0;
-  double tape_infer_s = 0.0;
+  InferTotals tree_totals;
+  InferTotals scalar_totals;
+  InferTotals simd_totals;
   for (std::size_t i = 0; i < datasets.size(); ++i) {
     tree_config.seed = tape_config.seed =
         gp::GpConfig{}.seed ^ (i * 0x9E3779B9ULL);
     auto start = Clock::now();
     const auto by_tree = gp::infer_formula(datasets[i], tree_config);
-    tree_infer_s += seconds_since(start);
+    tree_totals.infer_s += seconds_since(start);
+
+    gp::set_simd_enabled(false);
     start = Clock::now();
-    const auto by_tape = gp::infer_formula(datasets[i], tape_config);
-    tape_infer_s += seconds_since(start);
-    if (by_tree.has_value() != by_tape.has_value()) {
+    const auto by_scalar = gp::infer_formula(datasets[i], tape_config);
+    scalar_totals.infer_s += seconds_since(start);
+
+    std::optional<gp::GpResult> by_simd;
+    if (simd_active) {
+      gp::set_simd_enabled(true);
+      start = Clock::now();
+      by_simd = gp::infer_formula(datasets[i], tape_config);
+      simd_totals.infer_s += seconds_since(start);
+    }
+    gp::set_simd_enabled(true);
+
+    if (by_tree.has_value() != by_scalar.has_value() ||
+        (simd_active && by_tree.has_value() != by_simd.has_value())) {
       infer_identical = false;
       continue;
     }
     if (!by_tree) continue;
-    if (by_tree->formula != by_tape->formula ||
-        bits(by_tree->fitness) != bits(by_tape->fitness) ||
-        by_tree->generations_run != by_tape->generations_run) {
+    const auto matches_tree = [&](const gp::GpResult& other) {
+      return by_tree->formula == other.formula &&
+             bits(by_tree->fitness) == bits(other.fitness) &&
+             by_tree->generations_run == other.generations_run;
+    };
+    if (!matches_tree(*by_scalar) ||
+        (simd_active && !matches_tree(*by_simd))) {
       infer_identical = false;
     }
-    tree_scored += by_tree->timings.evaluations;
-    tree_scoring_s += by_tree->timings.scoring_s;
-    // Every scored offspring: fresh evaluations plus cache hits.
-    tape_scored += by_tape->timings.evaluations + by_tape->timings.cache_hits;
-    tape_scoring_s += by_tape->timings.scoring_s;
-    cache_hits += by_tape->timings.cache_hits;
-    cache_misses += by_tape->timings.cache_misses;
+    tree_totals.scored += by_tree->timings.evaluations;
+    tree_totals.scoring_s += by_tree->timings.scoring_s;
+    const auto add_tape = [&](InferTotals& totals, const gp::GpResult& r) {
+      // Every scored offspring: fresh evaluations plus cache hits.
+      totals.scored += r.timings.evaluations + r.timings.cache_hits;
+      totals.scoring_s += r.timings.scoring_s;
+      totals.cache_hits += r.timings.cache_hits;
+      totals.cache_misses += r.timings.cache_misses;
+    };
+    add_tape(scalar_totals, *by_scalar);
+    if (simd_active) add_tape(simd_totals, *by_simd);
   }
+  const auto throughput = [](const InferTotals& totals) {
+    return static_cast<double>(totals.scored) /
+           std::max(1e-12, totals.scoring_s);
+  };
+  const double tree_throughput = throughput(tree_totals);
+  const double scalar_throughput = throughput(scalar_totals);
+  const double simd_throughput = simd_active ? throughput(simd_totals) : 0.0;
+  const double scalar_throughput_speedup = scalar_throughput / tree_throughput;
+  const double simd_throughput_speedup =
+      simd_active ? simd_throughput / tree_throughput : 0.0;
+  const double simd_throughput_vs_scalar =
+      simd_active ? simd_throughput / scalar_throughput : 0.0;
   const double hit_rate =
-      cache_hits + cache_misses == 0
+      scalar_totals.cache_hits + scalar_totals.cache_misses == 0
           ? 0.0
-          : static_cast<double>(cache_hits) /
-                static_cast<double>(cache_hits + cache_misses);
-  const double tree_throughput =
-      static_cast<double>(tree_scored) / std::max(1e-12, tree_scoring_s);
-  const double tape_throughput =
-      static_cast<double>(tape_scored) / std::max(1e-12, tape_scoring_s);
-  const double throughput_speedup = tape_throughput / tree_throughput;
-  const double infer_speedup = tree_infer_s / std::max(1e-12, tape_infer_s);
+          : static_cast<double>(scalar_totals.cache_hits) /
+                static_cast<double>(scalar_totals.cache_hits +
+                                    scalar_totals.cache_misses);
   std::printf("\nTable 8 workload (%zu datasets, population %zu x %zu "
               "generations):\n",
               datasets.size(), tree_config.population,
               tree_config.max_generations);
-  std::printf("  fitness scoring:  tree %8.3f s (%9.0f scores/s)   "
-              "tape+cache %8.3f s (%9.0f scores/s)\n",
-              tree_scoring_s, tree_throughput, tape_scoring_s,
-              tape_throughput);
-  std::printf("  fitness-evaluation throughput speedup: %.2fx\n",
-              throughput_speedup);
-  std::printf("  end-to-end inference: tree %8.3f s   tape+cache %8.3f s "
-              "  -> %.2fx   (results %s)\n",
-              tree_infer_s, tape_infer_s, infer_speedup,
+  std::printf("  fitness scoring:  tree %8.3f s (%9.0f scores/s)\n",
+              tree_totals.scoring_s, tree_throughput);
+  std::printf("             scalar tape %8.3f s (%9.0f scores/s)  "
+              "%.2fx vs tree\n",
+              scalar_totals.scoring_s, scalar_throughput,
+              scalar_throughput_speedup);
+  if (simd_active) {
+    std::printf("               SIMD tape %8.3f s (%9.0f scores/s)  "
+                "%.2fx vs tree, %.2fx vs scalar tape\n",
+                simd_totals.scoring_s, simd_throughput,
+                simd_throughput_speedup, simd_throughput_vs_scalar);
+  }
+  std::printf("  end-to-end inference: tree %8.3f s   scalar tape %8.3f "
+              "s   SIMD tape %8.3f s   (results %s)\n",
+              tree_totals.infer_s, scalar_totals.infer_s,
+              simd_totals.infer_s,
               infer_identical ? "identical" : "DIFFER");
   std::printf("  structural cache: %zu hits / %zu misses (%.1f%% hit "
               "rate)\n",
-              cache_hits, cache_misses, 100.0 * hit_rate);
+              scalar_totals.cache_hits, scalar_totals.cache_misses,
+              100.0 * hit_rate);
 
   if (std::FILE* out = std::fopen("BENCH_gp_eval.json", "w")) {
     std::fprintf(out, "{\n");
     std::fprintf(out, "  \"cars\": %zu,\n", n_cars);
     std::fprintf(out, "  \"datasets\": %zu,\n", datasets.size());
     std::fprintf(out, "  \"population\": %zu,\n", population);
+    std::fprintf(out, "  \"simd_active\": %s,\n",
+                 simd_active ? "true" : "false");
     std::fprintf(out, "  \"sample_evaluations\": %zu,\n", samples_total);
     std::fprintf(out, "  \"tree_s\": %.6f,\n", tree_s);
-    std::fprintf(out, "  \"tape_s\": %.6f,\n", tape_s);
+    std::fprintf(out, "  \"scalar_tape_s\": %.6f,\n", scalar_s);
+    std::fprintf(out, "  \"simd_tape_s\": %.6f,\n", simd_s);
     std::fprintf(out, "  \"tree_sample_evals_per_s\": %.0f,\n", tree_rate);
-    std::fprintf(out, "  \"tape_sample_evals_per_s\": %.0f,\n", tape_rate);
-    std::fprintf(out, "  \"speedup\": %.4f,\n", speedup);
+    std::fprintf(out, "  \"scalar_tape_sample_evals_per_s\": %.0f,\n",
+                 scalar_rate);
+    std::fprintf(out, "  \"simd_tape_sample_evals_per_s\": %.0f,\n",
+                 simd_rate);
+    std::fprintf(out, "  \"scalar_tape_speedup_vs_tree\": %.4f,\n",
+                 scalar_speedup);
+    std::fprintf(out, "  \"simd_tape_speedup_vs_tree\": %.4f,\n",
+                 simd_speedup);
+    std::fprintf(out, "  \"simd_tape_speedup_vs_scalar\": %.4f,\n",
+                 simd_vs_scalar);
     std::fprintf(out, "  \"mae_bit_identical\": %s,\n",
                  mismatches == 0 ? "true" : "false");
     std::fprintf(out, "  \"table8\": {\n");
     std::fprintf(out, "    \"population\": %zu,\n", tree_config.population);
     std::fprintf(out, "    \"generations\": %zu,\n",
                  tree_config.max_generations);
-    std::fprintf(out, "    \"tree_scoring_s\": %.6f,\n", tree_scoring_s);
-    std::fprintf(out, "    \"tape_scoring_s\": %.6f,\n", tape_scoring_s);
+    std::fprintf(out, "    \"tree_scoring_s\": %.6f,\n",
+                 tree_totals.scoring_s);
+    std::fprintf(out, "    \"scalar_tape_scoring_s\": %.6f,\n",
+                 scalar_totals.scoring_s);
+    std::fprintf(out, "    \"simd_tape_scoring_s\": %.6f,\n",
+                 simd_totals.scoring_s);
     std::fprintf(out, "    \"tree_scores_per_s\": %.0f,\n", tree_throughput);
-    std::fprintf(out, "    \"tape_scores_per_s\": %.0f,\n", tape_throughput);
-    std::fprintf(out, "    \"fitness_throughput_speedup\": %.4f,\n",
-                 throughput_speedup);
-    std::fprintf(out, "    \"tree_infer_s\": %.6f,\n", tree_infer_s);
-    std::fprintf(out, "    \"tape_infer_s\": %.6f,\n", tape_infer_s);
-    std::fprintf(out, "    \"infer_speedup\": %.4f,\n", infer_speedup);
+    std::fprintf(out, "    \"scalar_tape_scores_per_s\": %.0f,\n",
+                 scalar_throughput);
+    std::fprintf(out, "    \"simd_tape_scores_per_s\": %.0f,\n",
+                 simd_throughput);
+    std::fprintf(out, "    \"scalar_throughput_speedup\": %.4f,\n",
+                 scalar_throughput_speedup);
+    std::fprintf(out, "    \"simd_throughput_speedup\": %.4f,\n",
+                 simd_throughput_speedup);
+    std::fprintf(out, "    \"simd_throughput_vs_scalar\": %.4f,\n",
+                 simd_throughput_vs_scalar);
+    std::fprintf(out, "    \"tree_infer_s\": %.6f,\n", tree_totals.infer_s);
+    std::fprintf(out, "    \"scalar_tape_infer_s\": %.6f,\n",
+                 scalar_totals.infer_s);
+    std::fprintf(out, "    \"simd_tape_infer_s\": %.6f,\n",
+                 simd_totals.infer_s);
     std::fprintf(out, "    \"results_identical\": %s,\n",
                  infer_identical ? "true" : "false");
-    std::fprintf(out, "    \"cache_hits\": %zu,\n", cache_hits);
-    std::fprintf(out, "    \"cache_misses\": %zu,\n", cache_misses);
+    std::fprintf(out, "    \"cache_hits\": %zu,\n", scalar_totals.cache_hits);
+    std::fprintf(out, "    \"cache_misses\": %zu,\n",
+                 scalar_totals.cache_misses);
     std::fprintf(out, "    \"cache_hit_rate\": %.4f\n", hit_rate);
     std::fprintf(out, "  }\n}\n");
     std::fclose(out);
@@ -331,8 +438,12 @@ int main(int argc, char** argv) {
 
   // Bit-identity is the hard contract; "tape at least as fast as tree"
   // is the perf floor CI enforces — on the raw eval path and on the
-  // Table 8 scoring stage. The ≥3x throughput target is host-dependent,
+  // Table 8 scoring stage — and when the AVX2 kernels are active the
+  // SIMD tape must additionally not regress below the scalar tape on
+  // the raw eval path. The ≥2x SIMD-vs-scalar target is host-dependent,
   // so it is recorded in the JSON, not asserted.
   if (mismatches != 0 || !infer_identical) return 1;
-  return speedup >= 1.0 && throughput_speedup >= 1.0 ? 0 : 1;
+  if (scalar_speedup < 1.0 || scalar_throughput_speedup < 1.0) return 1;
+  if (simd_active && simd_vs_scalar < 1.0) return 1;
+  return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "can/bus.hpp"
 #include "gp/engine.hpp"
+#include "gp/kernels.hpp"
 #include "gp/program.hpp"
 #include "isotp/isotp.hpp"
 #include "obd/pid.hpp"
@@ -115,6 +116,49 @@ void BM_GpProgramEvalBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpProgramEvalBatch);
+
+// Per-op kernel throughput, scalar table vs AVX2 table, over a
+// tape-column-sized buffer. Arg 0 selects the op; the /0 vs /1 suffix
+// in the name is scalar vs SIMD.
+void BM_GpKernelOp(benchmark::State& state) {
+  const gp::Op op = static_cast<gp::Op>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  if (simd && !gp::simd_supported()) {
+    state.SkipWithError("AVX2 kernels not compiled/supported here");
+    return;
+  }
+  const gp::KernelTable& table =
+      simd ? *gp::avx2_kernels() : gp::scalar_kernels();
+  constexpr std::size_t kN = 256;
+  util::Rng rng(4);
+  std::vector<double> a(kN), b(kN), dst(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    a[i] = rng.uniform(-300.0, 300.0);
+    b[i] = rng.uniform(-300.0, 300.0);
+  }
+  for (auto _ : state) {
+    if (gp::arity(op) == 1) {
+      table.unary(op, dst.data(), a.data(), kN);
+    } else {
+      table.binary(op, dst.data(), a.data(), b.data(), kN);
+    }
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_GpKernelOp)
+    ->ArgNames({"op", "simd"})
+    ->Args({static_cast<int>(gp::Op::kAdd), 0})
+    ->Args({static_cast<int>(gp::Op::kAdd), 1})
+    ->Args({static_cast<int>(gp::Op::kMul), 0})
+    ->Args({static_cast<int>(gp::Op::kMul), 1})
+    ->Args({static_cast<int>(gp::Op::kDiv), 0})
+    ->Args({static_cast<int>(gp::Op::kDiv), 1})
+    ->Args({static_cast<int>(gp::Op::kLog), 0})
+    ->Args({static_cast<int>(gp::Op::kLog), 1})
+    ->Args({static_cast<int>(gp::Op::kSqrt), 0})
+    ->Args({static_cast<int>(gp::Op::kSqrt), 1});
 
 void BM_GpProgramCompile(benchmark::State& state) {
   // Per-offspring lowering cost: recompile into warm buffers, the way

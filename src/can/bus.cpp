@@ -17,8 +17,8 @@ void CanBus::send(const CanFrame& frame) {
   queue_.emplace_back(next_seq_++, frame);
 }
 
-void CanBus::set_faults(const util::FaultPlan& plan, util::Rng rng) {
-  injector_.emplace(plan, rng);
+void CanBus::set_faults(const util::FaultPlan& plan, util::CounterRng stream) {
+  injector_.emplace(plan, stream);
 }
 
 util::SimTime CanBus::frame_time(const CanFrame& frame) const {

@@ -46,9 +46,11 @@ class CanBus {
   std::size_t frames_delivered() const { return frames_delivered_; }
   util::SimClock& clock() { return clock_; }
 
-  /// Install a fault injector consulted once per frame in delivery order.
-  /// Without an injector (or with a disabled plan) delivery is lossless.
-  void set_faults(const util::FaultPlan& plan, util::Rng rng);
+  /// Install a fault injector consulted once per frame in delivery order;
+  /// frame n draws from event n of the counter stream, so a dropped frame
+  /// never shifts later frames' fates. Without an injector (or with a
+  /// disabled plan) delivery is lossless.
+  void set_faults(const util::FaultPlan& plan, util::CounterRng stream);
   void clear_faults() { injector_.reset(); }
 
   /// Accumulated fault counters, or nullptr when no injector is installed.

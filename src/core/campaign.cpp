@@ -106,8 +106,9 @@ Campaign::Campaign(const vehicle::CarSpec& spec, CampaignOptions options)
     // their gen_seed. Gated on the *wire* rate — stateful-only configs
     // must not arm a zero-rate injector (its delivery tally would alter
     // the report signature).
-    bus_->set_faults(options_.faults.bus_plan(),
-                     options_.faults.rng_for(vehicle::car_stream_salt(spec)));
+    bus_->set_faults(
+        options_.faults.bus_plan(),
+        options_.faults.stream_for(vehicle::car_stream_salt(spec)));
   }
   vehicle_ = std::make_unique<vehicle::Vehicle>(spec, *bus_, clock_,
                                                 options_.seed,

@@ -13,7 +13,14 @@ Dataset build_dataset(const std::vector<XSample>& xs,
                       util::SimTime max_gap) {
   Dataset dataset;
   if (xs.empty() || ys.empty()) return dataset;
-  dataset.n_vars = xs.front().xs.size();
+  // A corrupted frame can truncate (or garble) a sample's field list, so
+  // the signal's width is the widest sample seen and ragged samples are
+  // dropped below — every emitted point has exactly n_vars xs, which
+  // downstream fitters (regress normal equations, gp::SampleMatrix)
+  // rely on.
+  for (const auto& x : xs) {
+    dataset.n_vars = std::max(dataset.n_vars, x.xs.size());
+  }
 
   // Y samples are produced in time order; binary-search the nearest.
   std::vector<YSample> sorted = ys;
@@ -23,6 +30,7 @@ Dataset build_dataset(const std::vector<XSample>& xs,
             });
 
   for (const auto& x : xs) {
+    if (x.xs.size() != dataset.n_vars) continue;  // corrupt sample
     const util::SimTime target = x.timestamp + offset;
     const auto it = std::lower_bound(
         sorted.begin(), sorted.end(), target,

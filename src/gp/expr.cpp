@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "gp/vmath.hpp"
+
 namespace dpr::gp {
 
 Node::~Node() {
@@ -108,21 +110,18 @@ double eval_node(const Node* node, std::span<const double> vars) {
                       eval_node(node->rhs.get(), vars));
     case Op::kSqrt:
       return std::sqrt(std::abs(eval_node(node->lhs.get(), vars)));
-    case Op::kLog: {
-      const double v = std::abs(eval_node(node->lhs.get(), vars));
-      return v < 1e-9 ? 0.0 : std::log(v);
-    }
+    case Op::kLog:
+      return vm_log(eval_node(node->lhs.get(), vars));
     case Op::kAbs:
       return std::abs(eval_node(node->lhs.get(), vars));
     case Op::kNeg:
       return -eval_node(node->lhs.get(), vars);
     case Op::kSin:
-      return std::sin(eval_node(node->lhs.get(), vars));
+      return vm_sin(eval_node(node->lhs.get(), vars));
     case Op::kCos:
-      return std::cos(eval_node(node->lhs.get(), vars));
+      return vm_cos(eval_node(node->lhs.get(), vars));
     case Op::kTan:
-      return std::clamp(std::tan(eval_node(node->lhs.get(), vars)), -1e6,
-                        1e6);
+      return vm_tan(eval_node(node->lhs.get(), vars));
     case Op::kInv: {
       const double v = eval_node(node->lhs.get(), vars);
       return std::abs(v) < 1e-9 ? 0.0 : 1.0 / v;

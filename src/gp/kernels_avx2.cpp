@@ -1,0 +1,420 @@
+// AVX2 kernel table for the GP tape: each instruction runs 8 samples per
+// iteration (two 4-lane blocks), with a 4-lane loop and a scalar tail for
+// the remainder. This TU is compiled with `-mavx2 -ffp-contract=off`
+// (CMake sets both) — contraction MUST stay off, an FMA would change the
+// rounding of a*b+c chains and break the bit-exactness contract.
+//
+// How each op stays bit-identical to apply_unary/apply_binary:
+//  * add/sub/mul/div/sqrt are correctly-rounded IEEE ops — vector and
+//    scalar produce the same bits by definition.
+//  * abs is a sign-bit mask, neg a sign-bit xor — exact bit operations.
+//  * protected div/inv compute the quotient everywhere, then blend in the
+//    fallback where |denominator| < 1e-9. The compare uses _CMP_LT_OQ:
+//    false for NaN denominators, so a NaN quotient passes through exactly
+//    like the scalar ternary.
+//  * min/max use the operand-order trick: std::min(a,b) keeps `a` when
+//    the lanes compare unordered (NaN) or equal (±0), which is
+//    _mm256_min_pd(b, a) — the minpd instruction returns its *second*
+//    operand in those cases. Same for max.
+//  * log/sin/cos/tan are the function set's own definitions (vmath.hpp):
+//    the vector bodies below repeat the scalar specification operation
+//    for operation — same constants, same Horner order, same blend
+//    order — so every lane matches the scalar result bit for bit.
+
+#include "gp/kernels.hpp"
+
+#if defined(DPR_SIMD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace dpr::gp {
+
+namespace {
+
+inline __m256d vabs(__m256d x) {
+  return _mm256_and_pd(x, _mm256_castsi256_pd(_mm256_set1_epi64x(
+                              0x7FFFFFFFFFFFFFFFLL)));
+}
+
+inline __m256d vneg(__m256d x) {
+  return _mm256_xor_pd(x, _mm256_castsi256_pd(_mm256_set1_epi64x(
+                              static_cast<long long>(0x8000000000000000ULL))));
+}
+
+/// a / b, with lanes where |b| < 1e-9 blended to `fallback`.
+inline __m256d vdiv_protected(__m256d a, __m256d b, __m256d fallback) {
+  const __m256d quotient = _mm256_div_pd(a, b);
+  const __m256d small =
+      _mm256_cmp_pd(vabs(b), _mm256_set1_pd(1e-9), _CMP_LT_OQ);
+  return _mm256_blendv_pd(quotient, fallback, small);
+}
+
+// ---- vmath mirrors -------------------------------------------------
+// Operation-for-operation transcriptions of vm_log/vm_sin/vm_cos/vm_tan
+// (vmath.hpp). Any deviation in constants, Horner order, or blend order
+// breaks the bit-exactness contract — edit both sides together.
+
+inline __m256d vset(double k) { return _mm256_set1_pd(k); }
+
+inline __m256d veq(__m256d a, double k) {
+  return _mm256_cmp_pd(a, vset(k), _CMP_EQ_OQ);
+}
+
+/// sin_poly: r + (z*r)*(S1 + z*(S2 + z*(S3 + z*(S4 + z*(S5 + z*S6)))))
+inline __m256d vpoly_sin(__m256d r) {
+  const __m256d z = _mm256_mul_pd(r, r);
+  __m256d p = _mm256_add_pd(vset(vmath::kS5),
+                            _mm256_mul_pd(z, vset(vmath::kS6)));
+  p = _mm256_add_pd(vset(vmath::kS4), _mm256_mul_pd(z, p));
+  p = _mm256_add_pd(vset(vmath::kS3), _mm256_mul_pd(z, p));
+  p = _mm256_add_pd(vset(vmath::kS2), _mm256_mul_pd(z, p));
+  const __m256d q = _mm256_add_pd(vset(vmath::kS1), _mm256_mul_pd(z, p));
+  return _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(z, r), q));
+}
+
+/// cos_poly: (1 - 0.5*z) + (z*z)*(C1 + z*(C2 + ... + z*C6))
+inline __m256d vpoly_cos(__m256d r) {
+  const __m256d z = _mm256_mul_pd(r, r);
+  __m256d p = _mm256_add_pd(vset(vmath::kC5),
+                            _mm256_mul_pd(z, vset(vmath::kC6)));
+  p = _mm256_add_pd(vset(vmath::kC4), _mm256_mul_pd(z, p));
+  p = _mm256_add_pd(vset(vmath::kC3), _mm256_mul_pd(z, p));
+  p = _mm256_add_pd(vset(vmath::kC2), _mm256_mul_pd(z, p));
+  p = _mm256_add_pd(vset(vmath::kC1), _mm256_mul_pd(z, p));
+  const __m256d base =
+      _mm256_sub_pd(vset(1.0), _mm256_mul_pd(vset(0.5), z));
+  return _mm256_add_pd(base, _mm256_mul_pd(_mm256_mul_pd(z, z), p));
+}
+
+/// reduce_pio2: nearbyint is _mm256_round_pd's ties-to-even mode.
+inline void vreduce_pio2(__m256d x, __m256d& r, __m256d& qf) {
+  const __m256d n =
+      _mm256_round_pd(_mm256_mul_pd(x, vset(vmath::kInvPio2)),
+                      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256d r1 =
+      _mm256_sub_pd(x, _mm256_mul_pd(n, vset(vmath::kPio2Hi)));
+  r = _mm256_sub_pd(r1, _mm256_mul_pd(n, vset(vmath::kPio2Lo)));
+  const __m256d j = _mm256_mul_pd(n, vset(0.25));
+  qf = _mm256_sub_pd(n, _mm256_mul_pd(vset(4.0), _mm256_floor_pd(j)));
+}
+
+inline __m256d vlog_protected(__m256d x) {
+  const __m256d v = vabs(x);
+  const __m256i u = _mm256_castpd_si256(v);
+  const __m256i ebits = _mm256_srli_epi64(u, 52);
+  const __m256d m0 = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(u, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL)),
+      _mm256_set1_epi64x(0x3FF0000000000000LL)));
+  const __m256d e0 = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_or_si256(
+          ebits, _mm256_set1_epi64x(0x4330000000000000LL))),
+      vset(vmath::kExpMagic));
+  const __m256d fold = _mm256_cmp_pd(m0, vset(vmath::kSqrt2), _CMP_GT_OQ);
+  const __m256d m =
+      _mm256_blendv_pd(m0, _mm256_mul_pd(m0, vset(0.5)), fold);
+  const __m256d e =
+      _mm256_blendv_pd(e0, _mm256_add_pd(e0, vset(1.0)), fold);
+  const __m256d f = _mm256_sub_pd(m, vset(1.0));
+  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(vset(2.0), f));
+  const __m256d z = _mm256_mul_pd(s, s);
+  const __m256d w = _mm256_mul_pd(z, z);
+  __m256d t1 = _mm256_add_pd(vset(vmath::kLg4),
+                             _mm256_mul_pd(w, vset(vmath::kLg6)));
+  t1 = _mm256_mul_pd(
+      w, _mm256_add_pd(vset(vmath::kLg2), _mm256_mul_pd(w, t1)));
+  __m256d t2 = _mm256_add_pd(vset(vmath::kLg5),
+                             _mm256_mul_pd(w, vset(vmath::kLg7)));
+  t2 = _mm256_add_pd(vset(vmath::kLg3), _mm256_mul_pd(w, t2));
+  t2 = _mm256_mul_pd(
+      z, _mm256_add_pd(vset(vmath::kLg1), _mm256_mul_pd(w, t2)));
+  const __m256d big_r = _mm256_add_pd(t2, t1);
+  const __m256d hfsq =
+      _mm256_mul_pd(_mm256_mul_pd(vset(0.5), f), f);
+  const __m256d inner =
+      _mm256_add_pd(_mm256_mul_pd(s, _mm256_add_pd(hfsq, big_r)),
+                    _mm256_mul_pd(e, vset(vmath::kLn2Lo)));
+  const __m256d res0 = _mm256_sub_pd(
+      _mm256_mul_pd(e, vset(vmath::kLn2Hi)),
+      _mm256_sub_pd(_mm256_sub_pd(hfsq, inner), f));
+  // Restore inf/NaN (the mantissa split maps them to finite garbage),
+  // then the protection threshold — same order as the scalar spec.
+  __m256d res = _mm256_blendv_pd(
+      res0, v,
+      _mm256_cmp_pd(v, vset(std::numeric_limits<double>::infinity()),
+                    _CMP_EQ_OQ));
+  res = _mm256_blendv_pd(res, v, _mm256_cmp_pd(v, v, _CMP_UNORD_Q));
+  res = _mm256_blendv_pd(res, _mm256_setzero_pd(),
+                         _mm256_cmp_pd(v, vset(1e-9), _CMP_LT_OQ));
+  return res;
+}
+
+inline __m256d vsin(__m256d x) {
+  __m256d r, qf;
+  vreduce_pio2(x, r, qf);
+  const __m256d s = vpoly_sin(r);
+  const __m256d c = vpoly_cos(r);
+  __m256d v = s;
+  v = _mm256_blendv_pd(v, c, veq(qf, 1.0));
+  v = _mm256_blendv_pd(v, vneg(s), veq(qf, 2.0));
+  v = _mm256_blendv_pd(v, vneg(c), veq(qf, 3.0));
+  return v;
+}
+
+inline __m256d vcos(__m256d x) {
+  __m256d r, qf;
+  vreduce_pio2(x, r, qf);
+  const __m256d s = vpoly_sin(r);
+  const __m256d c = vpoly_cos(r);
+  __m256d v = c;
+  v = _mm256_blendv_pd(v, vneg(s), veq(qf, 1.0));
+  v = _mm256_blendv_pd(v, vneg(c), veq(qf, 2.0));
+  v = _mm256_blendv_pd(v, s, veq(qf, 3.0));
+  return v;
+}
+
+inline __m256d vtan(__m256d x) {
+  __m256d r, qf;
+  vreduce_pio2(x, r, qf);
+  const __m256d s = vpoly_sin(r);
+  const __m256d c = vpoly_cos(r);
+  const __m256d odd = _mm256_or_pd(veq(qf, 1.0), veq(qf, 3.0));
+  const __m256d num = _mm256_blendv_pd(s, vneg(c), odd);
+  const __m256d den = _mm256_blendv_pd(c, s, odd);
+  __m256d v = _mm256_div_pd(num, den);
+  // Clamp mirrors the scalar ternaries; NaN misses both compares.
+  v = _mm256_blendv_pd(v, vset(-1e6),
+                       _mm256_cmp_pd(v, vset(-1e6), _CMP_LT_OQ));
+  v = _mm256_blendv_pd(v, vset(1e6),
+                       _mm256_cmp_pd(v, vset(1e6), _CMP_GT_OQ));
+  return v;
+}
+
+/// Unary driver: 8 lanes per iteration, then 4, then a scalar tail that
+/// reuses apply_unary so the remainder matches by construction. `dst` may
+/// equal `a` exactly (the tape reuses stack slots); every block is fully
+/// loaded before it is stored.
+template <class VF>
+inline void uloop(Op op, double* dst, const double* a, std::size_t n,
+                  VF vf) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d x0 = _mm256_loadu_pd(a + i);
+    const __m256d x1 = _mm256_loadu_pd(a + i + 4);
+    _mm256_storeu_pd(dst + i, vf(x0));
+    _mm256_storeu_pd(dst + i + 4, vf(x1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, vf(_mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = apply_unary(op, a[i]);
+}
+
+template <class VF>
+inline void bloop_vv(Op op, double* dst, const double* a, const double* b,
+                     std::size_t n, VF vf) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d a0 = _mm256_loadu_pd(a + i);
+    const __m256d a1 = _mm256_loadu_pd(a + i + 4);
+    const __m256d b0 = _mm256_loadu_pd(b + i);
+    const __m256d b1 = _mm256_loadu_pd(b + i + 4);
+    _mm256_storeu_pd(dst + i, vf(a0, b0));
+    _mm256_storeu_pd(dst + i + 4, vf(a1, b1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i,
+                     vf(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = apply_binary(op, a[i], b[i]);
+}
+
+template <class VF>
+inline void bloop_vk(Op op, double* dst, const double* a, double k,
+                     std::size_t n, VF vf) {
+  const __m256d vk = _mm256_set1_pd(k);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d a0 = _mm256_loadu_pd(a + i);
+    const __m256d a1 = _mm256_loadu_pd(a + i + 4);
+    _mm256_storeu_pd(dst + i, vf(a0, vk));
+    _mm256_storeu_pd(dst + i + 4, vf(a1, vk));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, vf(_mm256_loadu_pd(a + i), vk));
+  }
+  for (; i < n; ++i) dst[i] = apply_binary(op, a[i], k);
+}
+
+template <class VF>
+inline void bloop_kv(Op op, double* dst, double k, const double* b,
+                     std::size_t n, VF vf) {
+  const __m256d vk = _mm256_set1_pd(k);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d b0 = _mm256_loadu_pd(b + i);
+    const __m256d b1 = _mm256_loadu_pd(b + i + 4);
+    _mm256_storeu_pd(dst + i, vf(vk, b0));
+    _mm256_storeu_pd(dst + i + 4, vf(vk, b1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, vf(vk, _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = apply_binary(op, k, b[i]);
+}
+
+void avx2_unary(Op op, double* dst, const double* a, std::size_t n) {
+  switch (op) {
+    case Op::kSqrt:
+      uloop(op, dst, a, n,
+            [](__m256d x) { return _mm256_sqrt_pd(vabs(x)); });
+      break;
+    case Op::kAbs:
+      uloop(op, dst, a, n, [](__m256d x) { return vabs(x); });
+      break;
+    case Op::kNeg:
+      uloop(op, dst, a, n, [](__m256d x) { return vneg(x); });
+      break;
+    case Op::kInv:
+      uloop(op, dst, a, n, [](__m256d x) {
+        return vdiv_protected(_mm256_set1_pd(1.0), x, _mm256_setzero_pd());
+      });
+      break;
+    case Op::kLog:
+      uloop(op, dst, a, n, [](__m256d x) { return vlog_protected(x); });
+      break;
+    case Op::kSin:
+      uloop(op, dst, a, n, [](__m256d x) { return vsin(x); });
+      break;
+    case Op::kCos:
+      uloop(op, dst, a, n, [](__m256d x) { return vcos(x); });
+      break;
+    case Op::kTan:
+      uloop(op, dst, a, n, [](__m256d x) { return vtan(x); });
+      break;
+    default:
+      // Identity fallthrough only.
+      scalar_kernels().unary(op, dst, a, n);
+      break;
+  }
+}
+
+void avx2_binary(Op op, double* dst, const double* a, const double* b,
+                 std::size_t n) {
+  switch (op) {
+    case Op::kAdd:
+      bloop_vv(op, dst, a, b, n,
+               [](__m256d x, __m256d y) { return _mm256_add_pd(x, y); });
+      break;
+    case Op::kSub:
+      bloop_vv(op, dst, a, b, n,
+               [](__m256d x, __m256d y) { return _mm256_sub_pd(x, y); });
+      break;
+    case Op::kMul:
+      bloop_vv(op, dst, a, b, n,
+               [](__m256d x, __m256d y) { return _mm256_mul_pd(x, y); });
+      break;
+    case Op::kDiv:
+      bloop_vv(op, dst, a, b, n, [](__m256d x, __m256d y) {
+        return vdiv_protected(x, y, _mm256_set1_pd(1.0));
+      });
+      break;
+    case Op::kMin:
+      bloop_vv(op, dst, a, b, n,
+               [](__m256d x, __m256d y) { return _mm256_min_pd(y, x); });
+      break;
+    case Op::kMax:
+      bloop_vv(op, dst, a, b, n,
+               [](__m256d x, __m256d y) { return _mm256_max_pd(y, x); });
+      break;
+    default:
+      scalar_kernels().binary(op, dst, a, b, n);
+      break;
+  }
+}
+
+void avx2_binary_ak(Op op, double* dst, const double* a, double k,
+                    std::size_t n) {
+  switch (op) {
+    case Op::kAdd:
+      bloop_vk(op, dst, a, k, n,
+               [](__m256d x, __m256d y) { return _mm256_add_pd(x, y); });
+      break;
+    case Op::kSub:
+      bloop_vk(op, dst, a, k, n,
+               [](__m256d x, __m256d y) { return _mm256_sub_pd(x, y); });
+      break;
+    case Op::kMul:
+      bloop_vk(op, dst, a, k, n,
+               [](__m256d x, __m256d y) { return _mm256_mul_pd(x, y); });
+      break;
+    case Op::kDiv:
+      bloop_vk(op, dst, a, k, n, [](__m256d x, __m256d y) {
+        return vdiv_protected(x, y, _mm256_set1_pd(1.0));
+      });
+      break;
+    case Op::kMin:
+      bloop_vk(op, dst, a, k, n,
+               [](__m256d x, __m256d y) { return _mm256_min_pd(y, x); });
+      break;
+    case Op::kMax:
+      bloop_vk(op, dst, a, k, n,
+               [](__m256d x, __m256d y) { return _mm256_max_pd(y, x); });
+      break;
+    default:
+      scalar_kernels().binary_ak(op, dst, a, k, n);
+      break;
+  }
+}
+
+void avx2_binary_kb(Op op, double* dst, double k, const double* b,
+                    std::size_t n) {
+  switch (op) {
+    case Op::kAdd:
+      bloop_kv(op, dst, k, b, n,
+               [](__m256d x, __m256d y) { return _mm256_add_pd(x, y); });
+      break;
+    case Op::kSub:
+      bloop_kv(op, dst, k, b, n,
+               [](__m256d x, __m256d y) { return _mm256_sub_pd(x, y); });
+      break;
+    case Op::kMul:
+      bloop_kv(op, dst, k, b, n,
+               [](__m256d x, __m256d y) { return _mm256_mul_pd(x, y); });
+      break;
+    case Op::kDiv:
+      bloop_kv(op, dst, k, b, n, [](__m256d x, __m256d y) {
+        return vdiv_protected(x, y, _mm256_set1_pd(1.0));
+      });
+      break;
+    case Op::kMin:
+      bloop_kv(op, dst, k, b, n,
+               [](__m256d x, __m256d y) { return _mm256_min_pd(y, x); });
+      break;
+    case Op::kMax:
+      bloop_kv(op, dst, k, b, n,
+               [](__m256d x, __m256d y) { return _mm256_max_pd(y, x); });
+      break;
+    default:
+      scalar_kernels().binary_kb(op, dst, k, b, n);
+      break;
+  }
+}
+
+constexpr KernelTable kAvx2Table{avx2_unary, avx2_binary, avx2_binary_ak,
+                                 avx2_binary_kb};
+
+}  // namespace
+
+const KernelTable* avx2_kernels() { return &kAvx2Table; }
+
+}  // namespace dpr::gp
+
+#else  // no AVX2 code path in this build
+
+namespace dpr::gp {
+
+const KernelTable* avx2_kernels() { return nullptr; }
+
+}  // namespace dpr::gp
+
+#endif

@@ -1,0 +1,174 @@
+#include <atomic>
+
+#include "gp/kernels.hpp"
+
+// Portable scalar kernel table + the runtime dispatch state. The loops
+// mirror the old in-interpreter switch: one op dispatch per instruction,
+// then a tight per-element loop the compiler may auto-vectorize — but
+// correctness never depends on it doing so.
+
+namespace dpr::gp {
+
+namespace {
+
+void scalar_unary(Op op, double* dst, const double* a, std::size_t n) {
+  switch (op) {
+    case Op::kSqrt:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::sqrt(std::abs(a[i]));
+      break;
+    case Op::kLog:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = vm_log(a[i]);
+      break;
+    case Op::kAbs:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::abs(a[i]);
+      break;
+    case Op::kNeg:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = -a[i];
+      break;
+    case Op::kSin:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = vm_sin(a[i]);
+      break;
+    case Op::kCos:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = vm_cos(a[i]);
+      break;
+    case Op::kTan:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = vm_tan(a[i]);
+      break;
+    case Op::kInv:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = a[i];
+        dst[i] = std::abs(v) < 1e-9 ? 0.0 : 1.0 / v;
+      }
+      break;
+    default:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i];
+      break;
+  }
+}
+
+void scalar_binary(Op op, double* dst, const double* a, const double* b,
+                   std::size_t n) {
+  switch (op) {
+    case Op::kAdd:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+      break;
+    case Op::kSub:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+      break;
+    case Op::kMul:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+      break;
+    case Op::kDiv:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double bv = b[i];
+        dst[i] = std::abs(bv) < 1e-9 ? 1.0 : a[i] / bv;
+      }
+      break;
+    case Op::kMin:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::min(a[i], b[i]);
+      break;
+    case Op::kMax:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(a[i], b[i]);
+      break;
+    default:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i];
+      break;
+  }
+}
+
+void scalar_binary_ak(Op op, double* dst, const double* a, double k,
+                      std::size_t n) {
+  switch (op) {
+    case Op::kAdd:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] + k;
+      break;
+    case Op::kSub:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] - k;
+      break;
+    case Op::kMul:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * k;
+      break;
+    case Op::kDiv:
+      if (std::abs(k) < 1e-9) {
+        for (std::size_t i = 0; i < n; ++i) dst[i] = 1.0;
+      } else {
+        for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] / k;
+      }
+      break;
+    case Op::kMin:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::min(a[i], k);
+      break;
+    case Op::kMax:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(a[i], k);
+      break;
+    default:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i];
+      break;
+  }
+}
+
+void scalar_binary_kb(Op op, double* dst, double k, const double* b,
+                      std::size_t n) {
+  switch (op) {
+    case Op::kAdd:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = k + b[i];
+      break;
+    case Op::kSub:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = k - b[i];
+      break;
+    case Op::kMul:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = k * b[i];
+      break;
+    case Op::kDiv:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double bv = b[i];
+        dst[i] = std::abs(bv) < 1e-9 ? 1.0 : k / bv;
+      }
+      break;
+    case Op::kMin:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::min(k, b[i]);
+      break;
+    case Op::kMax:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(k, b[i]);
+      break;
+    default:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = k;
+      break;
+  }
+}
+
+constexpr KernelTable kScalarTable{scalar_unary, scalar_binary,
+                                   scalar_binary_ak, scalar_binary_kb};
+
+std::atomic<bool> g_simd_enabled{true};
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernels() { return kScalarTable; }
+
+bool simd_compiled() { return avx2_kernels() != nullptr; }
+
+bool simd_supported() { return simd_compiled() && cpu_has_avx2(); }
+
+void set_simd_enabled(bool enabled) {
+  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool simd_enabled() {
+  return g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+const KernelTable& active_kernels() {
+  if (simd_enabled() && simd_supported()) return *avx2_kernels();
+  return kScalarTable;
+}
+
+}  // namespace dpr::gp

@@ -3,9 +3,30 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <new>
 #include <stdexcept>
 
+#include "gp/kernels.hpp"
+
 namespace dpr::gp {
+
+void AlignedBuffer::grow(std::size_t n) {
+  // Geometric growth so a worker scanning programs of increasing depth
+  // reallocates O(log) times; memory is left uninitialized on purpose.
+  const std::size_t target = std::max(n, capacity_ * 2);
+  release();
+  data_ = static_cast<double*>(
+      ::operator new(target * sizeof(double), std::align_val_t{64}));
+  capacity_ = target;
+}
+
+void AlignedBuffer::release() {
+  if (data_ != nullptr) {
+    ::operator delete(data_, std::align_val_t{64});
+    data_ = nullptr;
+  }
+  capacity_ = 0;
+}
 
 SampleMatrix SampleMatrix::from_rows(
     const std::vector<std::vector<double>>& rows, std::size_t n_vars) {
@@ -123,136 +144,9 @@ void Program::recompile(const Expr& expr, std::size_t n_vars,
   emit();
 }
 
-namespace {
-
-/// The protected operators, shared verbatim between the scalar and the
-/// batched interpreter so both match Expr::eval exactly.
-inline double apply_unary(Op op, double x) {
-  switch (op) {
-    case Op::kSqrt:
-      return std::sqrt(std::abs(x));
-    case Op::kLog: {
-      const double v = std::abs(x);
-      return v < 1e-9 ? 0.0 : std::log(v);
-    }
-    case Op::kAbs:
-      return std::abs(x);
-    case Op::kNeg:
-      return -x;
-    case Op::kSin:
-      return std::sin(x);
-    case Op::kCos:
-      return std::cos(x);
-    case Op::kTan:
-      return std::clamp(std::tan(x), -1e6, 1e6);
-    case Op::kInv:
-      return std::abs(x) < 1e-9 ? 0.0 : 1.0 / x;
-    default:
-      return x;
-  }
-}
-
-inline double apply_binary(Op op, double a, double b) {
-  switch (op) {
-    case Op::kAdd:
-      return a + b;
-    case Op::kSub:
-      return a - b;
-    case Op::kMul:
-      return a * b;
-    case Op::kDiv:
-      return std::abs(b) < 1e-9 ? 1.0 : a / b;
-    case Op::kMin:
-      return std::min(a, b);
-    case Op::kMax:
-      return std::max(a, b);
-    default:
-      return a;
-  }
-}
-
-/// Batched per-op loops. The operator is dispatched once per
-/// instruction, outside the element loop, so every case below is a
-/// tight loop the compiler can vectorize. Each case applies the exact
-/// per-element formula of apply_unary/apply_binary — the operand
-/// accessors (column read or constant immediate) are the only thing
-/// that varies between specializations, never the arithmetic.
-template <class A>
-inline void unary_loop(Op op, double* dst, std::size_t n, A a) {
-  switch (op) {
-    case Op::kSqrt:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = std::sqrt(std::abs(a(i)));
-      break;
-    case Op::kLog:
-      for (std::size_t i = 0; i < n; ++i) {
-        const double v = std::abs(a(i));
-        dst[i] = v < 1e-9 ? 0.0 : std::log(v);
-      }
-      break;
-    case Op::kAbs:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = std::abs(a(i));
-      break;
-    case Op::kNeg:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = -a(i);
-      break;
-    case Op::kSin:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = std::sin(a(i));
-      break;
-    case Op::kCos:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = std::cos(a(i));
-      break;
-    case Op::kTan:
-      for (std::size_t i = 0; i < n; ++i) {
-        dst[i] = std::clamp(std::tan(a(i)), -1e6, 1e6);
-      }
-      break;
-    case Op::kInv:
-      for (std::size_t i = 0; i < n; ++i) {
-        const double v = a(i);
-        dst[i] = std::abs(v) < 1e-9 ? 0.0 : 1.0 / v;
-      }
-      break;
-    default:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i);
-      break;
-  }
-}
-
-template <class A, class B>
-inline void binary_loop(Op op, double* dst, std::size_t n, A a, B b) {
-  switch (op) {
-    case Op::kAdd:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i) + b(i);
-      break;
-    case Op::kSub:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i) - b(i);
-      break;
-    case Op::kMul:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i) * b(i);
-      break;
-    case Op::kDiv:
-      for (std::size_t i = 0; i < n; ++i) {
-        const double bv = b(i);
-        dst[i] = std::abs(bv) < 1e-9 ? 1.0 : a(i) / bv;
-      }
-      break;
-    case Op::kMin:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = std::min(a(i), b(i));
-      break;
-    case Op::kMax:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(a(i), b(i));
-      break;
-    default:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = a(i);
-      break;
-  }
-}
-
-}  // namespace
-
 double Program::eval_scalar(std::span<const double> vars,
                             EvalScratch& scratch) const {
-  scratch.stack.resize(std::max<std::size_t>(1, stack_need_));
+  scratch.stack.ensure(std::max<std::size_t>(1, stack_need_));
   double* st = scratch.stack.data();
   const auto value = [&](Operand operand) {
     switch (operand.src) {
@@ -277,27 +171,43 @@ void Program::eval_batch(const SampleMatrix& samples,
   const std::size_t n = samples.n_samples();
   scratch.predictions.resize(n);
   if (n == 0) return;
-  scratch.stack.resize(std::max<std::size_t>(1, stack_need_) * n);
+  // Stack columns are padded to a multiple of 8 doubles so every column
+  // starts on a 64-byte boundary of the aligned scratch base (sample
+  // columns stay unpadded — the kernels use unaligned loads for those).
+  const std::size_t stride = (n + 7) & ~std::size_t{7};
+  scratch.stack.ensure(std::max<std::size_t>(1, stack_need_) * stride);
   double* stack = scratch.stack.data();
+  double* preds = scratch.predictions.data();
+  const KernelTable& kernels = active_kernels();
   // A fused operand is either a column pointer (stack slot or sample
-  // column) or a constant immediate; the four pointer/immediate loop
-  // shapes below keep the inner loops branch-free.
+  // column) or a constant immediate; the four pointer/immediate kernel
+  // shapes keep the inner loops branch-free.
   const auto column_of = [&](Operand operand) -> const double* {
     switch (operand.src) {
       case Src::kStack:
-        return stack + operand.index * n;
+        return stack + operand.index * stride;
       case Src::kVar:
         return samples.column(operand.index).data();
       default:
         return nullptr;  // constant immediate
     }
   };
-  for (const Instr& ins : code_) {
-    double* dst = stack + ins.dst * n;
+  // When the final instruction produces the result column (always the
+  // case for an operator-rooted tree), it writes straight into the
+  // predictions buffer — the closing memcpy disappears.
+  const std::size_t n_code = code_.size();
+  const bool last_writes_result = n_code > 0 &&
+                                  result_.src == Src::kStack &&
+                                  code_[n_code - 1].dst == result_.index;
+  for (std::size_t pc = 0; pc < n_code; ++pc) {
+    const Instr& ins = code_[pc];
+    double* dst = (last_writes_result && pc + 1 == n_code)
+                      ? preds
+                      : stack + ins.dst * stride;
     const double* a = column_of(ins.a);
     if (arity(ins.op) == 1) {
       if (a != nullptr) {
-        unary_loop(ins.op, dst, n, [a](std::size_t i) { return a[i]; });
+        kernels.unary(ins.op, dst, a, n);
       } else {
         // Constant operand: apply_unary is pure, so computing it once
         // and broadcasting produces the same bits as computing it per
@@ -309,36 +219,30 @@ void Program::eval_batch(const SampleMatrix& samples,
     }
     const double* b = column_of(ins.b);
     if (a != nullptr && b != nullptr) {
-      binary_loop(ins.op, dst, n, [a](std::size_t i) { return a[i]; },
-                  [b](std::size_t i) { return b[i]; });
+      kernels.binary(ins.op, dst, a, b, n);
     } else if (a != nullptr) {
-      const double bc = constants_[ins.b.index];
-      binary_loop(ins.op, dst, n, [a](std::size_t i) { return a[i]; },
-                  [bc](std::size_t) { return bc; });
+      kernels.binary_ak(ins.op, dst, a, constants_[ins.b.index], n);
     } else if (b != nullptr) {
-      const double ac = constants_[ins.a.index];
-      binary_loop(ins.op, dst, n, [ac](std::size_t) { return ac; },
-                  [b](std::size_t i) { return b[i]; });
+      kernels.binary_kb(ins.op, dst, constants_[ins.a.index], b, n);
     } else {
       const double v = apply_binary(ins.op, constants_[ins.a.index],
                                     constants_[ins.b.index]);
       for (std::size_t i = 0; i < n; ++i) dst[i] = v;
     }
   }
+  if (last_writes_result) return;
   switch (result_.src) {
     case Src::kStack:
-      std::memcpy(scratch.predictions.data(), stack + result_.index * n,
-                  n * sizeof(double));
+      std::memcpy(preds, stack + result_.index * stride, n * sizeof(double));
       break;
     case Src::kVar: {
       const auto column = samples.column(result_.index);
-      std::memcpy(scratch.predictions.data(), column.data(),
-                  n * sizeof(double));
+      std::memcpy(preds, column.data(), n * sizeof(double));
       break;
     }
     default: {
       const double v = constants_[result_.index];
-      for (std::size_t i = 0; i < n; ++i) scratch.predictions[i] = v;
+      for (std::size_t i = 0; i < n; ++i) preds[i] = v;
       break;
     }
   }

@@ -73,11 +73,54 @@ class SampleMatrix {
   std::vector<double> data_;  // data_[var * n_samples + sample]
 };
 
+/// Growable 64-byte-aligned double buffer for the evaluation stack.
+/// Unlike std::vector, ensure() never value-initializes: the tape writes
+/// every stack column before reading it, so zero-filling was pure waste —
+/// the old vector::resize cleared the whole stack's growth on every call
+/// instead of only tracking the live watermark. Capacity only grows
+/// (watermark semantics); contents are scratch and survive nothing.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { release(); }
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Grow capacity to at least `n` doubles (geometric, uninitialized).
+  void ensure(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+  double* data() { return data_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  void grow(std::size_t n);
+  void release();
+
+  double* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
 /// Reusable buffers for batched evaluation. Owned by the caller (one per
 /// worker/chunk) so the hot loop never allocates once the buffers have
 /// grown to the workload's size.
 struct EvalScratch {
-  std::vector<double> stack;        // stack_need * n_samples column slots
+  AlignedBuffer stack;              // stack_need padded column slots
   std::vector<double> predictions;  // one prediction per sample
   std::vector<double> residuals;    // trimmed-MAE scratch
   std::string key;                  // structural cache key buffer
@@ -141,7 +184,12 @@ class Program {
 
   /// Evaluate every sample in one tape pass, writing predictions[i] for
   /// sample i. One dispatch per instruction; the per-instruction loops
-  /// stream over contiguous columns.
+  /// run through the active kernel table (AVX2 when compiled + supported
+  /// + enabled, scalar otherwise — see gp/kernels.hpp), streaming over
+  /// contiguous stack columns padded to 64-byte-aligned strides. The
+  /// final instruction writes straight into `predictions` when it
+  /// produces the result column. Bit-identical to Expr::eval under every
+  /// kernel table.
   void eval_batch(const SampleMatrix& samples, EvalScratch& scratch) const;
 
   /// Serialize the structural key into `out` (cleared first): an

@@ -25,8 +25,9 @@ void KLineBus::send_wakeup(Wakeup kind) {
   queue_.push_back(Item{true, kind, 0});
 }
 
-void KLineBus::set_faults(const util::FaultPlan& plan, util::Rng rng) {
-  injector_.emplace(plan, rng);
+void KLineBus::set_faults(const util::FaultPlan& plan,
+                          util::CounterRng stream) {
+  injector_.emplace(plan, stream);
 }
 
 util::SimTime KLineBus::byte_time() const {

@@ -49,8 +49,9 @@ class KLineBus {
 
   /// Install a fault injector consulted once per data byte in delivery
   /// order (wakeup patterns are never faulted — they model line levels,
-  /// not payload). Without an injector delivery is lossless.
-  void set_faults(const util::FaultPlan& plan, util::Rng rng);
+  /// not payload); byte n draws from event n of the counter stream.
+  /// Without an injector delivery is lossless.
+  void set_faults(const util::FaultPlan& plan, util::CounterRng stream);
   void clear_faults() { injector_.reset(); }
 
   /// Accumulated fault counters, or nullptr when no injector is installed.

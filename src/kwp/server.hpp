@@ -9,6 +9,7 @@
 
 #include "kwp/message.hpp"
 #include "util/clock.hpp"
+#include "util/counter_rng.hpp"
 #include "util/link.hpp"
 #include "util/rng.hpp"
 
@@ -67,7 +68,8 @@ class Server {
   void enable_sessions(const SessionProfile& profile,
                        const util::SimClock& clock);
 
-  /// Deterministic ECU reboots, mirroring uds::Server::enable_resets.
+  /// Deterministic ECU reboots, mirroring uds::Server::enable_resets: the
+  /// n-th non-silent request draws event n of the counter stream.
   struct ResetProfile {
     double reset_rate = 0.0;
     util::SimTime boot_time = 300 * util::kMillisecond;
@@ -75,7 +77,7 @@ class Server {
     bool enabled() const { return reset_rate > 0.0; }
   };
   void enable_resets(const ResetProfile& profile, const util::SimClock& clock,
-                     util::Rng rng);
+                     util::CounterRng stream);
 
   std::uint64_t resets() const { return resets_; }
   std::uint64_t s3_expiries() const { return s3_expiries_; }
@@ -104,7 +106,8 @@ class Server {
   SessionProfile session_profile_;
   bool sessions_armed_ = false;
   ResetProfile reset_profile_;
-  util::Rng reset_rng_;
+  util::CounterRng reset_stream_;
+  std::uint64_t reset_events_ = 0;  ///< non-silent requests seen so far
   bool resets_armed_ = false;
   util::SimTime last_activity_ = 0;
   util::SimTime silent_until_ = -1;

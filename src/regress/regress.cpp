@@ -69,6 +69,10 @@ std::optional<std::vector<double>> solve_least_squares(
     const std::vector<double>& ys) {
   if (rows.empty() || rows.size() != ys.size()) return std::nullopt;
   const std::size_t n = rows.front().size();
+  // Ragged rows would read past the short ones below; reject them.
+  for (const auto& row : rows) {
+    if (row.size() != n) return std::nullopt;
+  }
 
   // Normal equations: M = A^T A (n x n), v = A^T y.
   std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
@@ -117,9 +121,11 @@ std::optional<FitResult> fit(const correlate::Dataset& dataset,
   std::vector<double> ys;
   rows.reserve(dataset.points.size());
   for (const auto& p : dataset.points) {
+    if (p.xs.size() != dataset.n_vars) continue;  // corrupt sample
     rows.push_back(basis_row(p.xs, polynomial));
     ys.push_back(p.y);
   }
+  if (rows.size() < 4) return std::nullopt;
   const auto solution = solve_least_squares(rows, ys);
   if (!solution) return std::nullopt;
 

@@ -44,11 +44,12 @@ void Server::enable_sessions(const SessionProfile& profile,
 }
 
 void Server::enable_resets(const ResetProfile& profile,
-                           const util::SimClock& clock, util::Rng rng) {
+                           const util::SimClock& clock,
+                           util::CounterRng stream) {
   if (!profile.enabled()) return;  // zero rate: stay draw-free
   reset_profile_ = profile;
   clock_ = &clock;
-  reset_rng_ = rng;
+  reset_stream_ = stream;
   resets_armed_ = true;
 }
 
@@ -65,7 +66,7 @@ std::vector<util::Bytes> Server::respond(
     // request is swallowed without a draw while the boot window runs.
     const util::SimTime now = clock_->now();
     if (now < silent_until_) return {};
-    if (reset_rng_.chance(reset_profile_.reset_rate)) {
+    if (reset_stream_.at(reset_events_++).chance(reset_profile_.reset_rate)) {
       session_ = 0x01;
       unlocked_ = false;
       pending_seed_.clear();

@@ -10,6 +10,7 @@
 
 #include "uds/message.hpp"
 #include "util/clock.hpp"
+#include "util/counter_rng.hpp"
 #include "util/link.hpp"
 #include "util/rng.hpp"
 
@@ -79,9 +80,11 @@ class Server {
 
   /// Deterministic ECU reboots: with probability `reset_rate` per incoming
   /// request the ECU wipes its session/security state and goes bus-silent
-  /// (no response at all) until `boot_time` has elapsed. Draws come from
-  /// the provided salted stream in wire-delivery order; a zero rate is
-  /// never armed, so clean runs perform zero draws.
+  /// (no response at all) until `boot_time` has elapsed. The n-th
+  /// *non-silent* request draws event n of the provided counter stream, so
+  /// any request's reboot fate can be re-derived in O(1); requests
+  /// swallowed by the boot window consume no event. A zero rate is never
+  /// armed, so clean runs perform zero draws.
   struct ResetProfile {
     double reset_rate = 0.0;
     util::SimTime boot_time = 300 * util::kMillisecond;
@@ -89,7 +92,7 @@ class Server {
     bool enabled() const { return reset_rate > 0.0; }
   };
   void enable_resets(const ResetProfile& profile, const util::SimClock& clock,
-                     util::Rng rng);
+                     util::CounterRng stream);
 
   /// Spontaneous reboots performed / S3 timeouts that dropped a session.
   std::uint64_t resets() const { return resets_; }
@@ -149,7 +152,8 @@ class Server {
   SessionProfile session_profile_;
   bool sessions_armed_ = false;
   ResetProfile reset_profile_;
-  util::Rng reset_rng_;
+  util::CounterRng reset_stream_;
+  std::uint64_t reset_events_ = 0;  ///< non-silent requests seen so far
   bool resets_armed_ = false;
   util::SimTime last_activity_ = 0;
   util::SimTime silent_until_ = -1;   ///< rebooting: exclusive end of silence

@@ -1,0 +1,123 @@
+#include "util/counter_rng.hpp"
+
+#include <cmath>
+
+namespace dpr::util {
+
+namespace {
+
+// Philox2x64 round constants (Salmon et al., SC'11).
+constexpr std::uint64_t kPhiloxMul = 0xD2B74407B1CE6E93ULL;
+constexpr std::uint64_t kPhiloxWeyl = 0x9E3779B97F4A7C15ULL;
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// One Philox2x64-10 block: encrypt counter {c0, c1} under `key`, return
+/// word 0. Ten rounds of mulhi/mullo mixing with a Weyl key schedule.
+std::uint64_t philox2x64(std::uint64_t key, std::uint64_t c0,
+                         std::uint64_t c1) {
+  std::uint64_t x0 = c0;
+  std::uint64_t x1 = c1;
+  for (int round = 0; round < 10; ++round) {
+    const auto product = static_cast<unsigned __int128>(kPhiloxMul) * x0;
+    const auto hi = static_cast<std::uint64_t>(product >> 64);
+    const auto lo = static_cast<std::uint64_t>(product);
+    x0 = hi ^ key ^ x1;
+    x1 = lo;
+    key += kPhiloxWeyl;
+  }
+  return x0;
+}
+
+}  // namespace
+
+CounterRng::CounterRng(std::uint64_t seed, std::uint64_t stream_id) {
+  // SplitMix both halves so nearby (seed, stream) pairs land on
+  // decorrelated keys even though Philox only consumes 64 key bits.
+  std::uint64_t sm = seed;
+  const std::uint64_t a = splitmix64(sm);
+  sm ^= stream_id * 0x9E3779B97F4A7C15ULL + 0x632BE59BD9B4E019ULL;
+  key_ = a ^ splitmix64(sm);
+}
+
+CounterRng::result_type CounterRng::operator()() {
+  return philox2x64(key_, event_, index_++);
+}
+
+void CounterRng::seek(std::uint64_t event) {
+  event_ = event;
+  index_ = 0;
+  has_cached_normal_ = false;
+}
+
+CounterRng CounterRng::at(std::uint64_t event) const {
+  CounterRng copy = *this;
+  copy.seek(event);
+  return copy;
+}
+
+double CounterRng::uniform() {
+  // 53 high-quality bits -> double in [0,1). Same reduction as Rng.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double CounterRng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t CounterRng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  // Lemire multiply-shift with rejection — identical logic to
+  // Rng::uniform_int; see the discussion there. Rejection re-draws only
+  // advance this event's own draw index.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  std::uint64_t x = (*this)();
+  auto product = static_cast<unsigned __int128>(x) * span;
+  auto low = static_cast<std::uint64_t>(product);
+  if (low < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (low < threshold) {
+      x = (*this)();
+      product = static_cast<unsigned __int128>(x) * span;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   static_cast<std::uint64_t>(product >> 64));
+}
+
+double CounterRng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double CounterRng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool CounterRng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+}  // namespace dpr::util

@@ -4,15 +4,24 @@
 // The paper's pipeline runs against a hostile physical world: lossy CAN
 // wiring, ECUs that stall with `responsePending`, bursts of bus-off time.
 // FaultPlan describes a fault mix, FaultInjector turns it into per-unit
-// (frame or byte) delivery decisions driven by a forked util::Rng stream.
-// Every campaign owns its own bus and injector, and decisions are drawn in
-// wire-delivery order, so any (seed, fault-rate) pair replays bit-identically
-// at any thread count. A disabled plan performs no RNG draws at all, which
-// keeps fault-free runs bit-identical to a build without the injector.
+// (frame or byte) delivery decisions driven by a counter-based
+// util::CounterRng stream: unit n's draws come from event n of the stream,
+// so the fate of a unit is a pure function of (seed, stream, unit ordinal)
+// and dropping or reordering one unit can never shift the draws of another.
+// Every campaign owns its own bus and injector, and any (seed, fault-rate)
+// pair replays bit-identically at any thread count — or under random-access
+// replay via decide_unit(). A disabled plan performs no RNG draws at all,
+// which keeps fault-free runs bit-identical to a build without the injector.
+//
+// Stream-format note: migrating from sequential xoshiro draws to per-unit
+// counter events (and bumping the fault-stream salt) was a one-time break
+// in the fault stream format — fault sequences differ from pre-counter
+// builds for the same seed, but are deterministic within this format.
 
 #include <cstdint>
 
 #include "util/clock.hpp"
+#include "util/counter_rng.hpp"
 #include "util/rng.hpp"
 
 namespace dpr::util {
@@ -51,10 +60,13 @@ struct FaultStats {
   FaultStats& operator+=(const FaultStats& other);
 };
 
-/// Draws one fault decision per delivered unit. The draw order is fixed
-/// (burst window check, burst start, drop, corrupt, duplicate, jitter) and
-/// is part of the determinism contract: buses consult the injector exactly
-/// once per unit, in delivery order.
+/// Draws one fault decision per delivered unit. Unit n's draws all come
+/// from event n of the counter stream in a fixed order (burst start, drop,
+/// corrupt + corrupt_bit, duplicate, jitter), so decisions are random-access
+/// reproducible: decide_unit(n, t) returns the same fate no matter which
+/// units were decided before it. Only the burst *window* (`burst_until_`)
+/// is stateful — whether a unit is swallowed depends on sim time, but
+/// swallowed units consume no draws, so they cannot shift anything.
 class FaultInjector {
  public:
   struct Decision {
@@ -65,20 +77,28 @@ class FaultInjector {
     std::uint32_t corrupt_bit = 0;  ///< caller reduces modulo payload bits
   };
 
-  FaultInjector(FaultPlan plan, Rng rng) : plan_(plan), rng_(rng) {}
+  FaultInjector(FaultPlan plan, CounterRng stream)
+      : plan_(plan), stream_(stream) {}
 
   bool enabled() const { return plan_.enabled(); }
 
-  /// Decide the fate of the unit about to be delivered at sim time `now`.
+  /// Decide the fate of the next unit in wire-delivery order at sim time
+  /// `now`. Equivalent to decide_unit(next unit ordinal, now).
   Decision decide(SimTime now);
+
+  /// Decide the fate of unit `unit` (its ordinal on this wire) delivered
+  /// at sim time `now`. Pure in the random draws; advances stats and the
+  /// burst window.
+  Decision decide_unit(std::uint64_t unit, SimTime now);
 
   const FaultPlan& plan() const { return plan_; }
   const FaultStats& stats() const { return stats_; }
 
  private:
   FaultPlan plan_;
-  Rng rng_;
+  CounterRng stream_;
   FaultStats stats_;
+  std::uint64_t next_unit_ = 0;  ///< ordinal used by sequential decide()
   SimTime burst_until_ = -1;  ///< exclusive end of the active burst window
 };
 
@@ -116,9 +136,16 @@ struct FaultConfig {
   /// Probability that a server answers 0x21 busyRepeatRequest instead.
   double server_busy_rate() const;
 
-  /// Independent child stream for one component (bus, ECU, ...). `salt`
-  /// must be stable across runs (car index, request id) — never an address.
+  /// Independent sequential child stream for one component. `salt` must be
+  /// stable across runs (car index, request id) — never an address. Still
+  /// used where draws are inherently ordered (server NRC envelopes).
   Rng rng_for(std::uint64_t salt) const;
+
+  /// Independent counter-based stream for one component — the random-access
+  /// sibling of rng_for(), used by fault injectors and ECU reset draws.
+  /// Uses a distinct salt constant so counter streams never collide with a
+  /// sequential stream derived from the same id.
+  CounterRng stream_for(std::uint64_t stream_id) const;
 };
 
 }  // namespace dpr::util

@@ -53,10 +53,10 @@ EcuSim::EcuSim(const EcuSpec& spec, const CarSpec& car, can::CanBus& bus,
     if (faults.reset_rate > 0.0) {
       uds_server_.enable_resets(
           uds::Server::ResetProfile{faults.reset_rate, faults.reset_boot_time},
-          clock_, faults.rng_for(0x0F000000ULL + spec_.request_id));
+          clock_, faults.stream_for(0x0F000000ULL + spec_.request_id));
       kwp_server_.enable_resets(
           kwp::Server::ResetProfile{faults.reset_rate, faults.reset_boot_time},
-          clock_, faults.rng_for(0x0F800000ULL + spec_.request_id));
+          clock_, faults.stream_for(0x0F800000ULL + spec_.request_id));
     }
   }
   attach_transport(bus);

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -29,8 +31,8 @@ can::CanId id(std::uint32_t v) { return can::CanId{v, false}; }
 
 TEST(FaultInjector, SameSeedSamePlanReplaysBitIdentically) {
   util::FaultPlan plan = util::FaultPlan::scaled(0.2);
-  util::FaultInjector a(plan, util::Rng(42));
-  util::FaultInjector b(plan, util::Rng(42));
+  util::FaultInjector a(plan, util::CounterRng(42, 0));
+  util::FaultInjector b(plan, util::CounterRng(42, 0));
   for (int i = 0; i < 500; ++i) {
     const util::SimTime now = i * 100;
     const auto da = a.decide(now);
@@ -46,7 +48,7 @@ TEST(FaultInjector, SameSeedSamePlanReplaysBitIdentically) {
 }
 
 TEST(FaultInjector, DisabledPlanNeverFaults) {
-  util::FaultInjector injector(util::FaultPlan{}, util::Rng(7));
+  util::FaultInjector injector(util::FaultPlan{}, util::CounterRng(7, 0));
   EXPECT_FALSE(injector.enabled());
   for (int i = 0; i < 100; ++i) {
     const auto d = injector.decide(i);
@@ -60,11 +62,89 @@ TEST(FaultInjector, BurstSwallowsAWindow) {
   util::FaultPlan plan;
   plan.burst_rate = 1.0;  // first decision starts a burst
   plan.burst_duration = 10 * util::kMillisecond;
-  util::FaultInjector injector(plan, util::Rng(1));
+  util::FaultInjector injector(plan, util::CounterRng(1, 0));
   EXPECT_TRUE(injector.decide(0).drop);  // burst starts and swallows
   EXPECT_TRUE(injector.decide(5 * util::kMillisecond).drop);
   EXPECT_GE(injector.stats().bursts, 1u);
   EXPECT_EQ(injector.stats().dropped, 2u);
+}
+
+// Decision equality helper for the replay tests below.
+bool same_decision(const util::FaultInjector::Decision& a,
+                   const util::FaultInjector::Decision& b) {
+  return a.drop == b.drop && a.corrupt == b.corrupt &&
+         a.duplicate == b.duplicate && a.extra_delay == b.extra_delay &&
+         a.corrupt_bit == b.corrupt_bit;
+}
+
+TEST(FaultInjector, ShuffledUnitOrderReplaysSequentialDecisionsBitExactly) {
+  // Unit n's fate is a pure function of (stream, n): visiting the units in
+  // a shuffled order — or only a subset of them — must reproduce the same
+  // per-unit decisions as wire order. Bursts are stateful in *sim time*
+  // (not in the draws), so they stay off here.
+  util::FaultPlan plan = util::FaultPlan::scaled(0.3);
+  plan.burst_rate = 0.0;
+  constexpr std::size_t kUnits = 400;
+  util::FaultInjector sequential(plan, util::CounterRng(77, 1));
+  std::vector<util::FaultInjector::Decision> expected(kUnits);
+  for (std::size_t u = 0; u < kUnits; ++u) {
+    expected[u] = sequential.decide(static_cast<util::SimTime>(u) * 100);
+  }
+  std::vector<std::size_t> order(kUnits);
+  for (std::size_t u = 0; u < kUnits; ++u) order[u] = u;
+  std::shuffle(order.begin(), order.end(), util::Rng(123));
+  util::FaultInjector shuffled(plan, util::CounterRng(77, 1));
+  for (const std::size_t u : order) {
+    const auto d =
+        shuffled.decide_unit(u, static_cast<util::SimTime>(u) * 100);
+    EXPECT_TRUE(same_decision(d, expected[u])) << "unit " << u;
+  }
+  EXPECT_EQ(shuffled.stats().dropped, sequential.stats().dropped);
+  EXPECT_EQ(shuffled.stats().corrupted, sequential.stats().corrupted);
+}
+
+TEST(FaultInjector, SkippedUnitsDoNotShiftLaterDraws) {
+  // The satellite-1 fix: with sequential draws, a dropped/absent unit
+  // shifted every later decision. With counter streams, deciding unit 50
+  // cold gives the same bits as deciding units 0..50 in order.
+  util::FaultPlan plan = util::FaultPlan::scaled(0.4);
+  plan.burst_rate = 0.0;
+  util::FaultInjector warm(plan, util::CounterRng(5, 2));
+  util::FaultInjector::Decision via_walk;
+  for (std::size_t u = 0; u <= 50; ++u) via_walk = warm.decide(0);
+  util::FaultInjector cold(plan, util::CounterRng(5, 2));
+  EXPECT_TRUE(same_decision(cold.decide_unit(50, 0), via_walk));
+}
+
+TEST(FaultInjector, ReplayBitIdenticalAtEveryThreadCount) {
+  // Striped parallel replay: k workers each decide a disjoint stripe of
+  // units through their own injector view of the same stream. The merged
+  // decision table must be bit-identical at 1, 2, and 8 threads — the
+  // property that lets any sub-phase of a campaign re-derive its faults
+  // independently.
+  util::FaultPlan plan = util::FaultPlan::scaled(0.25);
+  plan.burst_rate = 0.0;
+  constexpr std::size_t kUnits = 512;
+  util::FaultInjector sequential(plan, util::CounterRng(99, 4));
+  std::vector<util::FaultInjector::Decision> expected(kUnits);
+  for (std::size_t u = 0; u < kUnits; ++u) expected[u] = sequential.decide(0);
+  for (const unsigned n_threads : {1u, 2u, 8u}) {
+    std::vector<util::FaultInjector::Decision> merged(kUnits);
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < n_threads; ++t) {
+      workers.emplace_back([&, t] {
+        util::FaultInjector injector(plan, util::CounterRng(99, 4));
+        for (std::size_t u = t; u < kUnits; u += n_threads) {
+          merged[u] = injector.decide_unit(u, 0);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (std::size_t u = 0; u < kUnits; ++u) {
+      EXPECT_TRUE(same_decision(merged[u], expected[u]))
+          << n_threads << " threads, unit " << u;
+    }
+  }
 }
 
 TEST(FaultConfig, ScaledPlanTracksTheKnob) {
@@ -80,6 +160,11 @@ TEST(FaultConfig, ScaledPlanTracksTheKnob) {
   // Stable salts give reproducible, distinct child streams.
   EXPECT_EQ(config.rng_for(3)(), config.rng_for(3)());
   EXPECT_NE(config.rng_for(3)(), config.rng_for(4)());
+  // Counter streams: same ids reproduce, distinct ids diverge, and the
+  // counter stream never collides with the sequential one (bumped salt).
+  EXPECT_EQ(config.stream_for(3)(), config.stream_for(3)());
+  EXPECT_NE(config.stream_for(3)(), config.stream_for(4)());
+  EXPECT_NE(config.stream_for(3)(), config.rng_for(3)());
 }
 
 // --- CAN bus faults -------------------------------------------------------
@@ -96,7 +181,7 @@ CaptureLog run_can(const util::FaultPlan* plan, std::uint64_t seed,
   bus.attach([&](const CanFrame& frame, util::SimTime t) {
     log.frames.emplace_back(t, frame);
   });
-  if (plan != nullptr) bus.set_faults(*plan, util::Rng(seed));
+  if (plan != nullptr) bus.set_faults(*plan, util::CounterRng(seed, 0));
   for (std::size_t i = 0; i < n_frames; ++i) {
     bus.send(CanFrame(id(0x100 + static_cast<std::uint32_t>(i)),
                       util::Bytes{static_cast<std::uint8_t>(i), 0xAA, 0x55}));
@@ -124,7 +209,7 @@ TEST(CanBusFaults, FullDropRateDeliversNothingButTimeAdvances) {
 
   util::SimClock clock;
   can::CanBus bus(clock);
-  bus.set_faults(plan, util::Rng(5));
+  bus.set_faults(plan, util::CounterRng(5, 0));
   bus.send(CanFrame(id(0x100), util::Bytes{0x01}));
   bus.deliver_pending();
   EXPECT_GT(clock.now(), 0);  // a dropped frame still occupied the wire
@@ -182,7 +267,7 @@ TEST(KLineFaults, FullDropRateLosesBytesButNotWakeups) {
   bus.attach_wakeup([&](kline::Wakeup, util::SimTime) { ++wakeups; });
   util::FaultPlan plan;
   plan.drop_rate = 1.0;
-  bus.set_faults(plan, util::Rng(11));
+  bus.set_faults(plan, util::CounterRng(11, 0));
   bus.send_wakeup(kline::Wakeup::kFastInit);
   bus.send({0x81, 0x10, 0xF1, 0x81, 0x03});
   bus.deliver_pending();
@@ -199,7 +284,7 @@ TEST(KLineFaults, CorruptionFlipsOneBitPerByte) {
   bus.attach([&](std::uint8_t b, util::SimTime) { bytes.push_back(b); });
   util::FaultPlan plan;
   plan.corrupt_rate = 1.0;
-  bus.set_faults(plan, util::Rng(12));
+  bus.set_faults(plan, util::CounterRng(12, 0));
   const std::vector<std::uint8_t> sent{0x00, 0xFF, 0xA5};
   bus.send(sent);
   bus.deliver_pending();

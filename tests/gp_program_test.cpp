@@ -9,17 +9,31 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "gp/engine.hpp"
 #include "gp/expr.hpp"
+#include "gp/kernels.hpp"
 #include "gp/program.hpp"
 
 namespace dpr::gp {
 namespace {
 
 std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Forces a kernel table for one scope and restores the old setting.
+class SimdGuard {
+ public:
+  explicit SimdGuard(bool enable) : previous_(simd_enabled()) {
+    set_simd_enabled(enable);
+  }
+  ~SimdGuard() { set_simd_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
 
 TEST(SampleMatrix, ColumnMajorLayout) {
   const std::vector<std::vector<double>> rows{{1.0, 10.0},
@@ -111,12 +125,15 @@ TEST(Program, StructuralKeyDistinguishesShapesAndConstants) {
 }
 
 TEST(Program, DifferentialFuzzTreeVsTapeBitIdentical) {
-  // ≥1000 random expressions × random inputs: scalar and batched tape
-  // execution must reproduce the recursive walker's doubles bit for bit,
-  // protected-operator edge cases included.
+  // ≥1000 random expressions × random inputs: scalar-tape, batched
+  // scalar-kernel, and batched SIMD-kernel execution must all reproduce
+  // the recursive walker's doubles bit for bit — protected-operator
+  // thresholds, NaN, and ±inf lanes included.
   util::Rng rng(0xD1FF);
   EvalScratch scratch;
   std::size_t checked = 0;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
   for (int trial = 0; trial < 1200; ++trial) {
     const std::size_t n_vars = 1 + rng.uniform_int(0, 1);
     const int depth = static_cast<int>(rng.uniform_int(1, 5));
@@ -124,31 +141,162 @@ TEST(Program, DifferentialFuzzTreeVsTapeBitIdentical) {
     const auto program = Program::compile(expr, n_vars);
     ASSERT_EQ(program.size(), expr.size());
 
-    // A small batch per expression, spanning sign changes and the
-    // protected-op thresholds.
+    // A batch per expression, spanning sign changes, the protected-op
+    // thresholds, and non-finite lanes (every SIMD lane of a 12-sample
+    // batch sees a mix of edge and ordinary values).
     std::vector<std::vector<double>> rows;
-    for (int s = 0; s < 8; ++s) {
+    for (int s = 0; s < 12; ++s) {
       std::vector<double> row(n_vars);
       for (auto& v : row) {
         const double roll = rng.uniform();
-        v = roll < 0.1   ? 0.0
-            : roll < 0.2 ? rng.uniform(-1e-9, 1e-9)
-                         : rng.uniform(-300.0, 300.0);
+        v = roll < 0.08   ? 0.0
+            : roll < 0.16 ? rng.uniform(-1e-9, 1e-9)
+            : roll < 0.20 ? nan
+            : roll < 0.24 ? (rng.chance(0.5) ? inf : -inf)
+                          : rng.uniform(-300.0, 300.0);
       }
       rows.push_back(std::move(row));
     }
     const auto matrix = SampleMatrix::from_rows(rows, n_vars);
-    program.eval_batch(matrix, scratch);
+    // Equality is bitwise except when both sides are NaN: which of two
+    // NaN operands an x86 arithmetic instruction propagates depends on
+    // the operand order the compiler happened to emit, and GCC can even
+    // commute the auto-vectorized main lanes and the remainder lanes of
+    // the *same* scalar-kernel loop differently — so walker, scalar
+    // tape, and SIMD tape can legitimately return NaNs of different
+    // sign/payload. Every NaN scores the same fitness penalty, so
+    // signatures are unaffected; non-NaN values stay strictly bitwise
+    // everywhere (the per-op kernel test below keeps strict equality on
+    // its single-NaN operand mixes).
+    const auto tree_matches = [](double want, double got) {
+      return bits(want) == bits(got) ||
+             (std::isnan(want) && std::isnan(got));
+    };
+    std::vector<double> reference(rows.size());
     for (std::size_t i = 0; i < rows.size(); ++i) {
-      const double reference = expr.eval(rows[i]);
-      EXPECT_EQ(bits(reference), bits(program.eval_scalar(rows[i], scratch)))
+      reference[i] = expr.eval(rows[i]);
+      EXPECT_TRUE(
+          tree_matches(reference[i], program.eval_scalar(rows[i], scratch)))
           << "trial " << trial << " sample " << i;
-      EXPECT_EQ(bits(reference), bits(scratch.predictions[i]))
-          << "trial " << trial << " sample " << i;
-      ++checked;
+    }
+    std::vector<double> scalar_tape(rows.size());
+    for (const bool simd : {false, true}) {
+      if (simd && !simd_supported()) continue;
+      SimdGuard guard(simd);
+      program.eval_batch(matrix, scratch);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_TRUE(tree_matches(reference[i], scratch.predictions[i]))
+            << "trial " << trial << " sample " << i
+            << (simd ? " (simd)" : " (scalar)");
+        if (!simd) {
+          scalar_tape[i] = scratch.predictions[i];
+        } else {
+          EXPECT_TRUE(tree_matches(scalar_tape[i], scratch.predictions[i]))
+              << "scalar vs simd tape, trial " << trial << " sample " << i;
+        }
+        ++checked;
+      }
     }
   }
-  EXPECT_GE(checked, 1000u * 8u);
+  EXPECT_GE(checked, 1000u * 12u);
+}
+
+TEST(Kernels, SimdMatchesScalarPerOpIncludingEdgeLanes) {
+  // Direct per-op kernel equality across every loop shape and awkward
+  // length (SIMD main blocks, 4-lane remainder, scalar tail), on operand
+  // mixes saturated with non-finite and threshold values.
+  if (!simd_supported()) {
+    GTEST_SKIP() << "no AVX2 kernel table compiled/supported here";
+  }
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& simd = *avx2_kernels();
+  const double edges[] = {0.0,
+                          -0.0,
+                          1e-10,
+                          -1e-10,
+                          9.9e-10,
+                          -9.9e-10,
+                          1e-9,
+                          -1e-9,
+                          1.0,
+                          -1.0,
+                          300.0,
+                          -300.0,
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::quiet_NaN()};
+  constexpr std::size_t kNEdges = std::size(edges);
+  const Op all_ops[] = {Op::kAdd, Op::kSub, Op::kMul, Op::kDiv,
+                        Op::kMin, Op::kMax, Op::kSqrt, Op::kLog,
+                        Op::kAbs, Op::kNeg, Op::kSin, Op::kCos,
+                        Op::kTan, Op::kInv};
+  util::Rng rng(0x51D);
+  for (const std::size_t n : {1u, 3u, 4u, 7u, 8u, 9u, 16u, 33u, 100u}) {
+    std::vector<double> a(n), b(n), got(n), want(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.chance(0.5) ? edges[rng.uniform_int(0, kNEdges - 1)]
+                             : rng.uniform(-500.0, 500.0);
+      b[i] = rng.chance(0.5) ? edges[rng.uniform_int(0, kNEdges - 1)]
+                             : rng.uniform(-500.0, 500.0);
+    }
+    const double k = edges[rng.uniform_int(0, kNEdges - 1)];
+    for (const Op op : all_ops) {
+      if (arity(op) == 1) {
+        scalar.unary(op, want.data(), a.data(), n);
+        simd.unary(op, got.data(), a.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(bits(want[i]), bits(got[i]))
+              << "unary op " << static_cast<int>(op) << " n=" << n
+              << " lane " << i << " x=" << a[i];
+        }
+        continue;
+      }
+      scalar.binary(op, want.data(), a.data(), b.data(), n);
+      simd.binary(op, got.data(), a.data(), b.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(bits(want[i]), bits(got[i]))
+            << "binary op " << static_cast<int>(op) << " n=" << n
+            << " lane " << i << " a=" << a[i] << " b=" << b[i];
+      }
+      scalar.binary_ak(op, want.data(), a.data(), k, n);
+      simd.binary_ak(op, got.data(), a.data(), k, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(bits(want[i]), bits(got[i]))
+            << "binary_ak op " << static_cast<int>(op) << " n=" << n
+            << " lane " << i << " a=" << a[i] << " k=" << k;
+      }
+      scalar.binary_kb(op, want.data(), k, b.data(), n);
+      simd.binary_kb(op, got.data(), k, b.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(bits(want[i]), bits(got[i]))
+            << "binary_kb op " << static_cast<int>(op) << " n=" << n
+            << " lane " << i << " k=" << k << " b=" << b[i];
+      }
+    }
+  }
+}
+
+TEST(Kernels, InPlaceColumnUpdateIsSafe) {
+  // The tape reuses stack slots: dst may be exactly the operand column.
+  // Both tables must handle the exact-aliasing case.
+  for (const bool simd : {false, true}) {
+    if (simd && !simd_supported()) continue;
+    const KernelTable& table = simd ? *avx2_kernels() : scalar_kernels();
+    std::vector<double> col(37);
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      col[i] = static_cast<double>(i) - 18.0;
+    }
+    std::vector<double> expected(col.size());
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      expected[i] = apply_binary(Op::kMul, col[i], col[i]);
+    }
+    table.binary(Op::kMul, col.data(), col.data(), col.data(), col.size());
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      EXPECT_EQ(bits(expected[i]), bits(col[i])) << "lane " << i;
+    }
+  }
 }
 
 TEST(Program, DeepChainNeverTouchesTheCStack) {
@@ -245,6 +393,40 @@ TEST(TapeEngine, InferMatchesTreeEngineBitwiseAtEveryThreadCount) {
         EXPECT_EQ(result->best.to_string(n_vars),
                   reference->best.to_string(n_vars));
       }
+    }
+  }
+}
+
+TEST(TapeEngine, SimdAndScalarTapeInferBitIdentical) {
+  // The other half of the acceptance gate: with the AVX2 kernel table
+  // forced off and on, tape inference must produce the same
+  // report-signature inputs bit for bit, at several thread counts.
+  if (!simd_supported()) {
+    GTEST_SKIP() << "no AVX2 kernel table compiled/supported here";
+  }
+  for (const std::size_t n_vars : {1u, 2u}) {
+    const auto dataset = synthetic_dataset(44, n_vars);
+    GpConfig config;
+    config.population = 96;
+    config.max_generations = 12;
+
+    std::optional<GpResult> reference;
+    {
+      SimdGuard guard(false);
+      reference = infer_formula(dataset, config);
+    }
+    ASSERT_TRUE(reference.has_value());
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      SimdGuard guard(true);
+      config.n_threads = threads;
+      const auto result = infer_formula(dataset, config);
+      ASSERT_TRUE(result.has_value());
+      EXPECT_EQ(result->formula, reference->formula)
+          << n_vars << " vars, " << threads << " threads";
+      EXPECT_EQ(bits(result->fitness), bits(reference->fitness));
+      EXPECT_EQ(result->generations_run, reference->generations_run);
+      EXPECT_EQ(result->converged, reference->converged);
     }
   }
 }

@@ -164,7 +164,7 @@ ResetRunResult run_reset_reads(std::uint64_t seed) {
   uds::Server::ResetProfile profile;
   profile.reset_rate = 0.35;
   profile.boot_time = 300 * util::kMillisecond;
-  server.enable_resets(profile, clock, util::Rng(seed));
+  server.enable_resets(profile, clock, util::CounterRng(seed, 0));
   server.bind(ecu_link);
 
   uds::Client client(tester_link, [&] { bus.deliver_pending(); },

@@ -2,15 +2,107 @@
 
 #include <cmath>
 #include <limits>
+#include <random>
 #include <set>
 
 #include "util/clock.hpp"
+#include "util/counter_rng.hpp"
 #include "util/hex.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace dpr::util {
 namespace {
+
+static_assert(std::uniform_random_bit_generator<CounterRng>);
+
+TEST(CounterRng, DeterministicForSameSeedAndStream) {
+  CounterRng a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(CounterRng, SeedsAndStreamsDiverge) {
+  CounterRng a(1, 0), b(2, 0), c(1, 1);
+  int same_seed = 0, same_stream = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    if (va == b()) ++same_seed;
+    if (va == c()) ++same_stream;
+  }
+  EXPECT_LT(same_seed, 3);
+  EXPECT_LT(same_stream, 3);
+}
+
+TEST(CounterRng, RandomAccessMatchesSequentialPerEvent) {
+  // The defining property: event n's draws are a pure function of
+  // (seed, stream, n), so visiting events in any order — or skipping
+  // events entirely — reproduces the same per-event values.
+  CounterRng sequential(99, 3);
+  std::vector<std::uint64_t> first_draws(64);
+  std::vector<double> uniforms(64);
+  for (std::uint64_t e = 0; e < 64; ++e) {
+    sequential.seek(e);
+    first_draws[e] = sequential();
+    uniforms[e] = sequential.uniform();
+  }
+  const CounterRng base(99, 3);
+  // Shuffled subset, each event addressed directly via at().
+  const std::uint64_t order[] = {63, 0, 17, 42, 5, 41, 63, 1, 30};
+  for (const std::uint64_t e : order) {
+    CounterRng view = base.at(e);
+    EXPECT_EQ(view(), first_draws[e]) << "event " << e;
+    EXPECT_EQ(view.uniform(), uniforms[e]) << "event " << e;
+  }
+}
+
+TEST(CounterRng, SeekResetsDrawIndexAndNormalCache) {
+  CounterRng rng(5, 0);
+  rng.seek(10);
+  const double n0 = rng.normal();  // caches the Box-Muller pair's second
+  rng.seek(10);
+  EXPECT_EQ(rng.normal(), n0);  // cache cleared, draws replay exactly
+  EXPECT_EQ(rng.event(), 10u);
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  CounterRng rng(7, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CounterRng, UniformIntCoversRangeInclusive) {
+  CounterRng rng(9, 0);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(CounterRng, UniformIntDegenerateAndExtremeRanges) {
+  CounterRng rng(15, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+  (void)rng.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                        std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(CounterRng, NormalMomentsRoughlyStandard) {
+  CounterRng rng(11, 0);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.05);
+}
+
+TEST(CounterRng, ChanceBoundariesAreDrawFree) {
+  CounterRng rng(3, 0);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_EQ(rng.draw_index(), 0u);  // boundary probabilities draw nothing
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(42), b(42);

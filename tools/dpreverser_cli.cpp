@@ -18,6 +18,7 @@
 
 #include "can/trace.hpp"
 #include "core/fleet.hpp"
+#include "gp/kernels.hpp"
 #include "vehicle/generator.hpp"
 
 namespace {
@@ -66,6 +67,9 @@ void usage() {
                "                   signature (CI compares fresh vs resumed)\n"
                "  --tree-eval      score GP fitness with the legacy recursive\n"
                "                   tree walker instead of the bytecode tape\n"
+               "                   (bit-identical results; equivalence switch)\n"
+               "  --scalar-tape    disable the AVX2 tape kernels and evaluate\n"
+               "                   with the portable scalar kernels\n"
                "                   (bit-identical results; equivalence switch)\n"
                "  --no-filter      disable the two-stage ESV filter (ablation)\n"
                "  --no-ocr-noise   perfect OCR (clean-room ablation)\n"
@@ -207,6 +211,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--tree-eval") {
       options.gp.use_tape = false;
+    } else if (arg == "--scalar-tape") {
+      gp::set_simd_enabled(false);
     } else if (arg == "--no-filter") {
       options.two_stage_filter = false;
     } else if (arg == "--no-ocr-noise") {
