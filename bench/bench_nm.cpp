@@ -1,0 +1,321 @@
+// OSEK network-management benchmark behind BENCH_nm.json: sweep the NM
+// sleep timeout over a small fleet, running each point twice — once with
+// the NM-aware tool (periodic wakeups + sleep-recovery retries) and once
+// with the --nm-oblivious ablation — and record what NM awareness is
+// worth: frames lost to bus sleep, failed transactions, recoveries, and
+// the GP accuracy delta.
+//
+// Three properties are asserted (nonzero exit on violation):
+//   1. Contrast: at the most aggressive sleep timeout the oblivious tool
+//      loses strictly more frames to sleep than the aware tool, and the
+//      aware tool records at least one successful sleep recovery.
+//   2. Determinism: the most aggressive aware point replays
+//      bit-identically (same fleet_signature) across 1, 2 and 8 threads.
+//   3. Resume equivalence: an NM-armed run interrupted at a phase
+//      boundary and resumed from its checkpoint matches the
+//      uninterrupted run's fleet_signature.
+//
+// Flags (all optional, for CI smoke runs on small machines):
+//   --cars N          first N catalog cars (default 3)
+//   --threads N       fleet threads for the sweep runs (default 2)
+//   --window S        per-ECU live window seconds (default 8)
+//   --population P    GP population (default 96)
+//   --seed N          fault stream seed (default FaultConfig's)
+//   --timeouts a,b,.. comma-separated sleep timeouts in seconds
+//                     (default 0.2,0.4,0.8,3.0)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fleet.hpp"
+
+namespace {
+
+using namespace dpr;
+
+struct SweepPoint {
+  double sleep_timeout_s = 0.0;
+  bool oblivious = false;
+  double gp_accuracy = 0.0;
+  std::size_t signals = 0;
+  std::size_t formula_signals = 0;
+  std::size_t gp_correct = 0;
+  std::size_t cars_ok = 0;
+  std::size_t cars_failed = 0;
+  nm::NmStats nm;
+  std::uint64_t bus_sleeps_seen = 0;     // tool-side sleep detections
+  std::uint64_t sleep_recoveries = 0;    // retries that won after re-waking
+  util::TransactStats tx;
+  double wall_s = 0.0;
+};
+
+SweepPoint summarize(double timeout_s, bool oblivious,
+                     const core::FleetSummary& summary) {
+  SweepPoint point;
+  point.sleep_timeout_s = timeout_s;
+  point.oblivious = oblivious;
+  point.signals = summary.total_signals();
+  point.formula_signals = summary.total_formula_signals();
+  point.gp_correct = summary.total_gp_correct();
+  point.gp_accuracy =
+      point.formula_signals == 0
+          ? 1.0
+          : static_cast<double>(point.gp_correct) /
+                static_cast<double>(point.formula_signals);
+  point.cars_ok = summary.cars_ok();
+  point.cars_failed = summary.cars_failed();
+  for (const auto& report : summary.reports) {
+    point.nm.sleeps += report.nm.sleeps;
+    point.nm.wakeups += report.nm.wakeups;
+    point.nm.frames_lost_to_sleep += report.nm.frames_lost_to_sleep;
+    point.nm.limp_episodes += report.nm.limp_episodes;
+    point.nm.ring_repairs += report.nm.ring_repairs;
+    point.nm.nm_frames_sent += report.nm.nm_frames_sent;
+    point.bus_sleeps_seen += report.session_stats.bus_sleeps;
+    point.sleep_recoveries += report.session_stats.sleep_recoveries;
+  }
+  point.tx = summary.total_transactions();
+  point.wall_s = summary.wall_s;
+  return point;
+}
+
+void write_point_json(std::FILE* out, const SweepPoint& p) {
+  std::fprintf(
+      out,
+      "{\"sleep_timeout_s\": %.6f, \"oblivious\": %s, "
+      "\"gp_accuracy\": %.6f, \"signals\": %zu, \"formula_signals\": %zu, "
+      "\"gp_correct\": %zu, \"cars_ok\": %zu, \"cars_failed\": %zu, "
+      "\"sleeps\": %llu, \"wakeups\": %llu, \"frames_lost_to_sleep\": %llu, "
+      "\"limp_episodes\": %llu, \"ring_repairs\": %llu, "
+      "\"nm_frames_sent\": %llu, \"bus_sleeps_seen\": %llu, "
+      "\"sleep_recoveries\": %llu, \"retries\": %llu, "
+      "\"tx_failures\": %llu, \"wall_s\": %.6f}",
+      p.sleep_timeout_s, p.oblivious ? "true" : "false", p.gp_accuracy,
+      p.signals, p.formula_signals, p.gp_correct, p.cars_ok, p.cars_failed,
+      static_cast<unsigned long long>(p.nm.sleeps),
+      static_cast<unsigned long long>(p.nm.wakeups),
+      static_cast<unsigned long long>(p.nm.frames_lost_to_sleep),
+      static_cast<unsigned long long>(p.nm.limp_episodes),
+      static_cast<unsigned long long>(p.nm.ring_repairs),
+      static_cast<unsigned long long>(p.nm.nm_frames_sent),
+      static_cast<unsigned long long>(p.bus_sleeps_seen),
+      static_cast<unsigned long long>(p.sleep_recoveries),
+      static_cast<unsigned long long>(p.tx.retries),
+      static_cast<unsigned long long>(p.tx.failures), p.wall_s);
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_cars = 3;
+  std::size_t n_threads = 2;
+  double window_s = 8.0;
+  std::size_t population = 96;
+  util::FaultConfig base_faults;
+  std::vector<double> timeouts = {0.2, 0.4, 0.8, 3.0};
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--cars") == 0) {
+      n_cars = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      n_threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--window") == 0) {
+      window_s = std::atof(next());
+    } else if (std::strcmp(argv[i], "--population") == 0) {
+      population = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      base_faults.fault_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--timeouts") == 0) {
+      timeouts.clear();
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty()) timeouts.push_back(std::atof(item.c_str()));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  n_cars = std::min(std::max<std::size_t>(n_cars, 1),
+                    vehicle::catalog().size());
+
+  std::vector<vehicle::CarId> cars;
+  for (std::size_t i = 0; i < n_cars; ++i) {
+    cars.push_back(vehicle::catalog()[i].id);
+  }
+
+  core::FleetOptions options;
+  options.fleet_threads = n_threads;
+  options.campaign.live_window =
+      static_cast<util::SimTime>(window_s * util::kSecond);
+  options.campaign.gp.population = population;
+  options.campaign.faults = base_faults;
+  options.campaign.faults.nm = true;
+
+  std::printf("NM sleep-timeout sweep: %zu cars, %zu fleet threads, "
+              "fault seed %llu\n\n",
+              cars.size(), core::FleetRunner(options).threads(),
+              static_cast<unsigned long long>(base_faults.fault_seed));
+  std::printf("%-9s %-6s %-8s %-9s %-8s %-8s %-8s %-8s %-8s\n", "timeout",
+              "tool", "GP acc", "ok/fail", "sleeps", "lost", "seen",
+              "recov", "txfail");
+  dpr::bench::print_rule(78);
+
+  std::vector<SweepPoint> points;
+  double min_timeout = timeouts.empty() ? 0.0 : timeouts[0];
+  for (const double t : timeouts) min_timeout = std::min(min_timeout, t);
+  SweepPoint aggressive_aware, aggressive_oblivious;
+  for (const double timeout_s : timeouts) {
+    options.campaign.faults.nm_sleep_timeout =
+        static_cast<util::SimTime>(timeout_s * util::kSecond);
+    for (const bool oblivious : {false, true}) {
+      options.campaign.nm_oblivious = oblivious;
+      const auto summary = core::FleetRunner(options).run(cars);
+      const auto point = summarize(timeout_s, oblivious, summary);
+      points.push_back(point);
+      if (timeout_s == min_timeout) {
+        (oblivious ? aggressive_oblivious : aggressive_aware) = point;
+      }
+      std::printf(
+          "%-9.2f %-6s %-8.3f %zu/%-7zu %-8llu %-8llu %-8llu %-8llu "
+          "%-8llu\n",
+          point.sleep_timeout_s, oblivious ? "obliv" : "aware",
+          point.gp_accuracy, point.cars_ok, point.cars_failed,
+          static_cast<unsigned long long>(point.nm.sleeps),
+          static_cast<unsigned long long>(point.nm.frames_lost_to_sleep),
+          static_cast<unsigned long long>(point.bus_sleeps_seen),
+          static_cast<unsigned long long>(point.sleep_recoveries),
+          static_cast<unsigned long long>(point.tx.failures));
+    }
+  }
+  options.campaign.nm_oblivious = false;
+
+  // Gate 1: awareness must be worth something where sleep bites hardest.
+  const bool contrast_holds =
+      aggressive_oblivious.nm.frames_lost_to_sleep >
+          aggressive_aware.nm.frames_lost_to_sleep &&
+      aggressive_aware.sleep_recoveries > 0 &&
+      aggressive_aware.cars_failed == 0;
+
+  // Gate 2: the most aggressive aware point replays bit-identically
+  // across thread counts.
+  options.campaign.faults.nm_sleep_timeout =
+      static_cast<util::SimTime>(min_timeout * util::kSecond);
+  bool deterministic = true;
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    options.fleet_threads = threads;
+    const auto signature =
+        core::fleet_signature(core::FleetRunner(options).run(cars));
+    if (reference.empty()) {
+      reference = signature;
+    } else if (signature != reference) {
+      deterministic = false;
+      std::printf("\nDETERMINISM VIOLATION: NM timeout %.2fs differs at "
+                  "%zu threads\n",
+                  min_timeout, threads);
+    }
+  }
+
+  // Gate 3: interrupt at the associate boundary and resume; the stitched
+  // NM-armed run must match the uninterrupted one.
+  const std::string checkpoint_dir =
+      (std::filesystem::temp_directory_path() / "dpr_bench_nm_ckpt")
+          .string();
+  std::filesystem::remove_all(checkpoint_dir);
+  options.fleet_threads = n_threads;
+
+  double t0 = now_s();
+  const auto uninterrupted_signature =
+      core::fleet_signature(core::FleetRunner(options).run(cars));
+  const double full_wall_s = now_s() - t0;
+
+  core::FleetOptions first_half = options;
+  first_half.campaign.checkpoint_dir = checkpoint_dir;
+  first_half.campaign.stop_after_phase = 4;  // through 'associate'
+  t0 = now_s();
+  core::FleetRunner(first_half).run(cars);
+  const double first_half_wall_s = now_s() - t0;
+
+  core::FleetOptions resumed = options;
+  resumed.campaign.checkpoint_dir = checkpoint_dir;
+  resumed.campaign.resume = true;
+  t0 = now_s();
+  const auto resumed_signature =
+      core::fleet_signature(core::FleetRunner(resumed).run(cars));
+  const double resume_wall_s = now_s() - t0;
+  std::filesystem::remove_all(checkpoint_dir);
+
+  const bool resume_equivalent =
+      resumed_signature == uninterrupted_signature;
+
+  std::printf("\naware vs oblivious at %.2fs timeout: lost %llu vs %llu "
+              "frames, %llu recoveries: %s\n",
+              min_timeout,
+              static_cast<unsigned long long>(
+                  aggressive_aware.nm.frames_lost_to_sleep),
+              static_cast<unsigned long long>(
+                  aggressive_oblivious.nm.frames_lost_to_sleep),
+              static_cast<unsigned long long>(
+                  aggressive_aware.sleep_recoveries),
+              contrast_holds ? "awareness pays" : "NO CONTRAST");
+  std::printf("determinism across {1,2,8} threads at %.2fs timeout: %s\n",
+              min_timeout, deterministic ? "identical" : "DIFFER");
+  std::printf("resume == fresh: %s  (full %.2fs, pre-interrupt %.2fs, "
+              "resume %.2fs)\n",
+              resume_equivalent ? "identical" : "DIFFER", full_wall_s,
+              first_half_wall_s, resume_wall_s);
+
+  if (std::FILE* out = std::fopen("BENCH_nm.json", "w")) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"cars\": %zu,\n", cars.size());
+    std::fprintf(out, "  \"fleet_threads\": %zu,\n", n_threads);
+    std::fprintf(out, "  \"fault_seed\": %llu,\n",
+                 static_cast<unsigned long long>(base_faults.fault_seed));
+    std::fprintf(out, "  \"contrast_holds\": %s,\n",
+                 contrast_holds ? "true" : "false");
+    std::fprintf(out, "  \"contrast_timeout_s\": %.6f,\n", min_timeout);
+    std::fprintf(out, "  \"deterministic_across_threads\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(out, "  \"resume_equivalent\": %s,\n",
+                 resume_equivalent ? "true" : "false");
+    std::fprintf(out, "  \"full_wall_s\": %.6f,\n", full_wall_s);
+    std::fprintf(out, "  \"pre_interrupt_wall_s\": %.6f,\n",
+                 first_half_wall_s);
+    std::fprintf(out, "  \"resume_wall_s\": %.6f,\n", resume_wall_s);
+    std::fprintf(out, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(out, "    ");
+      write_point_json(out, points[i]);
+      std::fprintf(out, i + 1 < points.size() ? ",\n" : "\n");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_nm.json\n");
+  }
+
+  return (contrast_holds && deterministic && resume_equivalent) ? 0 : 1;
+}

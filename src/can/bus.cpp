@@ -14,7 +14,43 @@ std::size_t CanBus::attach(FrameListener listener) {
 }
 
 void CanBus::send(const CanFrame& frame) {
+  if (lifecycle_enabled_ && state_ == BusState::kSleeping) {
+    const std::uint32_t id = frame.id().value;
+    if (id >= wake_base_ && id < wake_base_ + wake_span_) {
+      // A wakeup frame's transmission is itself the wakeup event: the bus
+      // wakes even if the fault injector later drops the frame on the wire.
+      state_ = BusState::kAwake;
+      ++wakeups_;
+    } else {
+      // Sleeping transceivers never see the frame; it dies silently.
+      ++frames_lost_to_sleep_;
+      return;
+    }
+  }
   queue_.emplace_back(next_seq_++, frame);
+}
+
+void CanBus::enable_lifecycle(std::uint32_t wake_base,
+                              std::uint32_t wake_span) {
+  lifecycle_enabled_ = true;
+  wake_base_ = wake_base;
+  wake_span_ = wake_span;
+}
+
+void CanBus::sleep() {
+  if (!lifecycle_enabled_ || state_ == BusState::kSleeping) return;
+  state_ = BusState::kSleeping;
+  ++sleeps_;
+}
+
+std::size_t CanBus::add_service(BusService service) {
+  services_.push_back(std::move(service));
+  return services_.size() - 1;
+}
+
+void CanBus::run_services() {
+  const util::SimTime now = clock_.now();
+  for (const auto& service : services_) service(now);
 }
 
 void CanBus::set_faults(const util::FaultPlan& plan, util::CounterRng stream) {
@@ -30,6 +66,16 @@ util::SimTime CanBus::frame_time(const CanFrame& frame) const {
 }
 
 std::size_t CanBus::deliver_some(std::size_t max_frames) {
+  // A bus that fell asleep after frames were queued (the NM countdown ran
+  // out inside the same delivery window) carries no traffic: the queued
+  // frames die exactly like frames sent while sleeping. Without this, a
+  // request could reach a server whose response then dies against the
+  // sleeping bus, wedging the server's transport mid-transfer.
+  if (lifecycle_enabled_ && state_ == BusState::kSleeping && !queue_.empty()) {
+    frames_lost_to_sleep_ += queue_.size();
+    queue_.clear();
+    return 0;
+  }
   std::size_t delivered = 0;
   while (delivered < max_frames && !queue_.empty()) {
     // Arbitration: lowest identifier wins; FIFO among equal identifiers.
@@ -74,6 +120,9 @@ std::size_t CanBus::deliver_some(std::size_t max_frames) {
 }
 
 std::size_t CanBus::deliver_pending() {
+  // NM nodes and other periodic services get a chance to act (pass the
+  // token, time out into limp-home, agree to sleep) before frames drain.
+  if (!services_.empty()) run_services();
   std::size_t total = 0;
   // Listeners may enqueue responses while we deliver; keep draining.
   while (!queue_.empty()) {

@@ -23,6 +23,15 @@ namespace dpr::can {
 using FrameListener =
     std::function<void(const CanFrame&, util::SimTime timestamp)>;
 
+/// Periodic housekeeping hook (e.g. an NM node's timers) run at the top of
+/// every deliver_pending() with the current sim time.
+using BusService = std::function<void(util::SimTime now)>;
+
+/// Bus lifecycle under OSEK/VDX network management: while kSleeping, normal
+/// frames are swallowed at send() and only a frame in the configured wakeup
+/// id range transitions the bus back to kAwake.
+enum class BusState : std::uint8_t { kAwake, kSleeping };
+
 class CanBus {
  public:
   /// `bitrate_bps` controls the simulated wire time per frame.
@@ -62,6 +71,29 @@ class CanBus {
   /// overhead plus data bits, at the configured bitrate.
   util::SimTime frame_time(const CanFrame& frame) const;
 
+  /// Arm the sleep/wakeup lifecycle. Frames with id in
+  /// [wake_base, wake_base + wake_span) act as wakeup frames: sending one
+  /// while the bus sleeps wakes it (the transmission itself is the wakeup
+  /// event, so it wakes the bus even if the fault injector later drops it).
+  /// Any other frame sent while asleep is swallowed and counted.
+  void enable_lifecycle(std::uint32_t wake_base, std::uint32_t wake_span);
+  bool lifecycle_enabled() const { return lifecycle_enabled_; }
+
+  /// Put the bus to sleep (no-op unless the lifecycle is enabled or the
+  /// bus already sleeps). Called by NM nodes once the ring agrees.
+  void sleep();
+  bool asleep() const { return state_ == BusState::kSleeping; }
+  BusState state() const { return state_; }
+
+  std::uint64_t sleeps() const { return sleeps_; }
+  std::uint64_t wakeups() const { return wakeups_; }
+  std::uint64_t frames_lost_to_sleep() const { return frames_lost_to_sleep_; }
+
+  /// Register a housekeeping hook run at the top of every deliver_pending().
+  /// With no services registered, delivery is byte-for-byte the pre-NM path.
+  std::size_t add_service(BusService service);
+  void run_services();
+
  private:
   util::SimClock& clock_;
   std::uint32_t bitrate_bps_;
@@ -71,6 +103,15 @@ class CanBus {
   std::uint64_t next_seq_ = 0;
   std::size_t frames_delivered_ = 0;
   std::optional<util::FaultInjector> injector_;
+  // Sleep/wakeup lifecycle (disabled by default; see enable_lifecycle()).
+  bool lifecycle_enabled_ = false;
+  BusState state_ = BusState::kAwake;
+  std::uint32_t wake_base_ = 0;
+  std::uint32_t wake_span_ = 0;
+  std::uint64_t sleeps_ = 0;
+  std::uint64_t wakeups_ = 0;
+  std::uint64_t frames_lost_to_sleep_ = 0;
+  std::vector<BusService> services_;
 };
 
 }  // namespace dpr::can

@@ -113,11 +113,44 @@ Campaign::Campaign(const vehicle::CarSpec& spec, CampaignOptions options)
   vehicle_ = std::make_unique<vehicle::Vehicle>(spec, *bus_, clock_,
                                                 options_.seed,
                                                 options_.faults);
+  if (options_.faults.nm) {
+    // OSEK NM: arm the bus lifecycle and give every ECU a ring node. Node
+    // addresses are 1-based ECU indices (address order = ring order); each
+    // node's alive-stagger jitter draws from its own salted stream so the
+    // ring forms identically at any fleet thread count.
+    nm::NmConfig nm_cfg;
+    nm_cfg.sleep_timeout = options_.faults.nm_sleep_timeout;
+    // The ack→sleep countdown scales with the timeout (capped at the
+    // protocol default) so aggressive timeouts produce an aggressive
+    // sleeper: quiet for timeout+countdown ⇒ the bus actually powers down
+    // inside real campaign idle gaps instead of always being rescued by
+    // the next poll.
+    nm_cfg.sleep_countdown =
+        std::min(nm_cfg.sleep_countdown, nm_cfg.sleep_timeout / 2);
+    nm_ = std::make_unique<nm::NmManager>(*bus_, nm_cfg);
+    std::uint8_t address = 1;
+    for (auto& ecu : vehicle_->ecus()) {
+      vehicle::EcuSim* raw = ecu.get();
+      nm_->add_node(
+          address, options_.faults.stream_for(nm::kNmStreamSalt + address),
+          [raw](util::SimTime now) { return raw->offline(now); });
+      ++address;
+    }
+  }
   tool_ = std::make_unique<diagtool::DiagnosticTool>(
       diagtool::profile_by_name(vehicle_->spec().tool), *vehicle_, *bus_,
       clock_,
       options_.faults.enabled() ? util::TransactPolicy::resilient()
                                 : util::TransactPolicy{});
+  if (options_.faults.nm && !options_.nm_oblivious) {
+    // The NM-aware tool: periodic wakeup frames bound every sleep window,
+    // and transactions that still die against a sleeping bus re-wake it
+    // and retry (SessionStats::{bus_sleeps, sleep_recoveries}).
+    const diagtool::NmToolConfig tool_nm;
+    tool_->enable_nm(nm_->config(), tool_nm,
+                     options_.faults.stream_for(nm::kNmStreamSalt +
+                                                tool_nm.address));
+  }
   if (options_.faults.stateful()) {
     // Stateful failures (ECU reboots, S3 expiry) survive the client's
     // retry loop; only the session supervisor can ride them out.
@@ -352,6 +385,10 @@ void Campaign::finish_collect() {
     report_.bus_faults = *fault_stats;
   }
   report_.session_stats = tool_->session_stats();
+  if (nm_) {
+    report_.nm_enabled = true;
+    report_.nm = nm_->stats();
+  }
   report_.ecu_resets = 0;
   report_.ecu_s3_expiries = 0;
   for (const auto& ecu : vehicle_->ecus()) {
@@ -421,6 +458,9 @@ std::uint64_t Campaign::options_digest() const {
   h = fnv1a64_u64(static_cast<std::uint64_t>(faults.reset_boot_time), h);
   h = fnv1a64_u64(faults.session_faults ? 1 : 0, h);
   h = fnv1a64_u64(static_cast<std::uint64_t>(faults.s3_timeout), h);
+  h = fnv1a64_u64(faults.nm ? 1 : 0, h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(faults.nm_sleep_timeout), h);
+  h = fnv1a64_u64(options_.nm_oblivious ? 1 : 0, h);
   return h;
 }
 
@@ -446,7 +486,8 @@ void Campaign::run() {
   }
 
   for (std::size_t p = first; p < kNumPhases; ++p) {
-    watchdog_.arm(phase_name(p), options_.phase_deadline_s);
+    watchdog_.arm(phase_name(p), options_.phase_deadline_s,
+                  options_.phase_sim_budget_s, &clock_);
     maybe_stall(phase_name(p));
     (this->*kPhaseFns[p])();
     watchdog_.poll();  // a phase that returned past its budget still fails
@@ -1309,8 +1350,17 @@ util::Bytes Campaign::serialize_state() const {
   w.u64(report_.session_stats.sessions_restored);
   w.u64(report_.session_stats.reissued_requests);
   w.u64(report_.session_stats.recovery_failures);
+  w.u64(report_.session_stats.bus_sleeps);
+  w.u64(report_.session_stats.sleep_recoveries);
   w.u64(report_.ecu_resets);
   w.u64(report_.ecu_s3_expiries);
+  w.b(report_.nm_enabled);
+  w.u64(report_.nm.sleeps);
+  w.u64(report_.nm.wakeups);
+  w.u64(report_.nm.frames_lost_to_sleep);
+  w.u64(report_.nm.limp_episodes);
+  w.u64(report_.nm.ring_repairs);
+  w.u64(report_.nm.nm_frames_sent);
   w.b(report_.completed);
   w.str(report_.failure_reason);
   return w.take();
@@ -1492,8 +1542,17 @@ bool Campaign::restore_state(const util::Bytes& payload) {
     report.session_stats.sessions_restored = r.u64();
     report.session_stats.reissued_requests = r.u64();
     report.session_stats.recovery_failures = r.u64();
+    report.session_stats.bus_sleeps = r.u64();
+    report.session_stats.sleep_recoveries = r.u64();
     report.ecu_resets = r.u64();
     report.ecu_s3_expiries = r.u64();
+    report.nm_enabled = r.b();
+    report.nm.sleeps = r.u64();
+    report.nm.wakeups = r.u64();
+    report.nm.frames_lost_to_sleep = r.u64();
+    report.nm.limp_episodes = r.u64();
+    report.nm.ring_repairs = r.u64();
+    report.nm.nm_frames_sent = r.u64();
     report.completed = r.b();
     report.failure_reason = r.str();
     if (!r.done()) return false;

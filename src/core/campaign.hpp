@@ -22,6 +22,7 @@
 #include "frames/analysis.hpp"
 #include "frames/fields.hpp"
 #include "gp/engine.hpp"
+#include "nm/nm.hpp"
 #include "regress/regress.hpp"
 #include "screenshot/extract.hpp"
 #include "util/checkpoint.hpp"
@@ -95,6 +96,20 @@ struct CampaignOptions {
   /// stalls while the watchdog is armed (phase_deadline_s > 0), so a
   /// stray value can never wedge a run.
   std::string stall_phase;
+  /// Per-phase *sim-time* budget in seconds; 0 = off. Catches the inverse
+  /// failure of phase_deadline_s: a collect phase burning sim-hours (e.g.
+  /// waiting out bus sleeps) while still making wall-clock progress.
+  /// Execution-only like phase_deadline_s — excluded from the digest.
+  double phase_sim_budget_s = 0.0;
+
+  // --- OSEK network management (ISSUE 8) ---------------------------------
+  /// With FaultConfig::nm set the campaign arms the bus lifecycle, runs a
+  /// per-ECU NM ring and (unless nm_oblivious) makes the tool NM-aware:
+  /// the tool sends periodic wakeup frames and, when a transaction dies
+  /// against a sleeping bus, re-wakes it and retries. `nm_oblivious`
+  /// keeps the vehicle side ringing but leaves the tool ignorant — the
+  /// ablation hook bench_nm uses to measure what NM awareness is worth.
+  bool nm_oblivious = false;
 };
 
 /// Wall-clock seconds spent in each pipeline phase of one campaign.
@@ -191,6 +206,11 @@ struct CampaignReport {
   diagtool::SessionStats session_stats;
   std::uint64_t ecu_resets = 0;
   std::uint64_t ecu_s3_expiries = 0;
+  /// OSEK NM outcome; nm_enabled mirrors FaultConfig::nm (the signature
+  /// only includes the NM section when set, keeping NM-off runs
+  /// byte-identical to pre-NM builds).
+  bool nm_enabled = false;
+  nm::NmStats nm;
   /// False when the campaign aborted with an exception (captured by
   /// core::FleetRunner); `failure_reason` then carries the what() text.
   bool completed = true;
@@ -317,6 +337,7 @@ class Campaign {
   util::SimClock clock_;
   std::unique_ptr<can::CanBus> bus_;
   std::unique_ptr<vehicle::Vehicle> vehicle_;
+  std::unique_ptr<nm::NmManager> nm_;
   std::unique_ptr<diagtool::DiagnosticTool> tool_;
   std::unique_ptr<can::Sniffer> sniffer_;
   std::unique_ptr<cps::Camera> camera_a_;

@@ -11,7 +11,9 @@ constexpr std::uint32_t kMagic = 0x43525044;  // "DPRC" little-endian
 // v3: keys (and the serialized report) identify the car by its 64-bit
 // spec digest instead of the catalog CarId integer, so generated cars
 // checkpoint/resume exactly like catalog cars.
-constexpr std::uint32_t kVersion = 3;
+// v4: the serialized report grew NM fields (bus sleep/wakeup counters,
+// limp-home episodes, supervisor sleep recoveries).
+constexpr std::uint32_t kVersion = 4;
 
 }  // namespace
 

@@ -259,8 +259,19 @@ std::string report_signature(const CampaignReport& report) {
       << report.session_stats.sessions_restored << '/'
       << report.session_stats.reissued_requests << '/'
       << report.session_stats.recovery_failures
-      << " resets=" << report.ecu_resets << '/' << report.ecu_s3_expiries
-      << '\n';
+      << " resets=" << report.ecu_resets << '/' << report.ecu_s3_expiries;
+  if (report.nm_enabled) {
+    // Only emitted when NM was armed: NM-off reports stay byte-identical
+    // to pre-NM builds (the session_stats sleep counters are zero and
+    // unrepresented in that case too).
+    out << " nm=1 sleeps=" << report.nm.sleeps << '/' << report.nm.wakeups
+        << '/' << report.nm.frames_lost_to_sleep
+        << " limps=" << report.nm.limp_episodes << '/'
+        << report.nm.ring_repairs << " nmtx=" << report.nm.nm_frames_sent
+        << " slrec=" << report.session_stats.bus_sleeps << '/'
+        << report.session_stats.sleep_recoveries;
+  }
+  out << '\n';
   return out.str();
 }
 

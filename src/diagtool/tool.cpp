@@ -98,6 +98,83 @@ bool DiagnosticTool::recover_session(std::size_t ecu_index) {
   return true;
 }
 
+void DiagnosticTool::enable_nm(const nm::NmConfig& config,
+                               const NmToolConfig& tool,
+                               util::CounterRng jitter) {
+  nm_enabled_ = true;
+  nm_cfg_ = config;
+  nm_tool_ = tool;
+  next_wakeup_at_ = 0;
+  sleep_lost_mark_ = bus_.frames_lost_to_sleep();
+  if (tool.mode == NmToolConfig::Mode::kRing) {
+    nm_node_ = std::make_unique<nm::NmNode>(bus_, config, tool.address,
+                                            std::move(jitter),
+                                            /*offline=*/nullptr,
+                                            /*allow_sleep=*/false);
+    nm_node_->start();
+  }
+}
+
+void DiagnosticTool::settle(util::SimTime duration) {
+  if (!bus_.lifecycle_enabled()) {
+    clock_.advance(duration);
+    return;
+  }
+  // With NM armed the ring must keep circulating while the component
+  // actuates, or every active test's settle gap would read as a fake
+  // limp-home episode (and the limp counters would stop meaning
+  // "a node vanished").
+  const bool keeps_awake =
+      nm_enabled_ && nm_tool_.mode == NmToolConfig::Mode::kWakeup;
+  const auto wakeup_period = static_cast<util::SimTime>(
+      nm_tool_.wakeup_period_s * static_cast<double>(util::kSecond));
+  const util::SimTime deadline = clock_.now() + duration;
+  while (clock_.now() < deadline) {
+    if (keeps_awake && clock_.now() >= next_wakeup_at_) {
+      nm::send_wakeup(bus_, nm_cfg_, nm_tool_.address);
+      next_wakeup_at_ = clock_.now() + wakeup_period;
+    }
+    clock_.advance(std::min<util::SimTime>(25 * util::kMillisecond,
+                                           deadline - clock_.now()));
+    bus_.deliver_pending();
+  }
+  // About to resume talking: if the ring still slept through the gap (an
+  // aggressive sleep timeout outruns the wakeup cadence), re-wake the bus
+  // now rather than sacrificing the next request to find out.
+  if (keeps_awake && bus_.asleep()) {
+    nm::send_wakeup(bus_, nm_cfg_, nm_tool_.address);
+    for (int i = 0; i < 4; ++i) {
+      clock_.advance(2 * util::kMillisecond);
+      bus_.deliver_pending();
+    }
+  }
+}
+
+bool DiagnosticTool::recover_from_sleep() {
+  // A transaction that died against a *sleeping* bus is not a lost
+  // session: the frames were swallowed before any ECU could see them.
+  // Two tells, either sufficient: the bus is asleep right now, or the
+  // bus's lost-frame counter moved since we last looked (the bus napped
+  // mid-transaction and a cadenced wakeup already brought it back). In
+  // both cases re-wake if needed, settle the NM traffic, and let the
+  // caller retry the transaction once.
+  if (!nm_enabled_) return false;
+  const std::uint64_t lost = bus_.frames_lost_to_sleep();
+  const bool slept_on_us = bus_.asleep() || lost != sleep_lost_mark_;
+  sleep_lost_mark_ = lost;
+  if (!slept_on_us) return false;
+  ++session_stats_.bus_sleeps;
+  if (bus_.asleep()) {
+    nm::send_wakeup(bus_, nm_cfg_, nm_tool_.address);
+    for (int i = 0; i < 4; ++i) {
+      clock_.advance(2 * util::kMillisecond);
+      bus_.deliver_pending();
+    }
+    sleep_lost_mark_ = bus_.frames_lost_to_sleep();
+  }
+  return true;
+}
+
 std::size_t DiagnosticTool::selected_rows() const {
   return static_cast<std::size_t>(
       std::count_if(rows_.begin(), rows_.end(),
@@ -254,6 +331,10 @@ void DiagnosticTool::poll_live_rows() {
     std::vector<uds::Did> dids;
     for (Row* row : rows) dids.push_back(row->did);
     auto records = conn.uds->read_data(dids, length_of);
+    if (!records && recover_from_sleep()) {
+      records = conn.uds->read_data(dids, length_of);
+      if (records) ++session_stats_.sleep_recoveries;
+    }
     if (!records && supervisor_.enabled) {
       // Retries already ran their course inside the client, so a dead
       // read means a lost session (reset boot window / S3 expiry), not
@@ -320,6 +401,10 @@ void DiagnosticTool::poll_live_rows() {
   }
   for (std::uint8_t local_id : local_ids) {
     auto resp = conn.kwp->read_local_id(local_id);
+    if (!resp && recover_from_sleep()) {
+      resp = conn.kwp->read_local_id(local_id);
+      if (resp) ++session_stats_.sleep_recoveries;
+    }
     if (!resp && supervisor_.enabled) {
       ++session_stats_.sessions_lost;
       if (recover_session(current_ecu_)) {
@@ -373,6 +458,10 @@ void DiagnosticTool::poll_obd() {
       profile_.ui_lag_s * static_cast<double>(util::kSecond));
   for (auto& row : obd_rows_) {
     auto resp = obd_client_->transact(obd::encode_request(row.pid));
+    if (!resp && recover_from_sleep()) {
+      resp = obd_client_->transact(obd::encode_request(row.pid));
+      if (resp) ++session_stats_.sleep_recoveries;
+    }
     if (!resp && supervisor_.enabled) {
       // Functional OBD queries land on the engine ECU's UDS server, so a
       // reset boot window silences them too. Probe, then replay once.
@@ -422,7 +511,7 @@ void DiagnosticTool::run_active_test(std::size_t ecu_index,
                             uds::IoControlParameter::kShortTermAdjustment,
                             act.example_state)
                .has_value();
-      clock_.advance(1 * util::kSecond);  // let the component actuate
+      settle(1 * util::kSecond);  // let the component actuate
       ok = ok &&
            conn.uds
                ->io_control(act.id,
@@ -444,13 +533,17 @@ void DiagnosticTool::run_active_test(std::size_t ecu_index,
       adjust.insert(adjust.end(), act.example_state.begin(),
                     act.example_state.end());
       ok = ok && conn.kwp->io_control_local(local_id, adjust).has_value();
-      clock_.advance(1 * util::kSecond);
+      settle(1 * util::kSecond);
       util::Bytes ret{0x00};
       ok = ok && conn.kwp->io_control_local(local_id, ret).has_value();
     }
     return ok;
   };
   bool ok = attempt();
+  if (!ok && recover_from_sleep()) {
+    ok = attempt();
+    if (ok) ++session_stats_.sleep_recoveries;
+  }
   if (!ok && supervisor_.enabled) {
     // A broken three-message sequence leaves the actuator in an unknown
     // state; after recovering the session the whole procedure is
@@ -543,7 +636,16 @@ void DiagnosticTool::run_for(util::SimTime duration) {
   constexpr util::SimTime kStep = 25 * util::kMillisecond;
   const auto keepalive = static_cast<util::SimTime>(
       supervisor_.keepalive_period_s * static_cast<double>(util::kSecond));
+  const auto wakeup_period = static_cast<util::SimTime>(
+      nm_tool_.wakeup_period_s * static_cast<double>(util::kSecond));
   while (clock_.now() < deadline) {
+    if (nm_enabled_ && nm_tool_.mode == NmToolConfig::Mode::kWakeup &&
+        clock_.now() >= next_wakeup_at_) {
+      // Proactive wakeup cadence: bounds the length of any sleep window
+      // even when no diagnostic traffic is pending.
+      nm::send_wakeup(bus_, nm_cfg_, nm_tool_.address);
+      next_wakeup_at_ = clock_.now() + wakeup_period;
+    }
     if (supervisor_.enabled && clock_.now() >= next_keepalive_at_) {
       send_keepalives();
       next_keepalive_at_ = clock_.now() + keepalive;
@@ -559,6 +661,12 @@ void DiagnosticTool::run_for(util::SimTime duration) {
     const util::SimTime step =
         std::min<util::SimTime>(kStep, deadline - clock_.now());
     clock_.advance(step);
+    // When a bus lifecycle is armed the NM state machines only advance
+    // inside deliver_pending(); pump it every step so ring timers fire
+    // even while the tool itself is idle. Gated on the *bus*, not the
+    // tool's own NM participation: an NM-oblivious tool on an NM vehicle
+    // must still let the ECUs ring (and fall asleep underneath it).
+    if (bus_.lifecycle_enabled()) bus_.deliver_pending();
     apply_pending(clock_.now());
     build_screen();
   }

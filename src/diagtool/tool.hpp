@@ -20,6 +20,7 @@
 #include "diagtool/ui.hpp"
 #include "isotp/endpoint.hpp"
 #include "kwp/client.hpp"
+#include "nm/nm.hpp"
 #include "oemtp/link.hpp"
 #include "uds/client.hpp"
 #include "util/clock.hpp"
@@ -49,6 +50,8 @@ struct SessionStats {
   std::uint64_t sessions_restored = 0;  // re-issue succeeded after recovery
   std::uint64_t reissued_requests = 0;  // in-flight requests replayed
   std::uint64_t recovery_failures = 0;  // probe loop or re-issue gave up
+  std::uint64_t bus_sleeps = 0;         // failed request found the bus asleep
+  std::uint64_t sleep_recoveries = 0;   // retry succeeded after re-waking
 
   SessionStats& operator+=(const SessionStats& o) {
     keepalives += o.keepalives;
@@ -56,8 +59,24 @@ struct SessionStats {
     sessions_restored += o.sessions_restored;
     reissued_requests += o.reissued_requests;
     recovery_failures += o.recovery_failures;
+    bus_sleeps += o.bus_sleeps;
+    sleep_recoveries += o.sleep_recoveries;
     return *this;
   }
+};
+
+/// How the tool participates in OSEK network management when the vehicle
+/// runs an NM ring. kRing joins the ring as a full member that never
+/// agrees to sleep (the preventive strategy: the bus stays awake as long
+/// as the tool is attached). kWakeup stays outside the ring and sends
+/// periodic wakeup frames instead — the bus still sleeps during long
+/// quiet gaps, and the tool re-wakes it reactively when a transaction
+/// dies against a sleeping bus (the recovery strategy).
+struct NmToolConfig {
+  enum class Mode { kRing, kWakeup };
+  Mode mode = Mode::kWakeup;
+  double wakeup_period_s = 1.0;   // kWakeup: proactive wakeup cadence
+  std::uint8_t address = 0x3E;    // tester NM node address
 };
 
 class DiagnosticTool {
@@ -122,6 +141,16 @@ class DiagnosticTool {
   }
   const SessionStats& session_stats() const { return session_stats_; }
 
+  /// Arm NM participation. In kRing mode the tool immediately joins the
+  /// OSEK ring as a non-sleeping member (jitter stream salts its alive
+  /// stagger); in kWakeup mode it sends periodic wakeup frames and
+  /// re-wakes the bus reactively whenever a transaction finds it asleep.
+  /// Campaigns call this exactly when FaultConfig::nm is set, so NM-off
+  /// runs keep their traffic bit-identical.
+  void enable_nm(const nm::NmConfig& config, const NmToolConfig& tool,
+                 util::CounterRng jitter);
+  bool nm_enabled() const { return nm_enabled_; }
+
  private:
   /// One displayed signal.
   struct Row {
@@ -165,6 +194,12 @@ class DiagnosticTool {
   void send_keepalives();
   bool probe_alive(uds::Client* uds, kwp::Client* kwp);
   bool recover_session(std::size_t ecu_index);
+  /// True when a dead transaction should be retried because the bus was
+  /// found asleep; re-wakes the bus and settles NM traffic first.
+  bool recover_from_sleep();
+  /// Advance sim time; with a bus lifecycle armed, in small pumped steps
+  /// so the NM ring keeps circulating across the gap.
+  void settle(util::SimTime duration);
 
   ToolProfile profile_;
   vehicle::Vehicle& vehicle_;
@@ -175,6 +210,14 @@ class DiagnosticTool {
   SupervisorConfig supervisor_;
   SessionStats session_stats_;
   util::SimTime next_keepalive_at_ = 0;
+
+  // NM participation (enable_nm).
+  bool nm_enabled_ = false;
+  nm::NmConfig nm_cfg_;
+  NmToolConfig nm_tool_;
+  std::unique_ptr<nm::NmNode> nm_node_;  // kRing mode only
+  util::SimTime next_wakeup_at_ = 0;     // kWakeup mode only
+  std::uint64_t sleep_lost_mark_ = 0;    // bus frames_lost_to_sleep() watermark
 
   Mode mode_ = Mode::kMainMenu;
   util::SimTime next_poll_at_ = 0;

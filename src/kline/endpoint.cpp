@@ -9,13 +9,21 @@ Endpoint::Endpoint(KLineBus& bus, EndpointConfig config)
 }
 
 void Endpoint::on_wakeup(Wakeup) {
-  if (!config_.is_tester) awake_ = true;
+  if (!config_.is_tester) {
+    awake_ = true;
+    needs_wakeup_ = false;
+  }
 }
 
 void Endpoint::on_byte(std::uint8_t byte) {
   const auto frame = decoder_.feed(byte);
   if (!frame) return;
   if (frame->with_address && frame->target != config_.own_address) return;
+
+  // An ECU rebooted via require_wakeup() forgot it ever saw the
+  // fast-init/5-baud pattern: it is fully deaf (not just handshake-deaf)
+  // until the tester wakes it again.
+  if (!config_.is_tester && needs_wakeup_) return;
 
   if (!config_.is_tester && awake_ && !frame->payload.empty() &&
       frame->payload[0] == 0x81) {

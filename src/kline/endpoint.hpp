@@ -30,6 +30,24 @@ class Endpoint : public util::MessageLink {
     handler_ = std::move(handler);
   }
 
+  /// Tester side: forget the handshake so the next send() re-issues
+  /// fast-init + StartCommunication (used after an ECU reboot).
+  void reconnect() override {
+    if (config_.is_tester) communication_started_ = false;
+  }
+
+  /// ECU side: drop the wakeup state (a rebooting ECU forgets it saw the
+  /// fast-init/5-baud pattern); until the next wakeup every byte on the
+  /// line is ignored and no session can start.
+  void require_wakeup() {
+    if (!config_.is_tester) {
+      awake_ = false;
+      communication_started_ = false;
+      needs_wakeup_ = true;
+    }
+  }
+
+  bool awake() const { return awake_; }
   bool communication_started() const { return communication_started_; }
   std::size_t checksum_errors() const { return decoder_.checksum_errors(); }
 
@@ -43,6 +61,7 @@ class Endpoint : public util::MessageLink {
   Decoder decoder_;
   bool communication_started_ = false;
   bool awake_ = false;
+  bool needs_wakeup_ = false;  ///< set by require_wakeup(); full deafness
 };
 
 }  // namespace dpr::kline

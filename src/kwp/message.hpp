@@ -20,6 +20,7 @@ constexpr std::uint8_t kClearDiagnosticInformation = 0x14;
 constexpr std::uint8_t kReadDtcsByStatus = 0x18;
 constexpr std::uint8_t kReadEcuIdentification = 0x1A;
 constexpr std::uint8_t kReadDataByLocalId = 0x21;
+constexpr std::uint8_t kSecurityAccess = 0x27;
 constexpr std::uint8_t kIoControlByCommonId = 0x2F;
 constexpr std::uint8_t kIoControlByLocalId = 0x30;
 constexpr std::uint8_t kTesterPresent = 0x3E;
@@ -32,6 +33,10 @@ constexpr std::uint8_t kResponseSuppressed = 0x02;
 
 /// Negative response codes shared with ISO 14229 (same byte values).
 constexpr std::uint8_t kNrcBusyRepeatRequest = 0x21;
+constexpr std::uint8_t kNrcRequestSequenceError = 0x24;
+constexpr std::uint8_t kNrcInvalidKey = 0x35;
+constexpr std::uint8_t kNrcExceedNumberOfAttempts = 0x36;
+constexpr std::uint8_t kNrcRequiredTimeDelayNotExpired = 0x37;
 constexpr std::uint8_t kNrcResponsePending = 0x78;
 constexpr std::uint8_t kNrcServiceNotSupportedInActiveSession = 0x7F;
 

@@ -27,6 +27,16 @@ void Server::add_dtc(std::uint16_t code, std::uint8_t status) {
   dtcs_.push_back(Dtc{code, status});
 }
 
+void Server::enable_security(
+    std::function<util::Bytes(const util::Bytes&)> key_fn) {
+  key_fn_ = std::move(key_fn);
+  unlocked_ = false;
+}
+
+bool Server::locked_out() const {
+  return sessions_armed_ && clock_->now() < lockout_until_;
+}
+
 void Server::bind(util::MessageLink& link) {
   link.set_message_handler([this, &link](const util::Bytes& request) {
     for (const util::Bytes& response : respond(request)) {
@@ -68,8 +78,15 @@ std::vector<util::Bytes> Server::respond(
     if (now < silent_until_) return {};
     if (reset_stream_.at(reset_events_++).chance(reset_profile_.reset_rate)) {
       session_started_ = false;
+      unlocked_ = false;
+      pending_seed_.clear();
+      key_attempts_ = 0;
+      lockout_until_ = -1;
       silent_until_ = now + reset_profile_.boot_time;
       ++resets_;
+      // A rebooting K-Line ECU also loses its wakeup state; the endpoint
+      // hook makes the tester re-issue fast-init before the next session.
+      if (reset_hook_) reset_hook_();
       return {};
     }
   }
@@ -168,6 +185,8 @@ util::Bytes Server::handle(std::span<const std::uint8_t> request) {
       }
       return encode_read_response(req->local_id, it->second());
     }
+    case kSecurityAccess:
+      return handle_security_access(request);
     case kTesterPresent: {
       // [0x3E, responseRequired]: 0x01 answers {0x7E}, 0x02 suppresses
       // the positive response. Either form refreshed the S3 timer above.
@@ -226,6 +245,56 @@ util::Bytes Server::handle(std::span<const std::uint8_t> request) {
     default:
       return encode_negative_response(request[0], kServiceNotSupported);
   }
+}
+
+util::Bytes Server::handle_security_access(
+    std::span<const std::uint8_t> req) {
+  // Mirrors uds::Server::handle_security_access byte for byte (KWP 2000
+  // shares the ISO 14229 NRC values): odd level requests a seed, even level
+  // sends the key, and with sessions armed the attempt counter trips a
+  // 0x36/0x37 delay-timer lockout.
+  if (!key_fn_) {
+    return encode_negative_response(kSecurityAccess, kServiceNotSupported);
+  }
+  if (req.size() < 2) {
+    return encode_negative_response(kSecurityAccess,
+                                    kSubFunctionNotSupported);
+  }
+  if (locked_out()) {
+    return encode_negative_response(kSecurityAccess,
+                                    kNrcRequiredTimeDelayNotExpired);
+  }
+  const std::uint8_t level = req[1];
+  if (level % 2 == 1) {  // requestSeed
+    pending_seed_ = {0x12, 0x34, 0x56, 0x78};
+    util::Bytes out{static_cast<std::uint8_t>(kSecurityAccess +
+                                              kPositiveOffset),
+                    level};
+    out.insert(out.end(), pending_seed_.begin(), pending_seed_.end());
+    return out;
+  }
+  // sendKey
+  if (pending_seed_.empty()) {
+    return encode_negative_response(kSecurityAccess,
+                                    kNrcRequestSequenceError);
+  }
+  const util::Bytes expected = key_fn_(pending_seed_);
+  const util::Bytes provided(req.begin() + 2, req.end());
+  pending_seed_.clear();
+  if (provided != expected) {
+    if (sessions_armed_ &&
+        ++key_attempts_ >= session_profile_.max_key_attempts) {
+      key_attempts_ = 0;
+      lockout_until_ = clock_->now() + session_profile_.lockout_delay;
+      return encode_negative_response(kSecurityAccess,
+                                      kNrcExceedNumberOfAttempts);
+    }
+    return encode_negative_response(kSecurityAccess, kNrcInvalidKey);
+  }
+  key_attempts_ = 0;
+  unlocked_ = true;
+  return {static_cast<std::uint8_t>(kSecurityAccess + kPositiveOffset),
+          level};
 }
 
 }  // namespace dpr::kwp

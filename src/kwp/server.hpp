@@ -29,6 +29,12 @@ class Server {
   void add_io_local(std::uint8_t local_id, IoHandler handler);
   void add_io_common(std::uint16_t common_id, IoHandler handler);
 
+  /// Security-access seed/key (ISO 14230-3 0x27), mirroring
+  /// uds::Server::enable_security: the key function maps seed -> expected
+  /// key; wrong keys count toward the attempt lockout when sessions are
+  /// armed (same 0x35/0x36/0x37 byte values as ISO 14229).
+  void enable_security(std::function<util::Bytes(const util::Bytes&)> key_fn);
+
   /// ECU identification data returned by readEcuIdentification (0x1A) —
   /// part numbers / VIN / coding, typically a long multi-frame response.
   void set_identification(util::Bytes data) {
@@ -61,9 +67,14 @@ class Server {
   /// S3 session timer, mirroring uds::Server::enable_sessions: the started
   /// diagnostic session expires after `s3_timeout` of inactivity, and with
   /// the timer armed the IO-control services demand a running session (NRC
-  /// 0x7F), which is what the diagtool supervisor keys recovery on.
+  /// 0x7F), which is what the diagtool supervisor keys recovery on. The
+  /// armed timer also activates the security-access attempt lockout:
+  /// `max_key_attempts` wrong keys answer NRC 0x36 and refuse further 0x27
+  /// requests with NRC 0x37 until `lockout_delay` expires.
   struct SessionProfile {
     util::SimTime s3_timeout = 5 * util::kSecond;
+    int max_key_attempts = 3;
+    util::SimTime lockout_delay = 10 * util::kSecond;
   };
   void enable_sessions(const SessionProfile& profile,
                        const util::SimClock& clock);
@@ -81,6 +92,18 @@ class Server {
 
   std::uint64_t resets() const { return resets_; }
   std::uint64_t s3_expiries() const { return s3_expiries_; }
+  /// Security lockout currently in force (for tests).
+  bool locked_out() const;
+  /// Exclusive end of the current reboot silence window, or -1 when the
+  /// ECU is up (see uds::Server::silent_until).
+  util::SimTime silent_until() const { return silent_until_; }
+
+  /// Invoked at the moment a spontaneous reboot starts. K-Line ECUs hook
+  /// this to drop their wakeup state: after the boot the tester must issue
+  /// a fresh fast-init/5-baud wakeup before any session restarts.
+  void set_reset_hook(std::function<void()> hook) {
+    reset_hook_ = std::move(hook);
+  }
 
   /// Full response sequence for one request; exactly {handle(request)}
   /// unless faults are enabled.
@@ -90,14 +113,21 @@ class Server {
   void bind(util::MessageLink& link);
 
   bool session_started() const { return session_started_; }
+  bool unlocked() const { return unlocked_; }
 
  private:
+  util::Bytes handle_security_access(std::span<const std::uint8_t> req);
+
   std::map<std::uint8_t, LocalIdReader> local_ids_;
   std::map<std::uint8_t, IoHandler> io_local_;
   std::map<std::uint16_t, IoHandler> io_common_;
   util::Bytes identification_;
   std::vector<Dtc> dtcs_;
   bool session_started_ = false;
+  std::function<util::Bytes(const util::Bytes&)> key_fn_;
+  util::Bytes pending_seed_;
+  bool unlocked_ = false;
+  std::function<void()> reset_hook_;
   FaultProfile faults_;
   util::Rng fault_rng_;
 
@@ -111,6 +141,8 @@ class Server {
   bool resets_armed_ = false;
   util::SimTime last_activity_ = 0;
   util::SimTime silent_until_ = -1;
+  util::SimTime lockout_until_ = -1;  ///< security lockout delay timer
+  int key_attempts_ = 0;
   std::uint64_t resets_ = 0;
   std::uint64_t s3_expiries_ = 0;
 };

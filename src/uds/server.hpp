@@ -99,6 +99,10 @@ class Server {
   std::uint64_t s3_expiries() const { return s3_expiries_; }
   /// Security lockout currently in force (for tests).
   bool locked_out() const;
+  /// Exclusive end of the current reboot silence window, or -1 when the
+  /// ECU is up. NM nodes use this to model a rebooting ECU vanishing from
+  /// the ring (deaf and mute until the boot completes).
+  util::SimTime silent_until() const { return silent_until_; }
 
   /// Process one request, producing the full response sequence: the real
   /// answer, possibly preceded by fault-injected 0x78 markers or replaced

@@ -124,6 +124,15 @@ struct FaultConfig {
   bool session_faults = false;  ///< arm S3 expiry + security lockout
   SimTime s3_timeout = 5 * kSecond;  ///< S3 inactivity limit when armed
 
+  /// OSEK/VDX network management: every ECU runs an NM ring node, the bus
+  /// gains a sleep/wakeup lifecycle, and the campaign's tool must keep the
+  /// bus awake (dpr::nm). Off by default; when off, no NM node is built,
+  /// the bus lifecycle stays disabled, and no NM stream draws happen, so
+  /// NM-off runs stay bit-identical to a build without the module.
+  bool nm = false;
+  /// Quiet-bus window after which the ring agrees to sleep (NM armed only).
+  SimTime nm_sleep_timeout = 3 * kSecond;
+
   /// Stateful failures armed (ECU resets and/or session timers)?
   bool stateful() const { return reset_rate > 0.0 || session_faults; }
 

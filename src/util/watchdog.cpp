@@ -8,8 +8,9 @@ DeadlineExceeded::DeadlineExceeded(std::string phase, double budget_s)
       budget_s_(budget_s) {}
 
 void Watchdog::poll() const {
-  if (budget_s_ > 0.0 && token_.expired()) {
-    throw DeadlineExceeded(phase_, budget_s_);
+  if (armed() && token_.expired()) {
+    throw DeadlineExceeded(phase_, budget_s_ > 0.0 ? budget_s_
+                                                   : sim_budget_s_);
   }
 }
 

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/clock.hpp"
+
 namespace dpr::util {
 
 /// Shared cancellation + deadline flag. Copies observe the same state, so
@@ -36,8 +38,24 @@ class CancelToken {
     state_->deadline_ns.store(ns, std::memory_order_relaxed);
   }
 
+  /// Arm (or re-arm) a *sim-time* deadline `budget` past the clock's
+  /// current time. Catches the inverse failure of the wall-clock deadline:
+  /// a phase burning sim-hours (e.g. waiting out bus sleeps) while still
+  /// making real-time progress. The clock pointer is read from the thread
+  /// that advances it — poll sites and the clock owner are the same
+  /// campaign thread, so plain loads are safe.
+  void arm_sim(const SimClock& clock, SimTime budget) {
+    state_->cancelled.store(false, std::memory_order_relaxed);
+    state_->sim_clock.store(&clock, std::memory_order_relaxed);
+    state_->sim_deadline.store(clock.now() + budget,
+                               std::memory_order_relaxed);
+  }
+
   /// Remove the deadline (cancel() state is kept).
-  void disarm() { state_->deadline_ns.store(0, std::memory_order_relaxed); }
+  void disarm() {
+    state_->deadline_ns.store(0, std::memory_order_relaxed);
+    state_->sim_clock.store(nullptr, std::memory_order_relaxed);
+  }
 
   bool cancelled() const {
     return state_->cancelled.load(std::memory_order_relaxed);
@@ -45,6 +63,11 @@ class CancelToken {
 
   bool expired() const {
     if (cancelled()) return true;
+    const SimClock* sim = state_->sim_clock.load(std::memory_order_relaxed);
+    if (sim != nullptr &&
+        sim->now() >= state_->sim_deadline.load(std::memory_order_relaxed)) {
+      return true;
+    }
     const std::int64_t deadline =
         state_->deadline_ns.load(std::memory_order_relaxed);
     if (deadline == 0) return false;
@@ -57,6 +80,8 @@ class CancelToken {
   struct State {
     std::atomic<bool> cancelled{false};
     std::atomic<std::int64_t> deadline_ns{0};  ///< 0 = no deadline armed
+    std::atomic<const SimClock*> sim_clock{nullptr};  ///< null = no sim cap
+    std::atomic<SimTime> sim_deadline{0};
   };
   std::shared_ptr<State> state_;
 };
@@ -82,22 +107,29 @@ class Watchdog {
  public:
   Watchdog() = default;
 
-  void arm(std::string phase, double budget_s) {
+  /// Arm the wall-clock budget, plus an optional sim-time budget (seconds
+  /// of *sim* time; 0 disables) checked against `clock`. Either budget
+  /// running out throws the same phase_timeout(<phase>).
+  void arm(std::string phase, double budget_s, double sim_budget_s = 0.0,
+           const SimClock* clock = nullptr) {
     phase_ = std::move(phase);
     budget_s_ = budget_s;
-    if (budget_s_ > 0.0) {
-      token_.arm_after(budget_s_);
-    } else {
-      token_.disarm();
+    sim_budget_s_ = (clock != nullptr) ? sim_budget_s : 0.0;
+    token_.disarm();
+    if (budget_s_ > 0.0) token_.arm_after(budget_s_);
+    if (sim_budget_s_ > 0.0) {
+      token_.arm_sim(*clock,
+                     static_cast<SimTime>(sim_budget_s_ * kSecond));
     }
   }
 
   void disarm() {
     budget_s_ = 0.0;
+    sim_budget_s_ = 0.0;
     token_.disarm();
   }
 
-  bool armed() const { return budget_s_ > 0.0; }
+  bool armed() const { return budget_s_ > 0.0 || sim_budget_s_ > 0.0; }
   const std::string& phase() const { return phase_; }
 
   /// Throws DeadlineExceeded when an armed budget has run out.
@@ -109,6 +141,7 @@ class Watchdog {
   CancelToken token_;
   std::string phase_;
   double budget_s_ = 0.0;
+  double sim_budget_s_ = 0.0;
 };
 
 }  // namespace dpr::util

@@ -65,6 +65,14 @@ class EcuSim {
     return uds_server_.s3_expiries() + kwp_server_.s3_expiries();
   }
 
+  /// True while either protocol server is inside a reboot silence window.
+  /// The NM node for this ECU keys on it: a rebooting ECU vanishes from
+  /// the ring (deaf and mute) until the boot completes.
+  bool offline(util::SimTime now) const {
+    return now < uds_server_.silent_until() ||
+           now < kwp_server_.silent_until();
+  }
+
  private:
   void install_uds_signals(util::Rng& rng);
   void install_kwp_blocks(util::Rng& rng);

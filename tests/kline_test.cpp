@@ -146,6 +146,35 @@ TEST(Endpoint, HandshakeHappensOnlyOnce) {
   EXPECT_LT(clock.now() - after_first, 40 * util::kMillisecond);
 }
 
+TEST(Endpoint, RebootedEcuIsDeafUntilFreshFastInit) {
+  util::SimClock clock;
+  KLineBus bus(clock);
+  Endpoint tester(bus, EndpointConfig{0xF1, 0x10, /*is_tester=*/true});
+  Endpoint ecu(bus, EndpointConfig{0x10, 0xF1, /*is_tester=*/false});
+  kwp::Server server;
+  server.add_local_id(0x07, [] {
+    return std::vector<kwp::EsvRecord>{{0x01, 0xF1, 0x10}};
+  });
+  server.bind(ecu);
+  kwp::Client client(tester, [&] { bus.deliver_pending(); },
+                     util::TransactPolicy::resilient(), &clock);
+  ASSERT_TRUE(client.read_local_id(0x07).has_value());
+
+  // The ECU reboots: it forgets it ever saw the fast-init pattern and is
+  // fully deaf — the tester's next request dies with no reply, and the
+  // client responds by dropping its side of the handshake (reconnect).
+  ecu.require_wakeup();
+  EXPECT_FALSE(ecu.awake());
+  EXPECT_FALSE(client.read_local_id(0x07).has_value());
+  EXPECT_FALSE(tester.communication_started());
+
+  // The retry now re-issues fast-init + StartCommunication and the
+  // conversation resumes; without the fresh wakeup it never would.
+  ASSERT_TRUE(client.read_local_id(0x07).has_value());
+  EXPECT_TRUE(ecu.awake());
+  EXPECT_TRUE(ecu.communication_started());
+}
+
 TEST(Endpoint, IgnoresFramesForOtherAddresses) {
   util::SimClock clock;
   KLineBus bus(clock);

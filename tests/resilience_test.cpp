@@ -142,6 +142,44 @@ TEST(SecurityLockout, AttemptLimitThenDelayTimerUnlock) {
   EXPECT_TRUE(server.unlocked());
 }
 
+TEST(SecurityLockout, KwpMirrorsTheUdsAttemptLimitAndDelayTimer) {
+  util::SimClock clock;
+  kwp::Server server;
+  server.enable_security([](const util::Bytes& seed) {
+    util::Bytes key = seed;
+    for (auto& b : key) b ^= 0xA5;
+    return key;
+  });
+  kwp::Server::SessionProfile profile;
+  profile.max_key_attempts = 3;
+  profile.lockout_delay = 10 * util::kSecond;
+  server.enable_sessions(profile, clock);
+
+  // KWP 2000 shares the ISO 14229 NRC values: invalidKey twice, then
+  // exceedNumberOfAttempts, then requiredTimeDelayNotExpired for both
+  // halves of the handshake until the delay runs out.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    server.handle(util::Bytes{0x27, 0x01});
+    const auto resp = server.handle(util::Bytes{0x27, 0x02, 0, 0, 0, 0});
+    EXPECT_EQ(util::to_hex(resp), attempt < 2 ? "7F 27 35" : "7F 27 36");
+  }
+  EXPECT_TRUE(server.locked_out());
+  EXPECT_EQ(util::to_hex(server.handle(util::Bytes{0x27, 0x01})), "7F 27 37");
+  EXPECT_EQ(util::to_hex(server.handle(util::Bytes{0x27, 0x02, 0, 0, 0, 0})),
+            "7F 27 37");
+
+  clock.advance(11 * util::kSecond);
+  EXPECT_FALSE(server.locked_out());
+  const auto seed_resp = server.handle(util::Bytes{0x27, 0x01});
+  ASSERT_EQ(seed_resp.size(), 6u);
+  util::Bytes key(seed_resp.begin() + 2, seed_resp.end());
+  for (auto& b : key) b ^= 0xA5;
+  util::Bytes send_key{0x27, 0x02};
+  send_key.insert(send_key.end(), key.begin(), key.end());
+  EXPECT_EQ(util::to_hex(server.handle(send_key)), "67 02");
+  EXPECT_TRUE(server.unlocked());
+}
+
 // --- ECU resets under ISO-TP ----------------------------------------------
 
 struct ResetRunResult {
@@ -282,6 +320,23 @@ TEST(Watchdog, PollThrowsPhaseTimeoutAfterBudget) {
   watchdog.poll();  // disarmed again: quiet
 }
 
+TEST(Watchdog, SimTimeBudgetThrowsTheSamePhaseTimeout) {
+  util::SimClock clock;
+  util::Watchdog watchdog;
+  // No wall-clock deadline at all: only the sim-time budget is armed.
+  watchdog.arm("collect", 0.0, 2.0, &clock);
+  clock.advance(1 * util::kSecond);
+  watchdog.poll();  // under budget: quiet
+  clock.advance(2 * util::kSecond);
+  try {
+    watchdog.poll();
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const util::DeadlineExceeded& e) {
+    EXPECT_STREQ(e.what(), "phase_timeout(collect)");
+    EXPECT_EQ(e.phase(), "collect");
+  }
+}
+
 TEST(Watchdog, SharedTokenObservesCancelAcrossCopies) {
   util::CancelToken token;
   util::CancelToken copy = token;
@@ -412,6 +467,98 @@ TEST(FleetWatchdog, QuarantineRetryAppendsTheSecondReason) {
   EXPECT_NE(summary.reports[0].failure_reason.find(
                 "phase_timeout(assemble); retry: phase_timeout(assemble)"),
             std::string::npos);
+}
+
+TEST(FleetWatchdog, SimBudgetOverrunDegradesToPhaseTimeoutSlot) {
+  core::FleetOptions options;
+  options.fleet_threads = 1;
+  options.quarantine_retry = false;
+  options.campaign = small_options();
+  options.campaign.run_inference = false;
+  options.campaign.run_baselines = false;
+  // The 4 s live window must burn through a 1 s sim budget in collect,
+  // even though the phase makes perfectly healthy wall-clock progress.
+  options.campaign.phase_sim_budget_s = 1.0;
+  const auto summary =
+      core::FleetRunner(options).run({vehicle::CarId::kA});
+  ASSERT_EQ(summary.reports.size(), 1u);
+  EXPECT_FALSE(summary.reports[0].completed);
+  EXPECT_NE(summary.reports[0].failure_reason.find("phase_timeout(collect)"),
+            std::string::npos);
+}
+
+// --- OSEK network management in a campaign --------------------------------
+
+core::CampaignOptions nm_options() {
+  auto options = small_options();
+  options.faults.nm = true;
+  // Aggressive enough that the bus sleeps during real campaign gaps.
+  options.faults.nm_sleep_timeout = 400 * util::kMillisecond;
+  return options;
+}
+
+TEST(NmCampaign, AwareToolRecoversSleepLossesAndReplaysBitIdentically) {
+  const auto options = nm_options();
+  core::Campaign aware(vehicle::CarId::kA, options);
+  aware.run();
+  const auto& report = aware.report();
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.nm_enabled);
+  // The ring really slept the bus out from under the tool, the tool
+  // noticed, and at least one retry after re-waking succeeded.
+  EXPECT_GT(report.nm.sleeps, 0u);
+  EXPECT_GT(report.session_stats.bus_sleeps, 0u);
+  EXPECT_GT(report.session_stats.sleep_recoveries, 0u);
+
+  core::Campaign again(vehicle::CarId::kA, options);
+  again.run();
+  EXPECT_EQ(core::report_signature(again.report()),
+            core::report_signature(report));
+}
+
+TEST(NmCampaign, ObliviousToolLosesStrictlyMoreFramesToSleep) {
+  const auto options = nm_options();
+  core::Campaign aware(vehicle::CarId::kA, options);
+  aware.run();
+
+  auto ablated = options;
+  ablated.nm_oblivious = true;
+  core::Campaign oblivious(vehicle::CarId::kA, ablated);
+  oblivious.run();
+  const auto& obl = oblivious.report();
+  EXPECT_TRUE(obl.nm_enabled);
+  // No wakeups, no sleep detection: every nap swallows traffic for good.
+  EXPECT_EQ(obl.session_stats.sleep_recoveries, 0u);
+  EXPECT_GT(obl.nm.sleeps, 0u);
+  EXPECT_GT(obl.nm.frames_lost_to_sleep,
+            aware.report().nm.frames_lost_to_sleep);
+}
+
+TEST_F(CheckpointDir, NmFleetResumeIsThreadCountInvariant) {
+  const std::vector<vehicle::CarId> cars{vehicle::CarId::kA,
+                                         vehicle::CarId::kB};
+  core::FleetOptions base;
+  base.campaign = nm_options();
+  base.fleet_threads = 1;
+  const auto fresh = core::fleet_signature(core::FleetRunner(base).run(cars));
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    std::filesystem::remove_all(dir_);
+    core::FleetOptions interrupted = base;
+    interrupted.fleet_threads = threads;
+    interrupted.campaign.checkpoint_dir = dir_;
+    interrupted.campaign.stop_after_phase = 3;
+    core::FleetRunner(interrupted).run(cars);
+
+    core::FleetOptions resumed = base;
+    resumed.fleet_threads = threads;
+    resumed.campaign.checkpoint_dir = dir_;
+    resumed.campaign.resume = true;
+    const auto summary = core::FleetRunner(resumed).run(cars);
+    EXPECT_EQ(core::fleet_signature(summary), fresh)
+        << threads << " threads";
+    EXPECT_EQ(summary.cars_failed(), 0u);
+  }
 }
 
 // --- Stateful faults in a campaign ----------------------------------------

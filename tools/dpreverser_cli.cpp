@@ -53,6 +53,17 @@ void usage() {
                "                   silent for the boot window)\n"
                "  --session-faults arm S3 session timers + the tool's\n"
                "                   keepalive/recovery supervisor\n"
+               "  --nm             arm OSEK network management: per-ECU ring\n"
+               "                   nodes, coordinated bus sleep/wakeup and an\n"
+               "                   NM-aware tool that keeps the bus alive\n"
+               "  --nm-sleep-timeout <s>  quiet-bus seconds before the ring\n"
+               "                   agrees to sleep (default 3)\n"
+               "  --nm-oblivious   keep the vehicle ringing but leave the\n"
+               "                   tool NM-ignorant (ablation: transactions\n"
+               "                   die against the sleeping bus)\n"
+               "  --sim-deadline <s>  sim-time budget per phase (same\n"
+               "                   phase_timeout failure as --phase-deadline\n"
+               "                   but in simulated seconds)\n"
                "  --checkpoint-dir <d>  write a per-phase checkpoint per car\n"
                "                   so an interrupted run can be resumed\n"
                "  --resume         resume from matching checkpoints (same\n"
@@ -196,6 +207,15 @@ int main(int argc, char** argv) {
       options.faults.reset_rate = std::atof(next());
     } else if (arg == "--session-faults") {
       options.faults.session_faults = true;
+    } else if (arg == "--nm") {
+      options.faults.nm = true;
+    } else if (arg == "--nm-sleep-timeout") {
+      options.faults.nm_sleep_timeout =
+          static_cast<util::SimTime>(std::atof(next()) * util::kSecond);
+    } else if (arg == "--nm-oblivious") {
+      options.nm_oblivious = true;
+    } else if (arg == "--sim-deadline") {
+      options.phase_sim_budget_s = std::atof(next());
     } else if (arg == "--checkpoint-dir") {
       options.checkpoint_dir = next();
     } else if (arg == "--resume") {
