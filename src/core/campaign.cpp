@@ -10,6 +10,7 @@
 
 #include "core/checkpoint.hpp"
 #include "gp/batch.hpp"
+#include "util/crash.hpp"
 #include "kwp/formulas.hpp"
 #include "screenshot/filter.hpp"
 #include "util/log.hpp"
@@ -131,9 +132,13 @@ Campaign::Campaign(const vehicle::CarSpec& spec, CampaignOptions options)
     std::uint8_t address = 1;
     for (auto& ecu : vehicle_->ecus()) {
       vehicle::EcuSim* raw = ecu.get();
+      // Veto holdout (ISSUE 9): the configured address joins the ring but
+      // refuses every sleep agreement, pinning the whole bus awake — the
+      // body-domain ECU that "needs" the bus pattern from OSEK NM.
+      const bool allow_sleep = address != options_.faults.nm_veto_address;
       nm_->add_node(
           address, options_.faults.stream_for(nm::kNmStreamSalt + address),
-          [raw](util::SimTime now) { return raw->offline(now); });
+          [raw](util::SimTime now) { return raw->offline(now); }, allow_sleep);
       ++address;
     }
   }
@@ -408,7 +413,11 @@ void Campaign::maybe_stall(const char* phase) const {
   }
 }
 
-std::uint64_t Campaign::options_digest() const {
+std::uint64_t Campaign::checkpoint_options_digest(bool legacy) const {
+  return options_digest(legacy);
+}
+
+std::uint64_t Campaign::options_digest(bool legacy) const {
   using util::fnv1a64_f64;
   using util::fnv1a64_str;
   using util::fnv1a64_u64;
@@ -458,9 +467,18 @@ std::uint64_t Campaign::options_digest() const {
   h = fnv1a64_u64(static_cast<std::uint64_t>(faults.reset_boot_time), h);
   h = fnv1a64_u64(faults.session_faults ? 1 : 0, h);
   h = fnv1a64_u64(static_cast<std::uint64_t>(faults.s3_timeout), h);
+  if (legacy) return h;  // the v2/v3-era formula stopped here (pre-NM)
   h = fnv1a64_u64(faults.nm ? 1 : 0, h);
   h = fnv1a64_u64(static_cast<std::uint64_t>(faults.nm_sleep_timeout), h);
   h = fnv1a64_u64(options_.nm_oblivious ? 1 : 0, h);
+  // Knobs added after the digest formula froze fold in only when armed:
+  // default-config digests (and therefore checkpoint filenames) stay
+  // bit-identical across builds, which is what keeps cross-build resume —
+  // the whole point of the migration tier — reachable.
+  if (faults.nm_veto_address != 0) {
+    h = fnv1a64_u64(0x4E4D5645544FULL, h);  // "NMVETO" marker
+    h = fnv1a64_u64(faults.nm_veto_address, h);
+  }
   return h;
 }
 
@@ -479,8 +497,39 @@ void Campaign::run() {
   if (!options_.checkpoint_dir.empty()) {
     store.emplace(options_.checkpoint_dir);
     if (options_.resume) {
-      if (const auto loaded = store->load(car, options_.seed, digest)) {
-        if (restore_state(loaded->payload)) first = loaded->phase + 1;
+      // Old builds derived different keys: pre-NM digests (v3 era) and
+      // u32 CarId keys (v2 era). Hand both to the store so their files
+      // are found, validated and migrated to v5 under the current key.
+      CheckpointStore::LegacyKey legacy;
+      legacy.options_digest = options_digest(/*legacy=*/true);
+      if (vehicle_->spec().gen_seed == 0) {
+        legacy.catalog_car =
+            static_cast<std::uint32_t>(vehicle_->spec().id);
+      }
+      auto loaded = store->load(car, options_.seed, digest, &legacy);
+      if (loaded) {
+        if (restore_state(loaded->payload, loaded->payload_schema)) {
+          first = loaded->phase + 1;
+          if (loaded->migrated) ++report_.ckpt_salvaged;
+        } else {
+          // Structurally valid container, unrestorable payload: move the
+          // file out of the way and re-run from scratch — the phases it
+          // covered simply run again; the car is never failed over it.
+          store->quarantine_key(car, options_.seed, digest,
+                                "payload failed to restore");
+          ++report_.ckpt_quarantined;
+          util::LogLine(util::LogLevel::kWarning, "ckpt")
+              << report_.car_label
+              << ": resume fell back to fresh (payload failed to restore, "
+                 "file quarantined)";
+        }
+      } else if (loaded.error != CheckpointStore::LoadError::kMissing) {
+        if (loaded.quarantined) ++report_.ckpt_quarantined;
+        util::LogLine(util::LogLevel::kWarning, "ckpt")
+            << report_.car_label << ": resume fell back to fresh ("
+            << CheckpointStore::load_error_name(loaded.error) << ": "
+            << loaded.detail
+            << (loaded.quarantined ? "; file quarantined)" : ")");
       }
     }
   }
@@ -492,9 +541,19 @@ void Campaign::run() {
     (this->*kPhaseFns[p])();
     watchdog_.poll();  // a phase that returned past its budget still fails
     watchdog_.disarm();
+    DPR_CRASH_POINT("campaign.phase_done");
     if (store) {
-      store->save(car, options_.seed, digest, static_cast<std::uint32_t>(p),
-                  serialize_state());
+      const auto saved =
+          store->save(car, options_.seed, digest,
+                      static_cast<std::uint32_t>(p), serialize_state());
+      if (!saved) {
+        // Fail soft: the run continues uncheckpointed, but the log says
+        // exactly which syscall refused and why.
+        util::LogLine(util::LogLevel::kWarning, "ckpt")
+            << report_.car_label << ": checkpoint save failed after "
+            << phase_name(p) << " (" << saved.message() << ")";
+      }
+      DPR_CRASH_POINT("campaign.post_checkpoint");
     }
     if (options_.stop_after_phase >= 0 &&
         p >= static_cast<std::size_t>(options_.stop_after_phase)) {
@@ -1199,6 +1258,10 @@ regress::FitResult read_fit(util::BinaryReader& r) {
 }  // namespace
 
 util::Bytes Campaign::serialize_state() const {
+  return serialize_state_versioned(kCheckpointPayloadSchema);
+}
+
+util::Bytes Campaign::serialize_state_versioned(std::uint32_t schema) const {
   util::BinaryWriter w;
 
   // Collection products: raw capture, videos, per-ECU session windows.
@@ -1270,8 +1333,13 @@ util::Bytes Campaign::serialize_state() const {
     w.u64(assoc.non_numeric);
   }
 
-  // The report as filled in so far.
-  w.u64(report_.spec_digest);
+  // The report as filled in so far. Schema 2 (pre-spec-digest builds)
+  // keyed the report on the u32 catalog CarId.
+  if (schema == 2) {
+    w.u32(static_cast<std::uint32_t>(vehicle_->spec().id));
+  } else {
+    w.u64(report_.spec_digest);
+  }
   w.str(report_.car_label);
   w.u64(report_.census.single_frames);
   w.u64(report_.census.first_frames);
@@ -1350,23 +1418,31 @@ util::Bytes Campaign::serialize_state() const {
   w.u64(report_.session_stats.sessions_restored);
   w.u64(report_.session_stats.reissued_requests);
   w.u64(report_.session_stats.recovery_failures);
-  w.u64(report_.session_stats.bus_sleeps);
-  w.u64(report_.session_stats.sleep_recoveries);
+  if (schema >= 4) {
+    // Schema 4 grew the NM-era fields: the supervisor's sleep counters
+    // and the NM ring outcome block.
+    w.u64(report_.session_stats.bus_sleeps);
+    w.u64(report_.session_stats.sleep_recoveries);
+  }
   w.u64(report_.ecu_resets);
   w.u64(report_.ecu_s3_expiries);
-  w.b(report_.nm_enabled);
-  w.u64(report_.nm.sleeps);
-  w.u64(report_.nm.wakeups);
-  w.u64(report_.nm.frames_lost_to_sleep);
-  w.u64(report_.nm.limp_episodes);
-  w.u64(report_.nm.ring_repairs);
-  w.u64(report_.nm.nm_frames_sent);
+  if (schema >= 4) {
+    w.b(report_.nm_enabled);
+    w.u64(report_.nm.sleeps);
+    w.u64(report_.nm.wakeups);
+    w.u64(report_.nm.frames_lost_to_sleep);
+    w.u64(report_.nm.limp_episodes);
+    w.u64(report_.nm.ring_repairs);
+    w.u64(report_.nm.nm_frames_sent);
+  }
   w.b(report_.completed);
   w.str(report_.failure_reason);
   return w.take();
 }
 
-bool Campaign::restore_state(const util::Bytes& payload) {
+bool Campaign::restore_state(const util::Bytes& payload,
+                             std::uint32_t schema) {
+  if (schema < 2 || schema > kCheckpointPayloadSchema) return false;
   try {
     util::BinaryReader r(payload);
 
@@ -1458,7 +1534,17 @@ bool Campaign::restore_state(const util::Bytes& payload) {
     }
 
     CampaignReport report;
-    report.spec_digest = r.u64();
+    if (schema == 2) {
+      // Schema-2 payloads carry the u32 catalog CarId; reject a payload
+      // for a different car and keep this campaign's spec digest (the
+      // uniform key the rest of the pipeline expects).
+      if (r.u32() != static_cast<std::uint32_t>(vehicle_->spec().id)) {
+        return false;
+      }
+      report.spec_digest = report_.spec_digest;
+    } else {
+      report.spec_digest = r.u64();
+    }
     report.car_label = r.str();
     report.census.single_frames = r.u64();
     report.census.first_frames = r.u64();
@@ -1542,17 +1628,23 @@ bool Campaign::restore_state(const util::Bytes& payload) {
     report.session_stats.sessions_restored = r.u64();
     report.session_stats.reissued_requests = r.u64();
     report.session_stats.recovery_failures = r.u64();
-    report.session_stats.bus_sleeps = r.u64();
-    report.session_stats.sleep_recoveries = r.u64();
+    if (schema >= 4) {
+      report.session_stats.bus_sleeps = r.u64();
+      report.session_stats.sleep_recoveries = r.u64();
+    }
     report.ecu_resets = r.u64();
     report.ecu_s3_expiries = r.u64();
-    report.nm_enabled = r.b();
-    report.nm.sleeps = r.u64();
-    report.nm.wakeups = r.u64();
-    report.nm.frames_lost_to_sleep = r.u64();
-    report.nm.limp_episodes = r.u64();
-    report.nm.ring_repairs = r.u64();
-    report.nm.nm_frames_sent = r.u64();
+    if (schema >= 4) {
+      // Pre-NM payloads leave the block at its zero defaults — exactly
+      // the state an NM-less build would have carried forward.
+      report.nm_enabled = r.b();
+      report.nm.sleeps = r.u64();
+      report.nm.wakeups = r.u64();
+      report.nm.frames_lost_to_sleep = r.u64();
+      report.nm.limp_episodes = r.u64();
+      report.nm.ring_repairs = r.u64();
+      report.nm.nm_frames_sent = r.u64();
+    }
     report.completed = r.b();
     report.failure_reason = r.str();
     if (!r.done()) return false;

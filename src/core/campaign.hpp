@@ -211,6 +211,15 @@ struct CampaignReport {
   /// byte-identical to pre-NM builds).
   bool nm_enabled = false;
   nm::NmStats nm;
+  /// Checkpoint-store bookkeeping for this run (ISSUE 9): checkpoints
+  /// recovered through cross-version migration, and checkpoint files this
+  /// campaign had to quarantine (torn/corrupt/unrestorable) before
+  /// re-running the affected phases. Deliberately excluded from both the
+  /// serialized checkpoint payload and report_signature(): they describe
+  /// the *journey* of the state, not the state, so a migrated-then-resumed
+  /// run still signature-matches a fresh one.
+  std::size_t ckpt_salvaged = 0;
+  std::size_t ckpt_quarantined = 0;
   /// False when the campaign aborted with an exception (captured by
   /// core::FleetRunner); `failure_reason` then carries the what() text.
   bool completed = true;
@@ -261,6 +270,20 @@ class Campaign {
   const std::vector<can::TimestampedFrame>& capture() const;
   const cps::VideoRecording& video() const { return video_; }
   vehicle::Vehicle& vehicle() { return *vehicle_; }
+
+  // --- Checkpoint schema tooling (ISSUE 9) -------------------------------
+  /// Serialize the current campaign state in a historical payload schema:
+  /// 2 (u32 CarId report key, pre-NM), 3 (spec-digest key, pre-NM) or 4
+  /// (current). Fixture generators use this to mint golden old-format
+  /// checkpoints; run() always writes the current schema.
+  util::Bytes serialize_state_versioned(std::uint32_t schema) const;
+  /// The options digest run() keys checkpoints on. `legacy` selects the
+  /// v2/v3-era formula (predating the unconditional NM folds) — the digest
+  /// old builds would have computed for these options, which is where
+  /// load() searches for their files.
+  std::uint64_t checkpoint_options_digest(bool legacy = false) const;
+  /// The 64-bit car key run() checkpoints under (the car's spec digest).
+  std::uint64_t checkpoint_car_key() const { return report_.spec_digest; }
 
   /// Acceptance tolerances (§4.2's "almost the same" criterion): the
   /// inferred formula's outputs must match the ground truth both in the
@@ -318,9 +341,13 @@ class Campaign {
   void finish_collect();
   void maybe_stall(const char* phase) const;
 
-  std::uint64_t options_digest() const;
+  std::uint64_t options_digest(bool legacy = false) const;
   util::Bytes serialize_state() const;
-  bool restore_state(const util::Bytes& payload);
+  /// Decode a checkpoint payload of the given schema (2/3/4). Schema 2/3
+  /// payloads predate the NM counters (and schema 2 keys its report block
+  /// on the u32 CarId); the missing fields restore to their zero
+  /// defaults, which is exactly what those builds would have produced.
+  bool restore_state(const util::Bytes& payload, std::uint32_t schema);
 
   std::vector<Association> build_associations(
       const frames::ExtractionResult& extraction,

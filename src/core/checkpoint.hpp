@@ -1,15 +1,31 @@
 #pragma once
-// On-disk checkpoint store for campaign resume (ISSUE 4).
+// On-disk checkpoint store for campaign resume (ISSUE 4; durability,
+// schema evolution and self-healing reworked in ISSUE 9).
 //
 // One file per (car-spec digest, seed, options-digest) key. After each
-// completed pipeline phase the campaign overwrites its file with the serialized
-// state needed to resume at the *next* phase, so a killed process loses
-// at most one phase of work. The file format is versioned, carries the
-// key (a checkpoint written under different options never resumes a
-// mismatched run) and ends in an FNV-1a digest that rejects files
-// truncated by a crash; writes are atomic (temp file + rename).
+// completed pipeline phase the campaign overwrites its file with the
+// serialized state needed to resume at the *next* phase, so a killed
+// process loses at most one phase of work.
+//
+// Container format v5 is self-describing: a section-tagged list (KEY /
+// PHS / STA), each section carrying its own version, wrapped in the
+// usual magic + trailing FNV-1a digest. Older containers (v2 u32-CarId
+// keys, v3 spec-digest keys, v4 NM-era payloads) still load through
+// forward-migration readers and are rewritten as v5 on first use, so
+// `--resume` works across builds. Files from a *newer* build (unknown
+// container version, unknown section, newer payload schema) are rejected
+// cleanly with a reason, never parsed as UB.
+//
+// The store is also self-healing: heal() scans the directory, quarantines
+// torn/corrupt/key-mismatched files into quarantine/ with a logged
+// reason, and sweeps temp files orphaned by dead writers. A per-directory
+// MANIFEST (generation counter + save/remove/quarantine/migration
+// tallies) and a flock(2) advisory lock around every mutating operation
+// make the directory safe for a future dpr::serviced to own concurrently
+// with CLI runs.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -18,15 +34,71 @@
 
 namespace dpr::core {
 
+/// Container-format constants, exported for tests and tools that
+/// synthesize or inspect raw checkpoint files.
+inline constexpr std::uint32_t kCheckpointMagic = 0x43525044;  // "DPRC"
+/// Current container version (the file envelope).
+inline constexpr std::uint32_t kCheckpointVersion = 5;
+/// Current campaign-state schema carried by the STA section. Matches the
+/// v4 monolithic layout: the ISSUE 9 rework changed the envelope, not the
+/// campaign payload, so v4 files migrate by re-wrapping alone.
+inline constexpr std::uint32_t kCheckpointPayloadSchema = 4;
+/// v5 section tags (ASCII in a u32, zero-padded).
+inline constexpr std::uint32_t kSectionKey = 0x0059454B;    // "KEY"
+inline constexpr std::uint32_t kSectionPhase = 0x00534850;  // "PHS"
+inline constexpr std::uint32_t kSectionState = 0x00415453;  // "STA"
+
 class CheckpointStore {
  public:
   /// Creates `dir` (and parents) if missing; save() fails soft when the
   /// directory cannot be created.
   explicit CheckpointStore(std::string dir);
 
+  /// Why a load produced no state (fleet logs print the name so a resume
+  /// that falls back to fresh says why).
+  enum class LoadError {
+    kNone,           ///< success
+    kMissing,        ///< no file for this key (fresh run — not a fault)
+    kTorn,           ///< truncated / trailing-digest mismatch (torn write)
+    kBadMagic,       ///< not a checkpoint file
+    kFutureVersion,  ///< container/section/schema from a newer build
+    kUnknownSection, ///< v5 container with a section this build lacks
+    kKeyMismatch,    ///< file content disagrees with its filename key
+    kBadStructure,   ///< parsed but malformed (duplicate/missing section)
+  };
+  static const char* load_error_name(LoadError error);
+
   struct Loaded {
     std::uint32_t phase = 0;  ///< index of the last *completed* phase
     util::Bytes payload;      ///< campaign state after that phase
+    /// Schema of `payload` (2/3/4): the campaign's restore path switches
+    /// on this, so a migrated container still decodes correctly.
+    std::uint32_t payload_schema = kCheckpointPayloadSchema;
+    /// True when the state came out of a v2/v3/v4 container (and was
+    /// rewritten as v5 under the current key) — the campaign counts it
+    /// as ckpt_salvaged.
+    bool migrated = false;
+  };
+
+  /// optional-like load outcome that also carries the failure reason.
+  struct LoadResult {
+    std::optional<Loaded> loaded;
+    LoadError error = LoadError::kNone;
+    std::string detail;        ///< human-readable reason ("" on success)
+    bool quarantined = false;  ///< offending file moved to quarantine/
+
+    bool has_value() const { return loaded.has_value(); }
+    explicit operator bool() const { return has_value(); }
+    const Loaded* operator->() const { return &*loaded; }
+    const Loaded& operator*() const { return *loaded; }
+  };
+
+  /// Alternate keys for files written by older builds: the v2/v3-era
+  /// options-digest formula (no NM folds) and, for catalog cars, the u32
+  /// CarId that keyed v2 files before spec digests existed.
+  struct LegacyKey {
+    std::uint64_t options_digest = 0;
+    std::optional<std::uint32_t> catalog_car;
   };
 
   /// The checkpoint file backing a key (for tests, CI and cleanup).
@@ -34,24 +106,82 @@ class CheckpointStore {
   /// and generated cars share one uniform 64-bit key space.
   std::string path_for(std::uint64_t car, std::uint64_t seed,
                        std::uint64_t digest) const;
+  /// v2-era filename (decimal CarId key) — where a legacy lookup searches.
+  std::string legacy_path_for(std::uint32_t car, std::uint64_t seed,
+                              std::uint64_t digest) const;
 
-  /// Persist `payload` as the state after `phase`. Returns false on any
-  /// I/O failure — the campaign then simply runs on uncheckpointed.
-  bool save(std::uint64_t car, std::uint64_t seed, std::uint64_t digest,
-            std::uint32_t phase,
-            std::span<const std::uint8_t> payload) const;
+  /// Persist `payload` as the state after `phase`. On failure the result
+  /// names the failing stage + errno — the campaign then simply runs on
+  /// uncheckpointed.
+  util::IoResult save(
+      std::uint64_t car, std::uint64_t seed, std::uint64_t digest,
+      std::uint32_t phase, std::span<const std::uint8_t> payload,
+      std::uint32_t payload_schema = kCheckpointPayloadSchema) const;
 
-  /// Load and validate the checkpoint for a key. nullopt when the file is
-  /// missing, truncated, corrupt, from another format version, or written
-  /// under a different (car, seed, options) key.
-  std::optional<Loaded> load(std::uint64_t car, std::uint64_t seed,
-                             std::uint64_t digest) const;
+  /// Load and validate the checkpoint for a key. Tries the current
+  /// filename first; with `legacy` set it then searches the v3-era name
+  /// (old digest formula) and the v2-era name (u32 CarId), migrating any
+  /// hit to a v5 container under the current key. A file that exists but
+  /// cannot be trusted (torn, corrupt, key-mismatched) is quarantined and
+  /// reported, never returned.
+  LoadResult load(std::uint64_t car, std::uint64_t seed, std::uint64_t digest,
+                  const LegacyKey* legacy = nullptr) const;
 
   /// Drop the checkpoint for a key (the campaign ran to completion).
   void remove(std::uint64_t car, std::uint64_t seed,
               std::uint64_t digest) const;
 
+  /// Move the file backing a key into quarantine/ with `reason` logged.
+  /// The campaign uses this when a structurally valid checkpoint carries
+  /// a payload its restore path rejects.
+  bool quarantine_key(std::uint64_t car, std::uint64_t seed,
+                      std::uint64_t digest, const std::string& reason) const;
+
+  /// Per-directory bookkeeping, persisted in MANIFEST and bumped (under
+  /// the advisory lock) by every mutating operation.
+  struct Manifest {
+    std::uint64_t generation = 0;  ///< total mutations of the directory
+    std::uint64_t saves = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t migrations = 0;
+  };
+  /// Read-only snapshot (a corrupt or missing MANIFEST reads as zeros and
+  /// is rebuilt by the next mutation).
+  Manifest manifest() const;
+
+  struct HealReport {
+    std::size_t scanned = 0;      ///< *.ckpt files examined
+    std::size_t healthy = 0;      ///< valid v5 files left in place
+    std::size_t legacy = 0;       ///< valid v2/v3/v4 files (migrate on load)
+    std::size_t quarantined = 0;  ///< torn/corrupt/mismatched files moved
+    std::size_t tmp_swept = 0;    ///< temp files of dead writers removed
+  };
+  /// Scan the directory once and quarantine everything untrustworthy.
+  /// FleetRunner calls this before a resume fan-out; it is deliberately
+  /// not part of every open so large fleets don't rescan per campaign.
+  HealReport heal() const;
+
+  const std::string& dir() const { return dir_; }
+  std::string quarantine_dir() const { return dir_ + "/quarantine"; }
+  /// Append-only reasons log inside quarantine/ ("<file>: <reason>").
+  std::string reasons_log_path() const {
+    return quarantine_dir() + "/REASONS.log";
+  }
+
  private:
+  LoadResult load_at(const std::string& path, std::uint64_t expect_car,
+                     std::uint64_t expect_seed, std::uint64_t expect_digest,
+                     bool v2_key) const;
+  util::IoResult save_locked(std::uint64_t car, std::uint64_t seed,
+                             std::uint64_t digest, std::uint32_t phase,
+                             std::span<const std::uint8_t> payload,
+                             std::uint32_t payload_schema,
+                             bool migration) const;
+  bool quarantine_file(const std::string& path,
+                       const std::string& reason) const;
+  void bump_manifest(const std::function<void(Manifest&)>& apply) const;
+
   std::string dir_;
 };
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dpr::core {
@@ -93,6 +94,16 @@ FleetSummary FleetRunner::run_impl(
   summary.threads_used = count <= 1 ? 1 : threads_;
 
   const auto start = std::chrono::steady_clock::now();
+  if (options_.campaign.resume && !options_.campaign.checkpoint_dir.empty()) {
+    // One self-healing scan before the fan-out (not per campaign — a
+    // 1024-car fleet must not rescan the directory 1024 times): torn,
+    // corrupt or key-mismatched files are quarantined with a logged
+    // reason, so every campaign below either resumes from a trustworthy
+    // checkpoint or starts fresh — never fails its car over a bad file.
+    const CheckpointStore store(options_.campaign.checkpoint_dir);
+    const auto healed = store.heal();
+    summary.ckpt_quarantined += healed.quarantined;
+  }
   auto run_one = [&](std::size_t i, util::ThreadPool* pool,
                      const CampaignOptions& base_options) {
     CampaignOptions campaign_options = base_options;
@@ -160,6 +171,8 @@ FleetSummary FleetRunner::run_impl(
                        .count();
   for (const auto& report : summary.reports) {
     summary.phase_totals += report.phases;
+    summary.ckpt_salvaged += report.ckpt_salvaged;
+    summary.ckpt_quarantined += report.ckpt_quarantined;
   }
   return summary;
 }

@@ -1,7 +1,15 @@
 #include "util/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+
+#include "util/crash.hpp"
 
 namespace dpr::util {
 
@@ -101,26 +109,111 @@ Bytes BinaryReader::bytes() {
   return Bytes(d.begin(), d.end());
 }
 
-bool write_file_atomic(const std::string& path,
-                       std::span<const std::uint8_t> data) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* out = std::fopen(tmp.c_str(), "wb");
-  if (!out) return false;
-  const bool wrote =
-      data.empty() ||
-      std::fwrite(data.data(), 1, data.size(), out) == data.size();
-  const bool closed = std::fclose(out) == 0;
-  if (!wrote || !closed) {
-    std::remove(tmp.c_str());
-    return false;
+std::string IoResult::message() const {
+  if (ok) return {};
+  std::string out = stage;
+  out += ": ";
+  out += std::strerror(error);
+  return out;
+}
+
+IoResult IoResult::failure(const char* stage, int error) {
+  IoResult r;
+  r.ok = false;
+  r.error = error;
+  r.stage = stage;
+  return r;
+}
+
+namespace {
+
+/// Transient conditions worth a bounded retry: interrupted syscalls and
+/// momentary resource exhaustion (a checkpoint directory shared with a
+/// log writer can bounce off ENOSPC/EDQUOT for one rotation cycle).
+bool transient_errno(int error) {
+  return error == EINTR || error == EAGAIN || error == ENOSPC ||
+         error == EDQUOT;
+}
+
+constexpr int kWriteAttempts = 3;
+
+/// One full open→write→fsync→rename→fsync-dir attempt.
+IoResult write_file_atomic_once(const std::string& path, const std::string& tmp,
+                                std::span<const std::uint8_t> data) {
+  int fd = -1;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return IoResult::failure("open_tmp", errno);
+
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int error = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return IoResult::failure("write", error);
+    }
+    written += static_cast<std::size_t>(n);
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    return false;
+  DPR_CRASH_POINT("ckpt.tmp_written");
+
+  // fsync before the rename: once the new name is visible it must point
+  // at fully persisted bytes, or a crash could leave a "successfully
+  // renamed" file with a torn tail.
+  if (::fsync(fd) != 0) {
+    const int error = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoResult::failure("fsync", error);
   }
-  return true;
+  if (::close(fd) != 0) {
+    const int error = errno;
+    ::unlink(tmp.c_str());
+    return IoResult::failure("close", error);
+  }
+  DPR_CRASH_POINT("ckpt.pre_rename");
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int error = errno;
+    ::unlink(tmp.c_str());
+    return IoResult::failure("rename", error);
+  }
+  DPR_CRASH_POINT("ckpt.post_rename");
+
+  // fsync the parent directory so the rename's directory entry is durable
+  // too (best effort: some filesystems refuse O_RDONLY directory fsync —
+  // that is not a data-loss path on them, so it is not an error here).
+  const auto slash = path.find_last_of('/');
+  const std::string parent = slash == std::string::npos
+                                 ? std::string(".")
+                                 : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return IoResult::success();
+}
+
+}  // namespace
+
+IoResult write_file_atomic(const std::string& path,
+                           std::span<const std::uint8_t> data) {
+  // The pid suffix keeps two processes writing the same key from
+  // clobbering each other's temp file mid-write; the rename still makes
+  // last-writer-wins atomic at the final name.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  IoResult result;
+  for (int attempt = 0; attempt < kWriteAttempts; ++attempt) {
+    result = write_file_atomic_once(path, tmp, data);
+    if (result.ok || !transient_errno(result.error)) return result;
+  }
+  return result;
 }
 
 std::optional<Bytes> read_file(const std::string& path) {

@@ -76,10 +76,30 @@ class BinaryReader {
   std::size_t pos_ = 0;
 };
 
-/// Write `data` to `path` atomically (temp file in the same directory,
-/// then rename). Returns false on any I/O error.
-bool write_file_atomic(const std::string& path,
-                       std::span<const std::uint8_t> data);
+/// Outcome of a filesystem operation that must report *why* it failed,
+/// not just that it did (the fleet log prints message() when a resume
+/// falls back to fresh). Converts to bool like the old plain-bool API.
+struct IoResult {
+  bool ok = true;
+  int error = 0;            ///< errno captured at the failing step
+  const char* stage = "";   ///< failing step: "open_tmp", "write", ...
+
+  explicit operator bool() const { return ok; }
+  /// "<stage>: <strerror(error)>"; empty for success.
+  std::string message() const;
+
+  static IoResult success() { return IoResult{}; }
+  static IoResult failure(const char* stage, int error);
+};
+
+/// Write `data` to `path` atomically *and durably*: unique per-process
+/// temp file in the same directory, write + fsync the file, rename over
+/// `path`, then fsync the parent directory so the rename itself survives
+/// a power cut. Transient EINTR/ENOSPC-class errors are retried a bounded
+/// number of times before giving up; the temp file never outlives a
+/// failure. Returns the failing stage + errno on error.
+IoResult write_file_atomic(const std::string& path,
+                           std::span<const std::uint8_t> data);
 
 /// Read a whole file; nullopt if it does not exist or cannot be read.
 std::optional<Bytes> read_file(const std::string& path);

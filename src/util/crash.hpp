@@ -1,0 +1,76 @@
+#pragma once
+// Deterministic crash-point injection (ISSUE 9).
+//
+// A crash point is a named site in a state-mutating code path (checkpoint
+// writes, phase boundaries). Disarmed — the default — a site costs one
+// relaxed atomic load and performs zero RNG draws, so production runs are
+// bit-identical to a build without the registry. Armed via
+// `arm_crash_point("ckpt.pre_rename", 3)` (CLI: --crash-at site:n), the
+// n-th execution of that site calls _exit(kCrashExitCode) without running
+// destructors or flushing buffers — the closest portable stand-in for
+// SIGKILL that still lets a harness pick the exact interleaving.
+// bench_crash sweeps every registered site and asserts that killing at
+// the point plus --resume reproduces the uninterrupted report signature.
+//
+// Counting mode (`set_crash_point_counting(true)`) tallies per-site hits
+// without ever crashing, so the harness can prove a site is actually
+// exercised by a workload before asserting on its crash behavior.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dpr::util {
+
+/// Process exit status used by an armed crash point. Distinct from every
+/// exit code the CLI/benches use (0/1/2) so a harness can tell "crashed
+/// where asked" from "failed for a real reason".
+inline constexpr int kCrashExitCode = 86;
+
+namespace detail {
+/// Fires when arming or counting is active. Callers go through
+/// DPR_CRASH_POINT, which skips the call entirely while the registry is
+/// fully idle.
+void crash_point_hit(const char* site);
+/// True while any site is armed or counting is on (one relaxed load).
+extern std::atomic<bool> crash_points_active;
+}  // namespace detail
+
+/// All registered site names, in a stable order (the sweep order of
+/// bench_crash and the output of --list-crash-points).
+std::span<const char* const> crash_point_sites();
+
+/// Arm `site` to _exit(kCrashExitCode) on its n-th hit (n >= 1). Returns
+/// false (and arms nothing) for an unknown site or n == 0. At most one
+/// site is armed at a time; arming replaces any previous arming.
+bool arm_crash_point(const std::string& site, std::uint64_t n);
+
+/// Parse and arm a "site:n" spec ("ckpt.pre_rename:2"); a bare "site"
+/// means n = 1. Returns false on malformed specs and unknown sites.
+bool arm_crash_point_spec(const std::string& spec);
+
+/// Disarm whatever is armed (tests / harness reuse within one process).
+void disarm_crash_points();
+
+/// Toggle no-crash hit counting for every registered site.
+void set_crash_point_counting(bool on);
+
+/// Hits recorded for `site` while counting was on (0 for unknown sites).
+std::uint64_t crash_point_hits(const std::string& site);
+
+/// Reset every counting tally to zero.
+void reset_crash_point_hits();
+
+}  // namespace dpr::util
+
+/// Plant a crash point. `site` must be a string literal listed in
+/// crash.cpp's registry — arming and counting reject unknown names, and
+/// bench_crash fails if a registered name is never hit.
+#define DPR_CRASH_POINT(site)                                              \
+  do {                                                                     \
+    if (::dpr::util::detail::crash_points_active.load(                     \
+            std::memory_order_relaxed)) {                                  \
+      ::dpr::util::detail::crash_point_hit(site);                          \
+    }                                                                      \
+  } while (0)

@@ -132,6 +132,12 @@ struct FaultConfig {
   bool nm = false;
   /// Quiet-bus window after which the ring agrees to sleep (NM armed only).
   SimTime nm_sleep_timeout = 3 * kSecond;
+  /// NM veto holdout: the ring node at this 1-based ECU address joins the
+  /// ring but never acks a sleep request, so the bus can never complete
+  /// the two-phase sleep agreement. 0 (default) = no holdout. Folded into
+  /// the checkpoint options digest only when nonzero, so default-config
+  /// keys stay identical to pre-veto builds.
+  std::uint8_t nm_veto_address = 0;
 
   /// Stateful failures armed (ECU resets and/or session timers)?
   bool stateful() const { return reset_rate > 0.0 || session_faults; }

@@ -85,6 +85,35 @@ TEST(NmSleep, QuietBusSleepsAndWakeupReenters) {
   }
 }
 
+TEST(NmSleep, VetoHoldoutNodePinsTheBusAwake) {
+  // One node joins the ring but never agrees to sleep (ISSUE 9): the
+  // two-phase sleep agreement can never complete, so the exact quiet
+  // window that put the 3-node ring above to sleep — with 6x margin —
+  // leaves this bus awake forever.
+  NmConfig cfg;
+  cfg.sleep_timeout = 300 * util::kMillisecond;
+  cfg.sleep_countdown = 100 * util::kMillisecond;
+  util::SimClock clock;
+  can::CanBus bus{clock};
+  NmManager manager(bus, cfg);
+  for (std::uint8_t address = 1; address <= 3; ++address) {
+    manager.add_node(address, stream(address), nullptr,
+                     /*allow_sleep=*/address != 2);
+  }
+
+  pump(bus, clock, 2 * util::kSecond);
+  EXPECT_FALSE(bus.asleep());
+  EXPECT_EQ(bus.sleeps(), 0u);
+  // The holdout costs nothing but the naps: the ring itself stays whole.
+  const std::uint64_t everyone = 0b1110;  // addresses 1..3
+  for (const auto& node : manager.nodes()) {
+    EXPECT_FALSE(node->asleep());
+    EXPECT_EQ(node->members(), everyone);
+    EXPECT_FALSE(node->in_limp_home());
+  }
+  EXPECT_EQ(manager.stats().limp_episodes, 0u);
+}
+
 TEST(NmSleep, ApplicationTrafficDefersSleep) {
   NmConfig cfg;
   cfg.sleep_timeout = 300 * util::kMillisecond;

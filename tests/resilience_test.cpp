@@ -516,6 +516,38 @@ TEST(NmCampaign, AwareToolRecoversSleepLossesAndReplaysBitIdentically) {
             core::report_signature(report));
 }
 
+TEST(NmCampaign, VetoHoldoutKeepsTheBusAwakeDeterministically) {
+  // Same NM profile that demonstrably naps the bus (the aware-tool test
+  // above asserts sleeps > 0), plus one ECU that never acks sleep: the
+  // campaign must see a bus that never sleeps, and must replay
+  // bit-identically.
+  auto options = nm_options();
+  options.faults.nm_veto_address = 2;
+  core::Campaign veto(vehicle::CarId::kA, options);
+  veto.run();
+  const auto& report = veto.report();
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.nm_enabled);
+  EXPECT_EQ(report.nm.sleeps, 0u);
+  EXPECT_EQ(report.nm.frames_lost_to_sleep, 0u);
+  EXPECT_EQ(report.session_stats.bus_sleeps, 0u);
+  EXPECT_EQ(report.session_stats.sleep_recoveries, 0u);
+
+  core::Campaign again(vehicle::CarId::kA, options);
+  again.run();
+  EXPECT_EQ(core::report_signature(again.report()),
+            core::report_signature(report));
+
+  // The veto is a semantic option: it keys its own checkpoints via the
+  // armed-knob fold, while the legacy-era digest (and with it the v2/v3
+  // migration search path) is deliberately untouched.
+  const core::Campaign plain(vehicle::CarId::kA, nm_options());
+  EXPECT_NE(veto.checkpoint_options_digest(),
+            plain.checkpoint_options_digest());
+  EXPECT_EQ(veto.checkpoint_options_digest(/*legacy=*/true),
+            plain.checkpoint_options_digest(/*legacy=*/true));
+}
+
 TEST(NmCampaign, ObliviousToolLosesStrictlyMoreFramesToSleep) {
   const auto options = nm_options();
   core::Campaign aware(vehicle::CarId::kA, options);

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <random>
 #include <set>
 
+#include "util/checkpoint.hpp"
 #include "util/clock.hpp"
 #include "util/counter_rng.hpp"
+#include "util/crash.hpp"
 #include "util/hex.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -278,6 +284,99 @@ TEST(Stats, PearsonPerfectAndConstant) {
   EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
   std::vector<double> constant{5, 5, 5, 5};
   EXPECT_DOUBLE_EQ(pearson(xs, constant), 0.0);
+}
+
+// --- Durable atomic writes (ISSUE 9) ---------------------------------------
+
+TEST(AtomicWrite, RoundTripsAndLeavesNoTempBehind) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("dpr_aw_" + std::to_string(static_cast<unsigned>(::getpid()))))
+          .string();
+  const Bytes data{0xDE, 0xAD, 0xBE, 0xEF};
+  const auto io = write_file_atomic(path, data);
+  ASSERT_TRUE(io);
+  EXPECT_EQ(io.message(), "");
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+  // The pid-unique temp file must never survive a successful rename.
+  EXPECT_FALSE(std::filesystem::exists(
+      path + ".tmp." + std::to_string(static_cast<unsigned>(::getpid()))));
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicWrite, FailureNamesTheStageAndErrno) {
+  const Bytes data{0x01};
+  const auto io =
+      write_file_atomic("/nonexistent_dpr_dir/leaf/file.bin", data);
+  EXPECT_FALSE(io);
+  EXPECT_EQ(io.error, ENOENT);
+  EXPECT_STREQ(io.stage, "open_tmp");
+  EXPECT_NE(io.message().find("open_tmp"), std::string::npos);
+}
+
+TEST(IoResult, ConvertsLikeTheOldBoolApi) {
+  EXPECT_TRUE(IoResult::success());
+  const auto failed = IoResult::failure("rename", EACCES);
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(failed.error, EACCES);
+  EXPECT_NE(failed.message().find("rename"), std::string::npos);
+}
+
+// --- Crash-point registry (ISSUE 9) ----------------------------------------
+
+TEST(CrashPoints, RegistryRejectsUnknownSitesAndZeroCounts) {
+  EXPECT_FALSE(arm_crash_point("no.such.site", 1));
+  EXPECT_FALSE(arm_crash_point("ckpt.pre_save", 0));
+  EXPECT_FALSE(arm_crash_point_spec("ckpt.pre_save:"));
+  EXPECT_FALSE(arm_crash_point_spec("ckpt.pre_save:12x"));
+  EXPECT_FALSE(arm_crash_point_spec(":3"));
+  EXPECT_TRUE(arm_crash_point_spec("ckpt.pre_save:3"));
+  disarm_crash_points();
+}
+
+TEST(CrashPoints, SitesAreListedAndDisarmedByDefault) {
+  const auto sites = crash_point_sites();
+  EXPECT_GE(sites.size(), 10u);
+  for (const char* site : sites) {
+    EXPECT_TRUE(arm_crash_point(site, 100)) << site;
+  }
+  disarm_crash_points();
+  EXPECT_FALSE(detail::crash_points_active.load());
+}
+
+TEST(CrashPoints, CountingTalliesHitsWithoutCrashing) {
+  set_crash_point_counting(true);
+  reset_crash_point_hits();
+  DPR_CRASH_POINT("ckpt.pre_save");
+  DPR_CRASH_POINT("ckpt.pre_save");
+  DPR_CRASH_POINT("ckpt.pre_rename");
+  set_crash_point_counting(false);
+  EXPECT_EQ(crash_point_hits("ckpt.pre_save"), 2u);
+  EXPECT_EQ(crash_point_hits("ckpt.pre_rename"), 1u);
+  EXPECT_EQ(crash_point_hits("ckpt.post_rename"), 0u);
+  EXPECT_EQ(crash_point_hits("no.such.site"), 0u);
+  reset_crash_point_hits();
+  EXPECT_EQ(crash_point_hits("ckpt.pre_save"), 0u);
+  // With counting off and nothing armed the fast path is fully idle.
+  EXPECT_FALSE(detail::crash_points_active.load());
+  DPR_CRASH_POINT("ckpt.pre_save");
+  EXPECT_EQ(crash_point_hits("ckpt.pre_save"), 0u);
+}
+
+TEST(CrashPointDeathTest, ArmedSiteExitsOnTheNthHit) {
+  EXPECT_EXIT(
+      {
+        arm_crash_point("ckpt.pre_rename", 2);
+        DPR_CRASH_POINT("ckpt.pre_rename");  // hit 1: survives
+        DPR_CRASH_POINT("ckpt.pre_rename");  // hit 2: _exit(86)
+      },
+      ::testing::ExitedWithCode(kCrashExitCode), "");
+  // An armed site other than the one being hit never fires.
+  arm_crash_point("ckpt.pre_rename", 1);
+  DPR_CRASH_POINT("ckpt.post_rename");
+  disarm_crash_points();
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "can/trace.hpp"
 #include "core/fleet.hpp"
 #include "gp/kernels.hpp"
+#include "util/crash.hpp"
 #include "vehicle/generator.hpp"
 
 namespace {
@@ -61,6 +62,9 @@ void usage() {
                "  --nm-oblivious   keep the vehicle ringing but leave the\n"
                "                   tool NM-ignorant (ablation: transactions\n"
                "                   die against the sleeping bus)\n"
+               "  --nm-veto <a>    NM veto holdout: the ring node at 1-based\n"
+               "                   ECU address a never acks sleep, so the bus\n"
+               "                   stays awake for the whole campaign\n"
                "  --sim-deadline <s>  sim-time budget per phase (same\n"
                "                   phase_timeout failure as --phase-deadline\n"
                "                   but in simulated seconds)\n"
@@ -68,7 +72,17 @@ void usage() {
                "                   so an interrupted run can be resumed\n"
                "  --resume         resume from matching checkpoints (same\n"
                "                   car, seed and options); the resumed\n"
-               "                   report is bit-identical to a fresh run\n"
+               "                   report is bit-identical to a fresh run.\n"
+               "                   Old-format checkpoints (v2/v3/v4) migrate\n"
+               "                   in place; torn/corrupt files are moved to\n"
+               "                   <dir>/quarantine with a reason logged and\n"
+               "                   the affected phases re-run\n"
+               "  --crash-at <site[:n]>  deterministic crash injection: the\n"
+               "                   n-th hit (default 1) of the named crash\n"
+               "                   point _exit(86)s the process; see\n"
+               "                   --list-crash-points (bench_crash sweeps\n"
+               "                   every site and checks resume equality)\n"
+               "  --list-crash-points  list crash-point sites and exit\n"
                "  --phase-deadline <s>  wall-clock budget per phase; an\n"
                "                   overrunning phase becomes a failed car\n"
                "                   slot (phase_timeout) instead of a hang\n"
@@ -139,6 +153,11 @@ int run_fleet(const std::vector<dpr::vehicle::CarSpec>& specs,
                 static_cast<unsigned long long>(tx.busy_retries),
                 static_cast<unsigned long long>(tx.pending_waits),
                 static_cast<unsigned long long>(tx.failures));
+  }
+  if (!campaign_options.checkpoint_dir.empty() &&
+      (summary.ckpt_salvaged > 0 || summary.ckpt_quarantined > 0)) {
+    std::printf("checkpoint store: ckpt_salvaged=%zu ckpt_quarantined=%zu\n",
+                summary.ckpt_salvaged, summary.ckpt_quarantined);
   }
   std::printf("wall time %.2f s (%zu threads); phase CPU-s: collect %.1f, "
               "infer %.1f, other %.1f\n",
@@ -214,6 +233,23 @@ int main(int argc, char** argv) {
           static_cast<util::SimTime>(std::atof(next()) * util::kSecond);
     } else if (arg == "--nm-oblivious") {
       options.nm_oblivious = true;
+    } else if (arg == "--nm-veto") {
+      options.faults.nm_veto_address =
+          static_cast<std::uint8_t>(std::atoi(next()));
+    } else if (arg == "--crash-at") {
+      const char* spec = next();
+      if (!util::arm_crash_point_spec(spec)) {
+        std::fprintf(stderr,
+                     "unknown crash point spec '%s' "
+                     "(see --list-crash-points)\n",
+                     spec);
+        return 2;
+      }
+    } else if (arg == "--list-crash-points") {
+      for (const char* site : util::crash_point_sites()) {
+        std::printf("%s\n", site);
+      }
+      return 0;
     } else if (arg == "--sim-deadline") {
       options.phase_sim_budget_s = std::atof(next());
     } else if (arg == "--checkpoint-dir") {
