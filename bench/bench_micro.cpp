@@ -11,7 +11,9 @@
 #include "isotp/isotp.hpp"
 #include "obd/pid.hpp"
 #include "uds/server.hpp"
+#include "util/philox.hpp"
 #include "util/rng.hpp"
+#include "util/simd_philox.hpp"
 #include "vwtp/vwtp.hpp"
 
 namespace {
@@ -210,6 +212,72 @@ void BM_BusDelivery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BusDelivery);
+
+// 4-wide Philox blocks/sec: arg 0 = dispatched kernel (the pipelined
+// scalar body by default; DPR_PHILOX_AVX2=1 selects the AVX2 body),
+// arg 1 = forced portable scalar body, arg 2 = the one-lane scalar
+// reference it must match. One iteration = one 4-lane block (arg 2 runs
+// the reference four times for comparability).
+void BM_SimdPhiloxBlock(benchmark::State& state) {
+  const util::Philox4Fn fn = state.range(0) == 0 ? util::philox4()
+                                                 : util::philox2x64x4_scalar;
+  const std::uint64_t key = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t c0[4] = {0, 1, 2, 3};
+  const std::uint64_t c1[4] = {7, 7, 7, 7};
+  std::uint64_t out[4];
+  if (state.range(0) == 2) {
+    for (auto _ : state) {
+      for (int lane = 0; lane < 4; ++lane) {
+        out[lane] = util::philox2x64(key, c0[lane], c1[lane]);
+      }
+      benchmark::DoNotOptimize(out);
+      c0[0] += 4;
+    }
+  } else {
+    for (auto _ : state) {
+      fn(key, c0, c1, out);
+      benchmark::DoNotOptimize(out);
+      c0[0] += 4;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_SimdPhiloxBlock)->Arg(0)->Arg(1)->Arg(2);
+
+// Per-DLC wire-time table lookup vs the pre-overhaul per-frame double
+// math it replaced (arg 0 = table via CanBus::frame_time, arg 1 = the
+// original expression).
+void BM_FrameTime(benchmark::State& state) {
+  util::SimClock clock;
+  can::CanBus bus(clock);
+  can::CanFrame frames[9] = {
+      can::CanFrame(0x100, {}),
+      can::CanFrame(0x100, {1}),
+      can::CanFrame(0x100, {1, 2}),
+      can::CanFrame(0x100, {1, 2, 3}),
+      can::CanFrame(0x100, {1, 2, 3, 4}),
+      can::CanFrame(0x100, {1, 2, 3, 4, 5}),
+      can::CanFrame(0x100, {1, 2, 3, 4, 5, 6}),
+      can::CanFrame(0x100, {1, 2, 3, 4, 5, 6, 7}),
+      can::CanFrame(0x100, {1, 2, 3, 4, 5, 6, 7, 8}),
+  };
+  std::size_t i = 0;
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(bus.frame_time(frames[i]));
+      i = (i + 1) % 9;
+    }
+  } else {
+    for (auto _ : state) {
+      const double bits =
+          (47.0 + 8.0 * static_cast<double>(frames[i].dlc())) * 1.19;
+      benchmark::DoNotOptimize(
+          static_cast<util::SimTime>(bits / 500000.0 * 1e6));
+      i = (i + 1) % 9;
+    }
+  }
+}
+BENCHMARK(BM_FrameTime)->Arg(0)->Arg(1);
 
 }  // namespace
 

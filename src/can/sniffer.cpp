@@ -4,11 +4,16 @@ namespace dpr::can {
 
 Sniffer::Sniffer(CanBus& bus, util::DeviceClock device_clock)
     : device_clock_(device_clock) {
-  bus.attach([this](const CanFrame& frame, util::SimTime ts) {
-    if (!recording_) return;
-    capture_.push_back(
-        TimestampedFrame{device_clock_.local_time(ts), frame});
-  });
+  // Match-all by design: the sniffer is the capture device — it must see
+  // every frame that completes arbitration, whatever filters the
+  // protocol endpoints subscribe with.
+  bus.attach(
+      [this](const CanFrame& frame, util::SimTime ts) {
+        if (!recording_) return;
+        capture_.push_back(
+            TimestampedFrame{device_clock_.local_time(ts), frame});
+      },
+      IdFilter::all());
 }
 
 }  // namespace dpr::can

@@ -147,6 +147,13 @@ Campaign::Campaign(const vehicle::CarSpec& spec, CampaignOptions options)
       clock_,
       options_.faults.enabled() ? util::TransactPolicy::resilient()
                                 : util::TransactPolicy{});
+  if (options_.legacy_bus) {
+    // Reference shim: the pre-overhaul delivery hot path end to end
+    // (arbitration scan, full fan-out, scalar fault draws, per-step UI
+    // rebuild). Bit-identical products; see CampaignOptions::legacy_bus.
+    bus_->set_legacy_path(true);
+    tool_->set_legacy_ui(true);
+  }
   if (options_.faults.nm && !options_.nm_oblivious) {
     // The NM-aware tool: periodic wakeup frames bound every sleep window,
     // and transactions that still die against a sleeping bus re-wake it

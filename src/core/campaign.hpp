@@ -110,6 +110,16 @@ struct CampaignOptions {
   /// keeps the vehicle side ringing but leaves the tool ignorant — the
   /// ablation hook bench_nm uses to measure what NM awareness is worth.
   bool nm_oblivious = false;
+
+  // --- Hot-path reference shim (ISSUE 10) --------------------------------
+  /// Route delivery through the pre-overhaul hot path: min_element
+  /// arbitration scan, unfiltered listener fan-out, per-frame scalar
+  /// fault draws, and the per-step UI rebuild in diagtool. Products are
+  /// bit-identical either way (bench_bus gates it on report signatures);
+  /// kept for differential tests and old-vs-new benchmarks.
+  /// Execution-only: excluded from the options digest, like thread
+  /// counts — a checkpoint from a legacy run resumes on the fast path.
+  bool legacy_bus = false;
 };
 
 /// Wall-clock seconds spent in each pipeline phase of one campaign.

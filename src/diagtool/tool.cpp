@@ -288,19 +288,42 @@ std::string DiagnosticTool::format_value(const Row& row,
   return fixed1(physical);
 }
 
-void DiagnosticTool::apply_pending(util::SimTime now) {
+void DiagnosticTool::note_pending(util::SimTime at) {
+  if (next_pending_due_ < 0 || at < next_pending_due_) {
+    next_pending_due_ = at;
+  }
+}
+
+bool DiagnosticTool::apply_pending(util::SimTime now) {
+  // Watermark fast path: nothing is due yet, so no row can change. The
+  // legacy shim always scans, like the pre-watermark loop did.
+  if (!legacy_ui_ && (next_pending_due_ < 0 || now < next_pending_due_)) {
+    return false;
+  }
+  bool changed = false;
+  util::SimTime next = -1;
   for (auto& row : rows_) {
     if (row.pending_at >= 0 && row.pending_at <= now) {
       row.value_text = row.pending_text;
       row.pending_at = -1;
+      changed = true;
+    } else if (row.pending_at >= 0 &&
+               (next < 0 || row.pending_at < next)) {
+      next = row.pending_at;
     }
   }
   for (auto& row : obd_rows_) {
     if (row.pending_at >= 0 && row.pending_at <= now) {
       row.value_text = row.pending_text;
       row.pending_at = -1;
+      changed = true;
+    } else if (row.pending_at >= 0 &&
+               (next < 0 || row.pending_at < next)) {
+      next = row.pending_at;
     }
   }
+  next_pending_due_ = next;
+  return changed;
 }
 
 void DiagnosticTool::poll_live_rows() {
@@ -358,6 +381,7 @@ void DiagnosticTool::poll_live_rows() {
       const double physical = rows[k]->formula.eval((*records)[k].data);
       rows[k]->pending_text = format_value(*rows[k], physical);
       rows[k]->pending_at = clock_.now() + lag;
+      note_pending(rows[k]->pending_at);
     }
   };
   // Reads happen strictly in row order (the §3.4 association relies on
@@ -436,6 +460,7 @@ void DiagnosticTool::poll_live_rows() {
       }
       row->pending_text = std::move(text);
       row->pending_at = clock_.now() + lag;
+      note_pending(row->pending_at);
     }
   }
 }
@@ -484,6 +509,7 @@ void DiagnosticTool::poll_obd() {
     if (const auto value = obd::decode_value(*resp)) {
       row.pending_text = fixed1(*value);
       row.pending_at = clock_.now() + lag;
+      note_pending(row.pending_at);
     }
   }
 }
@@ -667,8 +693,12 @@ void DiagnosticTool::run_for(util::SimTime duration) {
     // tool's own NM participation: an NM-oblivious tool on an NM vehicle
     // must still let the ECUs ring (and fall asleep underneath it).
     if (bus_.lifecycle_enabled()) bus_.deliver_pending();
-    apply_pending(clock_.now());
-    build_screen();
+    // The screen is a pure function of tool state, and inside this loop
+    // the only state that can change between steps is a repaint landing —
+    // clicks and mode changes rebuild on their own. So rebuild exactly
+    // when apply_pending changed something (legacy shim: every step).
+    const bool repainted = apply_pending(clock_.now());
+    if (repainted || legacy_ui_) build_screen();
   }
 }
 

@@ -151,6 +151,15 @@ class DiagnosticTool {
                  util::CounterRng jitter);
   bool nm_enabled() const { return nm_enabled_; }
 
+  /// Reference shim for the run_for() hot loop: rebuild the screen and
+  /// scan every row's repaint timer on every 25 ms step, as the tool did
+  /// before the dirty-tracking fast path. The displayed screens are
+  /// identical either way (build_screen is a pure function of tool state,
+  /// and the fast path rebuilds whenever a repaint lands); kept for
+  /// equivalence tests and old-vs-new benchmarks.
+  void set_legacy_ui(bool legacy) { legacy_ui_ = legacy; }
+  bool legacy_ui() const { return legacy_ui_; }
+
  private:
   /// One displayed signal.
   struct Row {
@@ -184,7 +193,12 @@ class DiagnosticTool {
   void build_rows(std::size_t ecu_index);
   Connection& connection(std::size_t ecu_index);
   void poll_live_rows();
-  void apply_pending(util::SimTime now);
+  /// Land due repaints; returns whether any value text changed (i.e. the
+  /// screen needs a rebuild). O(1) when no repaint is due yet, via the
+  /// next_pending_due_ watermark.
+  bool apply_pending(util::SimTime now);
+  /// Fold a newly scheduled repaint time into the watermark.
+  void note_pending(util::SimTime at);
   void run_active_test(std::size_t ecu_index, std::size_t actuator_index);
   void read_trouble_codes(std::size_t ecu_index);
   void clear_trouble_codes(std::size_t ecu_index);
@@ -220,6 +234,11 @@ class DiagnosticTool {
   std::uint64_t sleep_lost_mark_ = 0;    // bus frames_lost_to_sleep() watermark
 
   Mode mode_ = Mode::kMainMenu;
+  bool legacy_ui_ = false;
+  /// Earliest pending_at across rows_ and obd_rows_, or -1 when none is
+  /// scheduled. May be conservative (too early) after rows are rebuilt —
+  /// apply_pending then scans once, finds nothing due, and re-tightens.
+  util::SimTime next_pending_due_ = -1;
   util::SimTime next_poll_at_ = 0;
   std::size_t poll_counter_ = 0;
   Screen screen_;

@@ -6,9 +6,15 @@ namespace dpr::isotp {
 
 Endpoint::Endpoint(can::CanBus& bus, EndpointConfig config)
     : bus_(bus), config_(config) {
-  bus_.attach([this](const can::CanFrame& frame, util::SimTime) {
-    if (frame.id() == config_.rx_id) on_frame(frame);
-  });
+  // Exact-id subscription: the bus only routes rx_id frames here. The
+  // id check stays — it also compares the extended flag, which the
+  // value-based filter does not, and it keeps the legacy full-fan-out
+  // path equivalent.
+  bus_.attach(
+      [this](const can::CanFrame& frame, util::SimTime) {
+        if (frame.id() == config_.rx_id) on_frame(frame);
+      },
+      can::IdFilter::exact(config_.rx_id));
 }
 
 void Endpoint::send(std::span<const std::uint8_t> payload) {

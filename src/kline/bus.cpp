@@ -1,5 +1,7 @@
 #include "kline/bus.hpp"
 
+#include <algorithm>
+
 namespace dpr::kline {
 
 KLineBus::KLineBus(util::SimClock& clock, std::uint32_t baud)
@@ -55,6 +57,11 @@ std::size_t KLineBus::deliver_pending() {
     std::uint8_t byte = item.byte;
     std::size_t copies = 1;
     if (injector_ && injector_->enabled()) {
+      // Same SIMD-batched window pre-compute as can::CanBus — K-Line and
+      // CAN share one decide_batch implementation (no-op while the
+      // prefetched window still covers the cursor).
+      injector_->prefetch(
+          std::min(queue_.size() + 1, util::FaultInjector::kPrefetchMax));
       const auto decision = injector_->decide(clock_.now());
       if (decision.drop) {
         // The byte still occupied the line before being lost.

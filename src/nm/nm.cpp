@@ -26,9 +26,15 @@ void NmNode::start() {
   alive_at_ = now + address_ * util::kMillisecond +
               static_cast<util::SimTime>(jitter_.at(jitter_events_++)() %
                                          util::kMillisecond);
-  bus_.attach([this](const can::CanFrame& frame, util::SimTime ts) {
-    on_frame(frame, ts);
-  });
+  // Deliberately match-all, NOT a filter on the NM id range: on_frame
+  // treats every non-NM frame as application traffic that resets the
+  // sleep countdown (last_app_at_ / sleep intent). A narrow filter would
+  // blind the node to app activity and make the ring sleep under load.
+  bus_.attach(
+      [this](const can::CanFrame& frame, util::SimTime ts) {
+        on_frame(frame, ts);
+      },
+      can::IdFilter::all());
   bus_.add_service([this](util::SimTime now) { service(now); });
 }
 

@@ -2,13 +2,11 @@
 
 #include <cmath>
 
+#include "util/philox.hpp"
+
 namespace dpr::util {
 
 namespace {
-
-// Philox2x64 round constants (Salmon et al., SC'11).
-constexpr std::uint64_t kPhiloxMul = 0xD2B74407B1CE6E93ULL;
-constexpr std::uint64_t kPhiloxWeyl = 0x9E3779B97F4A7C15ULL;
 
 std::uint64_t splitmix64(std::uint64_t& x) {
   x += 0x9E3779B97F4A7C15ULL;
@@ -16,23 +14,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
-}
-
-/// One Philox2x64-10 block: encrypt counter {c0, c1} under `key`, return
-/// word 0. Ten rounds of mulhi/mullo mixing with a Weyl key schedule.
-std::uint64_t philox2x64(std::uint64_t key, std::uint64_t c0,
-                         std::uint64_t c1) {
-  std::uint64_t x0 = c0;
-  std::uint64_t x1 = c1;
-  for (int round = 0; round < 10; ++round) {
-    const auto product = static_cast<unsigned __int128>(kPhiloxMul) * x0;
-    const auto hi = static_cast<std::uint64_t>(product >> 64);
-    const auto lo = static_cast<std::uint64_t>(product);
-    x0 = hi ^ key ^ x1;
-    x1 = lo;
-    key += kPhiloxWeyl;
-  }
-  return x0;
 }
 
 }  // namespace
@@ -48,6 +29,11 @@ CounterRng::CounterRng(std::uint64_t seed, std::uint64_t stream_id) {
 
 CounterRng::result_type CounterRng::operator()() {
   return philox2x64(key_, event_, index_++);
+}
+
+CounterRng::result_type CounterRng::word_at(std::uint64_t event,
+                                            std::uint64_t index) const {
+  return philox2x64(key_, event, index);
 }
 
 void CounterRng::seek(std::uint64_t event) {

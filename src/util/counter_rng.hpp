@@ -57,6 +57,16 @@ class CounterRng {
   std::uint64_t event() const { return event_; }
   std::uint64_t draw_index() const { return index_; }
 
+  /// Raw draw `index` of event `event` — the pure Philox word this stream
+  /// would produce there, without moving the stream. Draw j of at(e) is
+  /// word_at(e, j); batch engines (simd_philox) reproduce exactly these
+  /// words.
+  result_type word_at(std::uint64_t event, std::uint64_t index) const;
+
+  /// The derived Philox key. Batch draw kernels take it to compute many
+  /// word_at() results per call; it identifies this (seed, stream) pair.
+  std::uint64_t key() const { return key_; }
+
   /// Uniform double in [0, 1).
   double uniform();
 

@@ -1,0 +1,89 @@
+// AVX2 4-lane Philox2x64-10: four counter blocks per invocation, one
+// 64-bit lane each. This TU is compiled with `-mavx2` only when
+// DPR_ENABLE_AVX2 targets x86-64; otherwise it compiles to the nullptr
+// stub and the dispatcher stays on the scalar body.
+//
+// AVX2 has no 64x64 multiply, so the mulhi/mullo pair each round is
+// synthesized from _mm256_mul_epu32 32x32->64 partial products
+// (schoolbook: ll + cross terms + hh, with explicit carry propagation
+// through a 32-bit mid word). Every operation is exact integer
+// arithmetic — the lanes match util::philox2x64 bit for bit, which
+// util_test fuzz-gates against CounterRng::word_at.
+
+#include "util/simd_philox.hpp"
+
+#if defined(DPR_SIMD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "util/philox.hpp"
+
+namespace dpr::util {
+
+namespace {
+
+// 64x64 -> {hi, lo} per lane, `b` broadcast constant (the Philox
+// multiplier). a = aH*2^32 + aL, b = bH*2^32 + bL:
+//   lo = (mid << 32) | (ll & 0xFFFFFFFF)
+//   hi = aH*bH + (aL*bH >> 32) + (aH*bL >> 32) + (mid >> 32)
+// with mid = (ll >> 32) + (aL*bH & 0xFFFFFFFF) + (aH*bL & 0xFFFFFFFF).
+// Each partial sum fits a 64-bit lane (mid < 3*2^32, hi < 2^64).
+struct WideProduct {
+  __m256i hi;
+  __m256i lo;
+};
+
+inline WideProduct mul64_wide(__m256i a, __m256i b) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);      // aL*bL
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);   // aL*bH
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);   // aH*bL
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);  // aH*bH
+  const __m256i mid = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                       _mm256_and_si256(lh, mask32)),
+      _mm256_and_si256(hl, mask32));
+  WideProduct p;
+  p.hi = _mm256_add_epi64(
+      _mm256_add_epi64(hh, _mm256_srli_epi64(lh, 32)),
+      _mm256_add_epi64(_mm256_srli_epi64(hl, 32),
+                       _mm256_srli_epi64(mid, 32)));
+  p.lo = _mm256_or_si256(_mm256_slli_epi64(mid, 32),
+                         _mm256_and_si256(ll, mask32));
+  return p;
+}
+
+void avx2_philox4(std::uint64_t key, const std::uint64_t* c0,
+                  const std::uint64_t* c1, std::uint64_t* out) {
+  const __m256i mul = _mm256_set1_epi64x(static_cast<long long>(kPhiloxMul));
+  __m256i x0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c0));
+  __m256i x1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c1));
+  __m256i k = _mm256_set1_epi64x(static_cast<long long>(key));
+  const __m256i weyl =
+      _mm256_set1_epi64x(static_cast<long long>(kPhiloxWeyl));
+  for (int round = 0; round < 10; ++round) {
+    const WideProduct p = mul64_wide(x0, mul);
+    x0 = _mm256_xor_si256(_mm256_xor_si256(p.hi, k), x1);
+    x1 = p.lo;
+    k = _mm256_add_epi64(k, weyl);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), x0);
+}
+
+}  // namespace
+
+Philox4Fn philox4_avx2() { return &avx2_philox4; }
+
+}  // namespace dpr::util
+
+#else  // no AVX2 code path in this build
+
+namespace dpr::util {
+
+Philox4Fn philox4_avx2() { return nullptr; }
+
+}  // namespace dpr::util
+
+#endif

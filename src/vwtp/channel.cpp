@@ -4,9 +4,13 @@ namespace dpr::vwtp {
 
 Channel::Channel(can::CanBus& bus, ChannelConfig config)
     : bus_(bus), config_(config) {
-  bus_.attach([this](const can::CanFrame& frame, util::SimTime) {
-    if (frame.id() == config_.rx_id) on_frame(frame);
-  });
+  // Exact-id subscription; the id check stays for the extended flag and
+  // the legacy full-fan-out path.
+  bus_.attach(
+      [this](const can::CanFrame& frame, util::SimTime) {
+        if (frame.id() == config_.rx_id) on_frame(frame);
+      },
+      can::IdFilter::exact(config_.rx_id));
 }
 
 void Channel::send(std::span<const std::uint8_t> payload) {

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "can/bus.hpp"
 #include "can/sniffer.hpp"
 #include "can/trace.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
 
 namespace dpr::can {
 namespace {
@@ -100,6 +104,259 @@ TEST(CanBus, ListenerMayRespondDuringDelivery) {
   bus.send(CanFrame(0x7E0, {0x01}));
   bus.deliver_pending();
   EXPECT_EQ(seen, (std::vector<std::uint32_t>{0x7E0, 0x7E8}));
+}
+
+// --- Id-filtered dispatch -------------------------------------------------
+
+TEST(IdFilter, MatchSemantics) {
+  EXPECT_TRUE(IdFilter::all().match_all());
+  EXPECT_TRUE(IdFilter::all().matches(0x0));
+  EXPECT_TRUE(IdFilter::all().matches(0x1FFFFFFF));
+  const auto exact = IdFilter::exact(0x7E8);
+  EXPECT_FALSE(exact.match_all());
+  EXPECT_TRUE(exact.matches(0x7E8));
+  EXPECT_FALSE(exact.matches(0x7E7));
+  EXPECT_FALSE(exact.matches(0x7E9));
+  const auto range = IdFilter::range(0x700, 0x10);
+  EXPECT_TRUE(range.matches(0x700));
+  EXPECT_TRUE(range.matches(0x70F));
+  EXPECT_FALSE(range.matches(0x710));
+  EXPECT_FALSE(range.matches(0x6FF));  // id - base wraps, stays >= span
+}
+
+TEST(CanBus, FilteredListenersSeeOnlyMatchingIds) {
+  util::SimClock clock;
+  CanBus bus(clock);
+  int exact_hits = 0, range_hits = 0, all_hits = 0;
+  bus.attach([&](const CanFrame&, util::SimTime) { ++exact_hits; },
+             IdFilter::exact(0x7E8));
+  bus.attach([&](const CanFrame&, util::SimTime) { ++range_hits; },
+             IdFilter::range(0x700, 0x10));
+  bus.attach([&](const CanFrame&, util::SimTime) { ++all_hits; });
+  bus.send(CanFrame(0x7E8, {0x01}));
+  bus.send(CanFrame(0x705, {0x02}));
+  bus.send(CanFrame(0x100, {0x03}));
+  bus.deliver_pending();
+  EXPECT_EQ(exact_hits, 1);
+  EXPECT_EQ(range_hits, 1);
+  EXPECT_EQ(all_hits, 3);
+}
+
+TEST(CanBus, ExtendedIdsReachWideFiltersAndMatchAll) {
+  // Filters whose range reaches past the 11-bit bucket table live on the
+  // wide_ scan path; extended-id frames must hit them and match-all
+  // listeners, and must never leak into narrow standard-id filters.
+  util::SimClock clock;
+  CanBus bus(clock);
+  int wide_hits = 0, narrow_hits = 0, all_hits = 0, other_wide = 0;
+  bus.attach([&](const CanFrame&, util::SimTime) { ++wide_hits; },
+             IdFilter::exact(CanId{0x18DAF110, true}));
+  bus.attach([&](const CanFrame&, util::SimTime) { ++narrow_hits; },
+             IdFilter::exact(0x7E0));
+  bus.attach([&](const CanFrame&, util::SimTime) { ++all_hits; });
+  bus.attach([&](const CanFrame&, util::SimTime) { ++other_wide; },
+             IdFilter::range(0x18DB0000, 0x100));
+  const util::Bytes ext{0x01};
+  bus.send(CanFrame(CanId{0x18DAF110, true}, ext));
+  bus.deliver_pending();
+  EXPECT_EQ(wide_hits, 1);
+  EXPECT_EQ(narrow_hits, 0);
+  EXPECT_EQ(all_hits, 1);
+  EXPECT_EQ(other_wide, 0);  // wide path still honours the filter
+}
+
+TEST(CanBus, StraddlingFilterMatchesBothSidesOfTheBucketBoundary) {
+  util::SimClock clock;
+  CanBus bus(clock);
+  int hits = 0;
+  bus.attach([&](const CanFrame&, util::SimTime) { ++hits; },
+             IdFilter::range(0x7FE, 0x10));  // crosses 0x800
+  const util::Bytes one{0x01}, two{0x02}, three{0x03};
+  bus.send(CanFrame(0x7FF, {0x01}));
+  bus.send(CanFrame(CanId{0x805, true}, two));
+  bus.send(CanFrame(CanId{0x80E, true}, three));  // past the range
+  bus.deliver_pending();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(CanBus, FilteredAndMatchAllListenersFireInAttachOrder) {
+  // Delivery order among the listeners a frame reaches is attach order,
+  // regardless of which index structure (bucket, wide, match-all) each
+  // listener lives in — exactly like the pre-filter full fan-out.
+  util::SimClock clock;
+  CanBus bus(clock);
+  std::vector<int> order;
+  bus.attach([&](const CanFrame&, util::SimTime) { order.push_back(0); },
+             IdFilter::exact(0x123));
+  bus.attach([&](const CanFrame&, util::SimTime) { order.push_back(1); });
+  bus.attach([&](const CanFrame&, util::SimTime) { order.push_back(2); },
+             IdFilter::range(0x100, 0x100));
+  bus.attach([&](const CanFrame&, util::SimTime) { order.push_back(3); });
+  bus.attach([&](const CanFrame&, util::SimTime) { order.push_back(4); },
+             IdFilter::exact(0x123));
+  bus.send(CanFrame(0x123, {0x01}));
+  bus.deliver_pending();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// --- Duplicate-budget carry-over (satellite 1) ----------------------------
+
+TEST(CanBus, DuplicateSecondCopyNeverOvershootsTheBudget) {
+  // Regression: a duplicated frame used to deliver both copies even when
+  // the deliver_some budget had room for only one, so callers asking for
+  // "at most 1" got 2. The second copy now carries over to the next call.
+  util::FaultPlan plan;
+  plan.duplicate_rate = 1.0;
+  util::SimClock clock;
+  CanBus bus(clock);
+  std::vector<std::pair<util::SimTime, CanFrame>> seen;
+  bus.attach([&](const CanFrame& f, util::SimTime t) {
+    seen.emplace_back(t, f);
+  });
+  bus.set_faults(plan, util::CounterRng(3, 0));
+  bus.send(CanFrame(0x100, {0xAB}));
+  EXPECT_EQ(bus.deliver_some(1), 1u);
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_FALSE(bus.idle());  // the carried copy still owes delivery
+  EXPECT_EQ(bus.deliver_some(1), 1u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(bus.idle());
+  EXPECT_EQ(seen[0].second, seen[1].second);
+  EXPECT_LT(seen[0].first, seen[1].first);
+}
+
+TEST(CanBus, DuplicateCarryOverKeepsAggregateSequenceIdentical) {
+  // Draining one frame at a time must produce the same wire sequence
+  // (frames and timestamps) as a single deliver_pending drain.
+  util::FaultPlan plan;
+  plan.duplicate_rate = 1.0;
+  const auto run = [&](bool one_at_a_time) {
+    util::SimClock clock;
+    CanBus bus(clock);
+    std::vector<std::pair<util::SimTime, CanFrame>> seen;
+    bus.attach([&](const CanFrame& f, util::SimTime t) {
+      seen.emplace_back(t, f);
+    });
+    bus.set_faults(plan, util::CounterRng(9, 0));
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      bus.send(CanFrame(0x100 + i, {static_cast<std::uint8_t>(i)}));
+    }
+    if (one_at_a_time) {
+      while (!bus.idle()) bus.deliver_some(1);
+    } else {
+      bus.deliver_pending();
+    }
+    return seen;
+  };
+  const auto drip = run(true);
+  const auto bulk = run(false);
+  ASSERT_EQ(drip.size(), bulk.size());
+  ASSERT_EQ(drip.size(), 10u);  // every frame delivered twice
+  for (std::size_t i = 0; i < drip.size(); ++i) {
+    EXPECT_EQ(drip[i].first, bulk[i].first) << "frame " << i;
+    EXPECT_EQ(drip[i].second, bulk[i].second) << "frame " << i;
+  }
+}
+
+// --- Heap vs legacy differential (satellite 3) ----------------------------
+
+struct BusRunResult {
+  std::vector<std::pair<util::SimTime, CanFrame>> seen;
+  util::SimTime final_time = 0;
+  std::size_t frames_delivered = 0;
+  std::uint64_t lost_to_sleep = 0;
+};
+
+// One randomized bus session, fully determined by `seed`: mixed standard /
+// extended ids with deliberate equal-id runs, partial deliver_some windows,
+// a mid-run sleep that purges queued frames, a wakeup frame, and a fault
+// plan that drops / corrupts / duplicates / jitters. The heap path and the
+// legacy min_element path must produce byte-identical wire logs.
+BusRunResult run_differential(std::uint64_t seed, bool legacy) {
+  util::SimClock clock;
+  CanBus bus(clock);
+  if (legacy) bus.set_legacy_path(true);
+  BusRunResult result;
+  bus.attach([&](const CanFrame& f, util::SimTime t) {
+    result.seen.emplace_back(t, f);
+  });
+  util::FaultPlan plan;
+  plan.drop_rate = 0.1;
+  plan.corrupt_rate = 0.1;
+  plan.duplicate_rate = 0.1;
+  plan.jitter_rate = 0.1;
+  bus.set_faults(plan, util::CounterRng(seed, 1));
+  bus.enable_lifecycle(0x100, 0x10);
+
+  util::Rng stimulus(seed);
+  const std::uint32_t id_pool[] = {0x100, 0x123, 0x123, 0x123, 0x2A0,
+                                   0x7E0, 0x7E8, 0x7FF, 0x18DAF110};
+  for (int step = 0; step < 40; ++step) {
+    const auto n_sends = static_cast<std::size_t>(stimulus.uniform_int(0, 6));
+    for (std::size_t s = 0; s < n_sends; ++s) {
+      const std::uint32_t id = id_pool[stimulus.uniform_int(0, 8)];
+      util::Bytes data(static_cast<std::size_t>(stimulus.uniform_int(1, 8)));
+      for (auto& b : data) {
+        b = static_cast<std::uint8_t>(stimulus.uniform_int(0, 255));
+      }
+      bus.send(CanFrame(can::CanId{id, id >= 0x800}, data));
+    }
+    const int action = static_cast<int>(stimulus.uniform_int(0, 9));
+    if (action < 6) {
+      bus.deliver_some(static_cast<std::size_t>(stimulus.uniform_int(1, 8)));
+    } else if (action < 8) {
+      bus.deliver_pending();
+    } else if (action == 8) {
+      // Sleep with frames possibly still queued: the next window purges
+      // them. A wakeup-range frame then restores service.
+      bus.sleep();
+      bus.deliver_some(4);
+      bus.send(CanFrame(0x105, {0x5A}));
+    }
+  }
+  bus.deliver_pending();
+  result.final_time = clock.now();
+  result.frames_delivered = bus.frames_delivered();
+  result.lost_to_sleep = bus.frames_lost_to_sleep();
+  return result;
+}
+
+TEST(CanBus, HeapArbitrationMatchesLegacyScanByteForByte) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto fast = run_differential(seed, false);
+    const auto slow = run_differential(seed, true);
+    ASSERT_EQ(fast.seen.size(), slow.seen.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < fast.seen.size(); ++i) {
+      ASSERT_EQ(fast.seen[i].first, slow.seen[i].first)
+          << "seed " << seed << " frame " << i;
+      ASSERT_EQ(fast.seen[i].second, slow.seen[i].second)
+          << "seed " << seed << " frame " << i;
+    }
+    EXPECT_EQ(fast.final_time, slow.final_time) << "seed " << seed;
+    EXPECT_EQ(fast.frames_delivered, slow.frames_delivered)
+        << "seed " << seed;
+    EXPECT_EQ(fast.lost_to_sleep, slow.lost_to_sleep) << "seed " << seed;
+  }
+}
+
+TEST(CanBus, LegacyModeCanBeEnteredMidStream) {
+  // Toggling legacy with frames queued re-sorts/re-heaps correctly in
+  // both directions; the delivered order stays the arbitration order.
+  util::SimClock clock;
+  CanBus bus(clock);
+  std::vector<std::uint32_t> order;
+  bus.attach([&](const CanFrame& f, util::SimTime) {
+    order.push_back(f.id().value);
+  });
+  bus.send(CanFrame(0x500, {0x01}));
+  bus.send(CanFrame(0x200, {0x02}));
+  bus.set_legacy_path(true);
+  bus.send(CanFrame(0x100, {0x03}));
+  bus.deliver_some(1);
+  bus.set_legacy_path(false);  // heap rebuilt from the flat remainder
+  bus.send(CanFrame(0x050, {0x04}));
+  bus.deliver_pending();
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0x100, 0x050, 0x200, 0x500}));
 }
 
 TEST(Sniffer, RecordsWithDeviceTimestamps) {

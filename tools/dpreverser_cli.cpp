@@ -96,6 +96,10 @@ void usage() {
                "  --scalar-tape    disable the AVX2 tape kernels and evaluate\n"
                "                   with the portable scalar kernels\n"
                "                   (bit-identical results; equivalence switch)\n"
+               "  --legacy-bus     deliver through the pre-overhaul bus hot\n"
+               "                   path: arbitration scan, full fan-out,\n"
+               "                   scalar fault draws, per-step UI rebuild\n"
+               "                   (bit-identical results; equivalence switch)\n"
                "  --no-filter      disable the two-stage ESV filter (ablation)\n"
                "  --no-ocr-noise   perfect OCR (clean-room ablation)\n"
                "  --no-baselines   skip linear/polynomial baselines\n"
@@ -269,6 +273,8 @@ int main(int argc, char** argv) {
       options.gp.use_tape = false;
     } else if (arg == "--scalar-tape") {
       gp::set_simd_enabled(false);
+    } else if (arg == "--legacy-bus") {
+      options.legacy_bus = true;
     } else if (arg == "--no-filter") {
       options.two_stage_filter = false;
     } else if (arg == "--no-ocr-noise") {
